@@ -1,0 +1,80 @@
+// Ablation — the §5 open question: when data has a delay constraint, is it
+// better to (a) ignore it (the evaluated BCP), (b) wake the high-power
+// radio early for a sub-threshold burst, or (c) send the expired packets
+// immediately over the low-power radio?
+//
+// Runs the multi-hop grid at 0.2 Kbps with a 500-packet threshold (which
+// unbounded BCP fills in ~640 s) under deadlines of 30/60/120 s, and
+// reports the goodput / energy / delay triangle for each policy.
+#include <cstdio>
+#include <string>
+
+#include "app/scenario.hpp"
+#include "core/bcp_config.hpp"
+#include "stats/summary.hpp"
+#include "stats/table.hpp"
+#include "util/options.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bcp;
+  util::Options opt("bench_ablation_delay_policy",
+                    "delay-constrained buffering policies (§5 future work)");
+  opt.add_int("runs", 2, "replications per point")
+      .add_double("duration", 3000.0, "simulated seconds")
+      .add_int("senders", 10, "sender count")
+      .add_int("burst", 500, "threshold in 32 B packets")
+      .add_int("seed", 1, "base seed");
+  if (!opt.parse(argc, argv)) return 1;
+
+  struct Cell {
+    core::DelayPolicy policy;
+    double deadline;
+  };
+  std::vector<Cell> cells = {{core::DelayPolicy::kUnbounded, 0}};
+  for (const double d : {30.0, 60.0, 120.0}) {
+    cells.push_back({core::DelayPolicy::kFlushHigh, d});
+    cells.push_back({core::DelayPolicy::kFallbackLow, d});
+  }
+
+  stats::TextTable t;
+  t.add_row({"policy", "deadline_s", "goodput", "energy_J_per_Kbit",
+             "delay_s", "wifi_wakeups"});
+  for (const auto& cell : cells) {
+    auto cfg = app::ScenarioConfig::multi_hop(
+        app::EvalModel::kDualRadio,
+        static_cast<int>(opt.get_int("senders")),
+        static_cast<int>(opt.get_int("burst")));
+    cfg.rate_bps = 200.0;
+    cfg.duration = opt.get_double("duration");
+    cfg.seed = static_cast<std::uint64_t>(opt.get_int("seed"));
+    cfg.bcp.delay_policy = cell.policy;
+    if (cell.deadline > 0) cfg.bcp.max_buffering_delay = cell.deadline;
+    const auto runs = app::run_replications(
+        cfg, static_cast<int>(opt.get_int("runs")));
+    stats::Summary goodput, energy, delay, wakeups;
+    for (const auto& m : runs) {
+      goodput.add(m.goodput);
+      energy.add(m.normalized_energy);
+      delay.add(m.mean_delay);
+      wakeups.add(static_cast<double>(m.wifi_wakeup_transitions));
+    }
+    t.add_row({core::to_string(cell.policy),
+               cell.deadline > 0 ? stats::TextTable::num(cell.deadline)
+                                 : std::string("-"),
+               stats::TextTable::num_ci(goodput.mean(),
+                                        goodput.ci_half_width()),
+               stats::TextTable::num_ci(energy.mean(),
+                                        energy.ci_half_width()),
+               stats::TextTable::num_ci(delay.mean(),
+                                        delay.ci_half_width()),
+               stats::TextTable::num(wakeups.mean())});
+  }
+  stats::print_titled(
+      "Ablation — delay-constrained buffering (MH, 0.2 Kbps, burst 500)", t);
+  std::printf(
+      "Reading: kUnbounded = best energy, worst delay. kFlushHigh buys the\n"
+      "deadline with extra wake-ups (energy rises as the deadline\n"
+      "tightens). kFallbackLow keeps the 802.11 radio dark but pays the\n"
+      "low radio's high per-bit cost — the §5 trade-off, quantified.\n");
+  return 0;
+}

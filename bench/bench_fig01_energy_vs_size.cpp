@@ -1,0 +1,62 @@
+// Figure 1 — "Energy consumption" vs data size (0.1-10 KB, log-log).
+//
+// Lines: the three sensor radios alone (Eq. 1) and the three 802.11+Micaz
+// dual combinations (Eq. 2). Paper claims: crossovers ("break-even
+// points") where a dual line dips under a sensor line; Cabletron-Micaz and
+// Lucent2-Micaz never cross; Lucent11-Micaz saves ~50% at ~4 KB.
+#include <cmath>
+#include <cstdio>
+
+#include "energy/breakeven.hpp"
+#include "energy/radio_model.hpp"
+#include "stats/table.hpp"
+#include "util/options.hpp"
+#include "util/units.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bcp;
+  util::Options opt("bench_fig01_energy_vs_size",
+                    "Figure 1: energy (mJ) vs data size (KB)");
+  opt.add_int("points", 25, "sample points on the log axis");
+  if (!opt.parse(argc, argv)) return 1;
+  const int points = static_cast<int>(opt.get_int("points"));
+
+  const auto cab = energy::DualRadioAnalysis::standard(
+      energy::micaz(), energy::cabletron_2mbps());
+  const auto lu2 = energy::DualRadioAnalysis::standard(
+      energy::micaz(), energy::lucent_2mbps());
+  const auto lu11 = energy::DualRadioAnalysis::standard(
+      energy::micaz(), energy::lucent_11mbps());
+  // Eq. 1 sensor-only curves reuse the same link parameters.
+  const auto mica_a = energy::DualRadioAnalysis::standard(
+      energy::mica(), energy::lucent_11mbps());
+  const auto mica2_a = energy::DualRadioAnalysis::standard(
+      energy::mica2(), energy::lucent_11mbps());
+
+  stats::TextTable t;
+  t.add_row({"KB", "Mica", "Mica2", "Micaz", "Cabletron-Micaz",
+             "Lucent2-Micaz", "Lucent11-Micaz"});
+  for (int i = 0; i < points; ++i) {
+    const double kb =
+        0.1 * std::pow(100.0, static_cast<double>(i) / (points - 1));
+    const auto s = static_cast<util::Bits>(kb * 8192.0);
+    const auto mj = [](double joules) {
+      return stats::TextTable::num(joules * 1e3, 4);
+    };
+    t.add_row({stats::TextTable::num(kb, 3), mj(mica_a.energy_low(s)),
+               mj(mica2_a.energy_low(s)), mj(cab.energy_low(s)),
+               mj(cab.energy_high(s)), mj(lu2.energy_high(s)),
+               mj(lu11.energy_high(s))});
+  }
+  stats::print_titled("Figure 1 — energy consumption (mJ) vs data size",
+                      t);
+
+  const auto s4 = util::kilobytes(4);
+  std::printf(
+      "Checks: Lucent11-Micaz saving at 4KB = %.1f%% (paper: ~50%%); "
+      "Cabletron/Lucent2 vs Micaz cross: %s/%s (paper: never)\n",
+      100.0 * lu11.savings_fraction(s4),
+      cab.break_even_bits() ? "yes" : "no",
+      lu2.break_even_bits() ? "yes" : "no");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Figure 3 — break-even size s* (KB) vs forward progress (1-6 sensor hops
+// covered by one high-power hop; Eqs. 4-5).
+//
+// Paper claims: s* decreases with hops (0.15-0.75 KB at 5 hops for
+// Mica-class pairs); the Micaz combinations become feasible at 3-4 hops.
+#include <cstdio>
+#include <string>
+
+#include "energy/breakeven.hpp"
+#include "energy/radio_model.hpp"
+#include "stats/table.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace bcp;
+  const std::pair<const energy::RadioEnergyModel*,
+                  const energy::RadioEnergyModel*>
+      combos[] = {
+          {&energy::mica(), &energy::cabletron_2mbps()},
+          {&energy::mica2(), &energy::cabletron_2mbps()},
+          {&energy::micaz(), &energy::cabletron_2mbps()},
+          {&energy::mica(), &energy::lucent_2mbps()},
+          {&energy::mica2(), &energy::lucent_2mbps()},
+          {&energy::micaz(), &energy::lucent_2mbps()},
+      };
+
+  stats::TextTable t;
+  {
+    std::vector<std::string> header{"hops"};
+    for (const auto& [low, high] : combos)
+      header.push_back(high->name + "-" + low->name);
+    t.add_row(std::move(header));
+  }
+  for (int fp = 1; fp <= 6; ++fp) {
+    std::vector<std::string> row{std::to_string(fp)};
+    for (const auto& [low, high] : combos) {
+      const auto a = energy::DualRadioAnalysis::standard(*low, *high);
+      const auto s = a.break_even_bits_multihop(fp);
+      row.push_back(s ? stats::TextTable::num(util::to_kilobytes(*s), 4)
+                      : std::string("inf"));
+    }
+    t.add_row(std::move(row));
+  }
+  stats::print_titled(
+      "Figure 3 — break-even data size (KB) vs forward progress (hops)", t);
+
+  for (const auto* high :
+       {&energy::cabletron_2mbps(), &energy::lucent_2mbps()}) {
+    const auto a =
+        energy::DualRadioAnalysis::standard(energy::micaz(), *high);
+    int onset = 0;
+    for (int fp = 1; fp <= 8 && onset == 0; ++fp)
+      if (a.break_even_bits_multihop(fp)) onset = fp;
+    std::printf("Check: %s-Micaz becomes feasible at %d hops (paper: 3-4)\n",
+                high->name.c_str(), onset);
+  }
+  return 0;
+}

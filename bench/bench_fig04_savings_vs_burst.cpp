@@ -1,0 +1,46 @@
+// Figure 4 — fraction of energy savings from sending n packets in one
+// burst versus n single-packet wake-ups (1-1000 packets, log x-axis), with
+// and without 100 ms of idling before each power-off.
+//
+// Paper claims: savings rise quickly up to ~10 packets (~10 KB) then
+// flatten — n=10 is the rule-of-thumb burst size; the "idle" variants save
+// more.
+#include <cstdio>
+
+#include "energy/breakeven.hpp"
+#include "energy/radio_model.hpp"
+#include "stats/table.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace bcp;
+  const auto cab = energy::DualRadioAnalysis::standard(
+      energy::micaz(), energy::cabletron_2mbps());
+  const auto lu2 = energy::DualRadioAnalysis::standard(
+      energy::micaz(), energy::lucent_2mbps());
+  const auto lu11 = energy::DualRadioAnalysis::standard(
+      energy::micaz(), energy::lucent_11mbps());
+
+  stats::TextTable t;
+  t.add_row({"packets", "Cabletron", "Lucent2", "Lucent11",
+             "Cabletron-Idle", "Lucent2-Idle", "Lucent11-Idle"});
+  for (const int n : {1, 2, 3, 5, 7, 10, 15, 20, 30, 50, 70, 100, 150, 200,
+                      300, 500, 700, 1000}) {
+    const auto f = [&](const energy::DualRadioAnalysis& a, double idle) {
+      return stats::TextTable::num(a.burst_savings_fraction(n, idle), 4);
+    };
+    t.add_row({std::to_string(n), f(cab, 0.0), f(lu2, 0.0), f(lu11, 0.0),
+               f(cab, 0.1), f(lu2, 0.1), f(lu11, 0.1)});
+  }
+  stats::print_titled(
+      "Figure 4 — fraction of energy savings vs burst size (packets)", t);
+
+  std::printf(
+      "Check: savings at n=10 as share of n=1000 asymptote: "
+      "Cabletron %.0f%%, Lucent11-Idle %.0f%% (paper: 'majority by n=10')\n",
+      100.0 * cab.burst_savings_fraction(10, 0.0) /
+          cab.burst_savings_fraction(1000, 0.0),
+      100.0 * lu11.burst_savings_fraction(10, 0.1) /
+          lu11.burst_savings_fraction(1000, 0.1));
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Figure 5 — single-hop (SH) case: goodput vs number of senders.
+//
+// Setup (§4.1.1): Lucent 11 Mbps with sensor-radio range (same hop count
+// as the Mica-class sensor radio), senders at 0.2 Kbps, 36-node grid,
+// bursts of 10/100/500/1000/2500 sensor packets.
+//
+// Paper claims: DualRadio-{10,100,500} sit near the pure-802.11 curve and
+// clearly above Sensor; very large bursts degrade goodput (back-to-back
+// multi-hop bursts); Sensor degrades as senders grow.
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bcp;
+  using namespace bcp::benchharness;
+  SimOptions opt;
+  if (!parse_sim_options(argc, argv, "bench_fig05_sh_goodput",
+                         "Figure 5: SH goodput vs senders", &opt))
+    return 1;
+  auto columns = dual_columns(opt.bursts, Metric::kGoodput);
+  columns.push_back(
+      Column{"Sensor", app::EvalModel::kSensor, 0, Metric::kGoodput});
+  columns.push_back(
+      Column{"802.11", app::EvalModel::kWifi, 0, Metric::kGoodput});
+  print_sender_sweep("Figure 5 — SH: goodput vs number of senders",
+                     /*multi_hop=*/false, opt, columns, /*rate_bps=*/0);
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Figure 6 — single-hop (SH) case: normalized energy (J/Kbit) vs senders.
+//
+// Paper claims: at burst 500 the dual-radio model is ~4-5x better than the
+// (header-overhearing) sensor model and approaches the sensor model's
+// *ideal* (tx+rx-only) energy; DualRadio-10 (320 B < 1 KB < s*) saves
+// nothing.
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bcp;
+  using namespace bcp::benchharness;
+  SimOptions opt;
+  if (!parse_sim_options(argc, argv, "bench_fig06_sh_energy",
+                         "Figure 6: SH normalized energy vs senders", &opt))
+    return 1;
+  auto columns = dual_columns(opt.bursts, Metric::kNormalizedEnergy);
+  columns.push_back(Column{"Sensor-ideal", app::EvalModel::kSensor, 0,
+                           Metric::kNormalizedEnergySensorIdeal});
+  columns.push_back(Column{"Sensor-header", app::EvalModel::kSensor, 0,
+                           Metric::kNormalizedEnergySensorHeader});
+  print_sender_sweep(
+      "Figure 6 — SH: normalized energy (J/Kbit) vs number of senders",
+      /*multi_hop=*/false, opt, columns, /*rate_bps=*/0);
+  return 0;
+}

@@ -1,0 +1,21 @@
+// Figure 7 — single-hop (SH) case: normalized energy vs average delay at
+// 0.2 Kbps. One line per sender count; the points along a line are the
+// burst sizes 10/100/500/1000/2500.
+//
+// Paper claims: burst 500 gives the best energy; burst 100 the better
+// energy-delay trade-off; pushing the burst further only adds delay.
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bcp;
+  using namespace bcp::benchharness;
+  SimOptions opt;
+  if (!parse_sim_options(argc, argv, "bench_fig07_sh_energy_delay",
+                         "Figure 7: SH energy vs delay (0.2 Kbps)", &opt))
+    return 1;
+  print_energy_delay(
+      "Figure 7 — SH: normalized energy (J/Kbit) vs average delay (s), "
+      "0.2 Kbps senders; rows grouped per figure line",
+      /*multi_hop=*/false, opt, /*rate_bps=*/200.0);
+  return 0;
+}

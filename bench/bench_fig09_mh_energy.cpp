@@ -1,0 +1,26 @@
+// Figure 9 — multi-hop (MH) case: normalized energy (J/Kbit) vs senders
+// at 2 Kbps.
+//
+// Paper claims: the dual model performs close to or better than even the
+// *ideal* sensor-model energy (one Cabletron hop replaces ~5 sensor hops);
+// even DualRadio-10 improves; the sweet spot is bursts of 500-1000.
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bcp;
+  using namespace bcp::benchharness;
+  SimOptions opt;
+  if (!parse_sim_options(argc, argv, "bench_fig09_mh_energy",
+                         "Figure 9: MH normalized energy vs senders", &opt))
+    return 1;
+  auto columns = dual_columns(opt.bursts, Metric::kNormalizedEnergy);
+  columns.push_back(Column{"Sensor-ideal", app::EvalModel::kSensor, 0,
+                           Metric::kNormalizedEnergySensorIdeal});
+  columns.push_back(Column{"Sensor-header", app::EvalModel::kSensor, 0,
+                           Metric::kNormalizedEnergySensorHeader});
+  print_sender_sweep(
+      "Figure 9 — MH: normalized energy (J/Kbit) vs number of senders "
+      "(2 Kbps)",
+      /*multi_hop=*/true, opt, columns, /*rate_bps=*/0);
+  return 0;
+}

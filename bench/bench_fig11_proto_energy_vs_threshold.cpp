@@ -1,0 +1,54 @@
+// Figure 11 — prototype (§4.2): energy consumption per packet (uJ) vs the
+// accumulation threshold α·s* (500-5000 B), Tmote-Sky-class CC2420 +
+// emulated IEEE 802.11, single sender/receiver, 500 messages per run.
+//
+// Paper claims: the dual-radio curve starts above the flat sensor-radio
+// line, crosses it slightly above 1 KB, then keeps dropping with
+// diminishing returns; it is NOT monotone — a small threshold increase can
+// force an extra (mostly empty) 802.11 frame, the sawtooth in the figure.
+#include <cstdio>
+
+#include "emul/prototype.hpp"
+#include "stats/table.hpp"
+#include "util/options.hpp"
+#include "util/units.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bcp;
+  util::Options opt("bench_fig11_proto_energy_vs_threshold",
+                    "Figure 11: prototype energy/packet vs threshold");
+  opt.add_int("messages", 500, "messages per run (paper: 500)")
+      .add_int("step", 250, "threshold step in bytes")
+      .add_double("interval", 0.2, "message generation interval (s)");
+  if (!opt.parse(argc, argv)) return 1;
+
+  stats::TextTable t;
+  t.add_row({"threshold_B", "dual_uJ_per_pkt", "sensor_uJ_per_pkt",
+             "wakeups", "frames"});
+  double crossover = -1;
+  for (int bytes = 500; bytes <= 5000;
+       bytes += static_cast<int>(opt.get_int("step"))) {
+    emul::PrototypeConfig cfg;
+    cfg.threshold_bits = util::bytes(bytes);
+    cfg.message_count = static_cast<int>(opt.get_int("messages"));
+    cfg.message_interval = opt.get_double("interval");
+    const auto r = emul::run_prototype(cfg);
+    if (crossover < 0 &&
+        r.dual_energy_per_packet < r.sensor_energy_per_packet)
+      crossover = bytes;
+    t.add_row({std::to_string(bytes),
+               stats::TextTable::num(r.dual_energy_per_packet * 1e6, 4),
+               stats::TextTable::num(r.sensor_energy_per_packet * 1e6, 4),
+               std::to_string(r.wifi_wakeups),
+               std::to_string(r.bulk_frames)});
+  }
+  stats::print_titled(
+      "Figure 11 — prototype: energy per packet (uJ) vs threshold (B)", t);
+  std::printf(
+      "Check: dual drops below the sensor line at ~%.0f B (paper: slightly "
+      "above 1 KB).\nNote: the run is deterministic (isolated loss-free "
+      "link, fixed interval), so the paper's 5-run averaging is a no-op "
+      "here.\n",
+      crossover);
+  return 0;
+}

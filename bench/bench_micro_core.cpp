@@ -1,0 +1,102 @@
+// Micro-benchmarks (google-benchmark) for the hot paths that the figure
+// harnesses lean on: event queue churn, buffer push/pop, break-even
+// solving, RNG, MAC-level frame exchange, and a full small scenario.
+#include <benchmark/benchmark.h>
+
+#include "app/scenario.hpp"
+#include "core/bulk_buffer.hpp"
+#include "energy/breakeven.hpp"
+#include "energy/radio_model.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace bcp;
+
+void BM_SimulatorScheduleDispatch(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    long long fired = 0;
+    for (int i = 0; i < n; ++i)
+      sim.schedule_at((i * 7919) % 1000, [&fired] { ++fired; });
+    sim.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SimulatorScheduleDispatch)->Arg(1000)->Arg(100000);
+
+void BM_SimulatorCancelHeavy(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    std::vector<sim::Simulator::EventHandle> handles;
+    handles.reserve(10000);
+    for (int i = 0; i < 10000; ++i)
+      handles.push_back(sim.schedule_at(i, [] {}));
+    for (std::size_t i = 0; i < handles.size(); i += 2)
+      sim.cancel(handles[i]);
+    sim.run();
+  }
+}
+BENCHMARK(BM_SimulatorCancelHeavy);
+
+void BM_BulkBufferPushPop(benchmark::State& state) {
+  core::BulkBuffer buffer(1 << 24);
+  net::DataPacket p{0, 1, 1, util::bytes(32), 0.0};
+  for (auto _ : state) {
+    for (int i = 0; i < 500; ++i) buffer.push(1, p);
+    auto out = buffer.pop_up_to(1, 500 * util::bytes(32));
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * 500);
+}
+BENCHMARK(BM_BulkBufferPushPop);
+
+void BM_BreakEvenSolve(benchmark::State& state) {
+  for (auto _ : state) {
+    auto a = energy::DualRadioAnalysis::standard(energy::mica(),
+                                                 energy::lucent_11mbps());
+    benchmark::DoNotOptimize(a.break_even_bits());
+    benchmark::DoNotOptimize(a.break_even_bits_multihop(5));
+  }
+}
+BENCHMARK(BM_BreakEvenSolve);
+
+void BM_Xoshiro(benchmark::State& state) {
+  util::Xoshiro256 rng(1);
+  double acc = 0;
+  for (auto _ : state) acc += rng.uniform();
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_Xoshiro);
+
+void BM_ScenarioDualRadioShort(benchmark::State& state) {
+  for (auto _ : state) {
+    auto cfg = app::ScenarioConfig::multi_hop(app::EvalModel::kDualRadio, 5,
+                                              100);
+    cfg.duration = 60.0;
+    cfg.seed = 7;
+    auto m = app::run_scenario(cfg);
+    benchmark::DoNotOptimize(m.delivered);
+  }
+}
+BENCHMARK(BM_ScenarioDualRadioShort)->Unit(benchmark::kMillisecond);
+
+void BM_ScenarioSensorShort(benchmark::State& state) {
+  for (auto _ : state) {
+    auto cfg =
+        app::ScenarioConfig::multi_hop(app::EvalModel::kSensor, 5, 100);
+    cfg.duration = 60.0;
+    cfg.seed = 7;
+    auto m = app::run_scenario(cfg);
+    benchmark::DoNotOptimize(m.delivered);
+  }
+}
+BENCHMARK(BM_ScenarioSensorShort)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,143 @@
+#include "common.hpp"
+
+#include <cstdio>
+#include <map>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace bcp::benchharness {
+
+bool parse_sim_options(int argc, const char* const* argv, const char* name,
+                       const char* summary, SimOptions* out) {
+  util::Options opt(name, summary);
+  opt.add_int("runs", out->runs, "replications per data point")
+      .add_double("duration", out->duration, "simulated seconds per run")
+      .add_int("seed", 1, "base RNG seed")
+      .add_flag("full", "paper scale: 20 runs, sender counts 5,10,...,35");
+  if (!opt.parse(argc, argv)) return false;
+  out->runs = static_cast<int>(opt.get_int("runs"));
+  out->duration = opt.get_double("duration");
+  out->seed = static_cast<std::uint64_t>(opt.get_int("seed"));
+  if (opt.flag("full")) {
+    out->runs = 20;
+    out->senders = {5, 10, 15, 20, 25, 30, 35};
+  }
+  BCP_REQUIRE(out->runs >= 1);
+  BCP_REQUIRE(out->duration > 0);
+  return true;
+}
+
+double metric_of(const app::RunMetrics& m, Metric metric) {
+  switch (metric) {
+    case Metric::kGoodput:
+      return m.goodput;
+    case Metric::kNormalizedEnergy:
+      return m.normalized_energy;
+    case Metric::kNormalizedEnergySensorIdeal:
+      return m.normalized_energy_sensor_ideal;
+    case Metric::kNormalizedEnergySensorHeader:
+      return m.normalized_energy_sensor_header;
+    case Metric::kDelay:
+      return m.mean_delay;
+  }
+  return 0;
+}
+
+std::vector<Column> dual_columns(const std::vector<int>& bursts,
+                                 Metric metric) {
+  std::vector<Column> cols;
+  for (const int b : bursts)
+    cols.push_back(Column{"DualRadio-" + std::to_string(b),
+                          app::EvalModel::kDualRadio, b, metric});
+  return cols;
+}
+
+app::ScenarioConfig make_config(bool multi_hop, app::EvalModel model,
+                                int senders, int burst,
+                                const SimOptions& opt, double rate_bps) {
+  // Burst size is meaningless for the single-radio models (their columns
+  // pass 0); any positive value satisfies the scenario contract.
+  if (model != app::EvalModel::kDualRadio && burst <= 0) burst = 1;
+  app::ScenarioConfig cfg =
+      multi_hop ? app::ScenarioConfig::multi_hop(model, senders, burst)
+                : app::ScenarioConfig::single_hop(model, senders, burst);
+  cfg.duration = opt.duration;
+  cfg.seed = opt.seed;
+  if (rate_bps > 0) cfg.rate_bps = rate_bps;
+  return cfg;
+}
+
+namespace {
+
+/// Cache key: one simulated configuration (metric choice is free).
+using CellKey = std::pair<int, int>;  // (model as int, burst)
+
+std::vector<app::RunMetrics> run_cell(bool multi_hop, app::EvalModel model,
+                                      int senders, int burst,
+                                      const SimOptions& opt,
+                                      double rate_bps) {
+  return app::run_replications(
+      make_config(multi_hop, model, senders, burst, opt, rate_bps),
+      opt.runs);
+}
+
+}  // namespace
+
+void print_sender_sweep(const std::string& title, bool multi_hop,
+                        const SimOptions& opt,
+                        const std::vector<Column>& columns, double rate_bps) {
+  stats::TextTable table;
+  std::vector<std::string> header{"senders"};
+  for (const auto& c : columns) header.push_back(c.label);
+  table.add_row(std::move(header));
+
+  for (const int senders : opt.senders) {
+    // One simulation batch per distinct (model, burst), shared by every
+    // column that reads a different metric from it.
+    std::map<CellKey, std::vector<app::RunMetrics>> cache;
+    std::vector<std::string> row{std::to_string(senders)};
+    for (const auto& c : columns) {
+      const CellKey key{static_cast<int>(c.model),
+                        c.model == app::EvalModel::kDualRadio ? c.burst : 0};
+      auto it = cache.find(key);
+      if (it == cache.end()) {
+        it = cache
+                 .emplace(key, run_cell(multi_hop, c.model, senders, c.burst,
+                                        opt, rate_bps))
+                 .first;
+      }
+      stats::Summary s;
+      for (const auto& m : it->second) s.add(metric_of(m, c.metric));
+      row.push_back(stats::TextTable::num_ci(s.mean(), s.ci_half_width()));
+    }
+    table.add_row(std::move(row));
+    std::fflush(stdout);
+  }
+  stats::print_titled(title, table);
+}
+
+void print_energy_delay(const std::string& title, bool multi_hop,
+                        const SimOptions& opt, double rate_bps) {
+  stats::TextTable table;
+  table.add_row({"senders", "burst", "delay_s", "energy_J_per_Kbit"});
+  for (const int senders : opt.senders) {
+    for (const int burst : opt.bursts) {
+      const auto runs = run_cell(multi_hop, app::EvalModel::kDualRadio,
+                                 senders, burst, opt, rate_bps);
+      stats::Summary delay, energy;
+      for (const auto& m : runs) {
+        delay.add(m.mean_delay);
+        energy.add(m.normalized_energy);
+      }
+      table.add_row({std::to_string(senders), std::to_string(burst),
+                     stats::TextTable::num_ci(delay.mean(),
+                                              delay.ci_half_width()),
+                     stats::TextTable::num_ci(energy.mean(),
+                                              energy.ci_half_width())});
+    }
+  }
+  stats::print_titled(title, table);
+}
+
+}  // namespace bcp::benchharness

@@ -1,0 +1,75 @@
+// Shared plumbing for the figure-reproduction harnesses: CLI conventions,
+// the (model, burst) -> run cache, and the two table shapes used by the
+// §4.1 figures (metric-vs-senders and energy-vs-delay).
+//
+// Conventions shared by every bench binary:
+//   --runs N       replications per point (default 2; paper used 20)
+//   --duration S   simulated seconds (default 5000, as in the paper)
+//   --full         paper-scale: 20 runs, sender counts 5,10,...,35
+//   --seed S       base seed
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "app/scenario.hpp"
+#include "stats/summary.hpp"
+#include "stats/table.hpp"
+#include "util/options.hpp"
+
+namespace bcp::benchharness {
+
+struct SimOptions {
+  std::vector<int> senders{5, 15, 25, 35};
+  std::vector<int> bursts{10, 100, 500, 1000, 2500};
+  int runs = 2;
+  double duration = 5000.0;
+  std::uint64_t seed = 1;
+};
+
+/// Parses the standard bench flags; returns false if the process should
+/// exit (help/parse error).
+bool parse_sim_options(int argc, const char* const* argv, const char* name,
+                       const char* summary, SimOptions* out);
+
+enum class Metric {
+  kGoodput,
+  kNormalizedEnergy,
+  kNormalizedEnergySensorIdeal,
+  kNormalizedEnergySensorHeader,
+  kDelay,
+};
+
+double metric_of(const app::RunMetrics& m, Metric metric);
+
+/// One column of a metric-vs-senders figure.
+struct Column {
+  std::string label;
+  app::EvalModel model;
+  int burst;  ///< only meaningful for the dual-radio model
+  Metric metric;
+};
+
+/// The DualRadio-10 ... DualRadio-2500 column block.
+std::vector<Column> dual_columns(const std::vector<int>& bursts,
+                                 Metric metric);
+
+/// Builds the scenario for one cell. `multi_hop` picks the §4.1.1/§4.1.2
+/// preset; `rate_bps` overrides the preset rate when > 0.
+app::ScenarioConfig make_config(bool multi_hop, app::EvalModel model,
+                                int senders, int burst,
+                                const SimOptions& opt, double rate_bps);
+
+/// Runs every (model, burst) needed by `columns` across opt.senders and
+/// prints the figure table (rows = sender counts, cells = mean+-95% CI).
+void print_sender_sweep(const std::string& title, bool multi_hop,
+                        const SimOptions& opt,
+                        const std::vector<Column>& columns, double rate_bps);
+
+/// Figs. 7/10: for each (senders, burst) cell of the dual-radio model,
+/// prints mean delay vs normalized energy (one row per cell, grouped by
+/// sender count — each group is one line of the paper's figure).
+void print_energy_delay(const std::string& title, bool multi_hop,
+                        const SimOptions& opt, double rate_bps);
+
+}  // namespace bcp::benchharness

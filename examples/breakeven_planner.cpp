@@ -1,0 +1,82 @@
+// Break-even planner: a deployment-sizing CLI over the §2 analysis.
+//
+//   $ ./breakeven_planner --low Micaz --high Lucent-11Mbps --idle 0.05
+//   $ ./breakeven_planner --low Mica --high Cabletron --hops 5
+//
+// Answers the questions §3 says a BCP deployment must answer: what is s*
+// for my radios, what burst threshold should I configure (α·s*, or the
+// Fig. 4 knee), and what do I save at my expected transfer sizes?
+#include <cstdio>
+#include <string>
+
+#include "core/bcp_config.hpp"
+#include "energy/breakeven.hpp"
+#include "energy/radio_model.hpp"
+#include "stats/table.hpp"
+#include "util/options.hpp"
+#include "util/units.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bcp;
+  util::Options opt("breakeven_planner", "size a dual-radio deployment");
+  opt.add_string("low", "Micaz",
+                 "low-power radio (Mica, Mica2, Micaz)")
+      .add_string("high", "Lucent-11Mbps",
+                  "high-power radio (Cabletron, Lucent-2Mbps, Lucent-11Mbps)")
+      .add_double("idle", 0.0, "per-burst idle wait of the 802.11 radio (s)")
+      .add_int("hops", 1, "sensor hops one high-power hop replaces")
+      .add_double("alpha", 10.0, "burst threshold multiplier over s*");
+  if (!opt.parse(argc, argv)) return 1;
+
+  const auto low = energy::find_radio(opt.get_string("low"));
+  const auto high = energy::find_radio(opt.get_string("high"));
+  if (!low || !high) {
+    std::fprintf(stderr, "unknown radio name; catalog:\n");
+    for (const auto& r : energy::radio_catalog())
+      std::fprintf(stderr, "  %s\n", r.name.c_str());
+    return 1;
+  }
+  const int hops = static_cast<int>(opt.get_int("hops"));
+
+  auto cfg = energy::DualRadioAnalysis::standard(*low, *high).config();
+  cfg.idle_time = opt.get_double("idle");
+  const energy::DualRadioAnalysis analysis(cfg);
+
+  std::printf("pair: %s (low) + %s (high), idle %.3f s, forward progress "
+              "%d hop(s)\n\n",
+              low->name.c_str(), high->name.c_str(), cfg.idle_time, hops);
+
+  const auto s_star = analysis.break_even_bits_multihop(hops);
+  if (!s_star) {
+    std::printf(
+        "No break-even point: %s never beats %s at %d hop(s).\n"
+        "Per payload bit: low %.3f uJ x %d hops vs high %.3f uJ.\n",
+        high->name.c_str(), low->name.c_str(), hops,
+        analysis.per_bit_low() * 1e6, hops, analysis.per_bit_high() * 1e6);
+    std::printf("Try more forward progress (--hops) — see Figure 3.\n");
+    return 0;
+  }
+
+  std::printf("break-even s*      : %.0f bytes (%.3f KB)\n",
+              util::to_bytes(*s_star), util::to_kilobytes(*s_star));
+  const auto threshold = static_cast<util::Bits>(
+      opt.get_double("alpha") * static_cast<double>(*s_star));
+  std::printf("burst threshold    : %.0f bytes (alpha = %.1f)\n",
+              util::to_bytes(threshold), opt.get_double("alpha"));
+  std::printf("fig. 4 rule of thumb: ~10 high-radio packets = %.0f bytes\n\n",
+              util::to_bytes(10 * cfg.high_link.payload_bits));
+
+  stats::TextTable t;
+  t.add_row({"transfer", "low-radio (mJ)", "dual-radio (mJ)", "saving"});
+  for (const auto kb : {1, 2, 4, 8, 16, 32, 64}) {
+    const auto s = util::kilobytes(kb);
+    const double el = analysis.energy_low_multihop(s, hops);
+    const double eh = analysis.energy_high_multihop(s, hops);
+    t.add_row({std::to_string(kb) + "KB",
+               stats::TextTable::num(el * 1e3, 4),
+               stats::TextTable::num(eh * 1e3, 4),
+               stats::TextTable::num(100.0 * (1.0 - eh / el), 3) + "%"});
+  }
+  stats::print_titled("projected per-burst energy", t);
+  return 0;
+}

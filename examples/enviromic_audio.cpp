@@ -1,0 +1,132 @@
+// EnviroMic-style acoustic monitoring (§1): "Recent applications, such as
+// EnviroMic, where audio is being transmitted through the network,
+// accumulate data much faster making performance almost real-time despite
+// data buffering."
+//
+//   $ ./enviromic_audio [--nodes-talking N] [--minutes M]
+//
+// Composes the library's node classes directly (the scenario harness only
+// speaks CBR): DualRadioNode + BurstyWorkload on the paper's grid, with
+// exponential talkspurts at 8 kbit/s. Reports how quickly audio drains
+// through BCP and what it costs.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "app/nodes.hpp"
+#include "app/workload.hpp"
+#include "energy/radio_model.hpp"
+#include "net/routing.hpp"
+#include "net/topology.hpp"
+#include "phy/channel.hpp"
+#include "sim/simulator.hpp"
+#include "stats/summary.hpp"
+#include "util/options.hpp"
+#include "util/rng.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bcp;
+  util::Options opt("enviromic_audio",
+                    "bursty audio collection over BCP on the paper's grid");
+  opt.add_int("nodes-talking", 6, "nodes with microphones")
+      .add_double("minutes", 20.0, "simulated minutes")
+      .add_int("burst", 500, "BCP burst threshold in 32 B packets")
+      .add_int("seed", 1, "RNG seed");
+  if (!opt.parse(argc, argv)) return 1;
+  const auto seed = static_cast<std::uint64_t>(opt.get_int("seed"));
+  const double duration = opt.get_double("minutes") * 60.0;
+
+  sim::Simulator simulator;
+  const auto topo = net::GridTopology::paper_grid();
+
+  // Multi-hop setup: sensor radio forms the 5-hop grid, Cabletron covers
+  // the field in one hop.
+  phy::Channel low_ch(simulator, topo.positions(), 40.0, {0.0},
+                      util::substream(seed, 1, 0x4C4348u));
+  phy::Channel high_ch(simulator, topo.positions(), 300.0, {0.0},
+                       util::substream(seed, 2, 0x484348u));
+  const net::RoutingTable low_routes{
+      net::ConnectivityGraph(topo.positions(), 40.0)};
+  const net::RoutingTable high_routes{
+      net::ConnectivityGraph(topo.positions(), 300.0)};
+
+  core::BcpConfig bcp;
+  bcp.set_burst_packets(static_cast<int>(opt.get_int("burst")),
+                        util::bytes(32));
+
+  std::int64_t delivered = 0;
+  std::int64_t dropped = 0;
+  std::vector<double> delays;
+  app::DeliverySink sink;
+  sink.delivered = [&](const net::DataPacket& p) {
+    ++delivered;
+    delays.push_back(simulator.now() - p.created_at);
+  };
+  sink.dropped = [&](const net::DataPacket&, const char*) { ++dropped; };
+
+  std::vector<std::unique_ptr<app::DualRadioNode>> nodes;
+  for (net::NodeId id = 0; id < topo.node_count(); ++id)
+    nodes.push_back(std::make_unique<app::DualRadioNode>(
+        simulator, low_ch, high_ch, low_routes, high_routes, id,
+        energy::mica(), energy::cabletron_2mbps(), bcp,
+        phy::OverhearMode::kFull, seed, &sink));
+
+  // Microphones on the nodes farthest from the sink talk in exponential
+  // on/off bursts at 8 kbit/s.
+  app::BurstyWorkload::Params audio;
+  audio.packet_bits = util::bytes(32);
+  audio.on_rate_bps = 8000;
+  audio.mean_on = 3.0;
+  audio.mean_off = 20.0;
+  std::vector<std::unique_ptr<app::BurstyWorkload>> mics;
+  std::int64_t generated = 0;
+  const int talking = static_cast<int>(opt.get_int("nodes-talking"));
+  for (int i = 0; i < talking; ++i) {
+    const net::NodeId mic = static_cast<net::NodeId>(35 - i);
+    mics.push_back(std::make_unique<app::BurstyWorkload>(
+        simulator, mic, topo.sink(), audio,
+        util::substream(seed, static_cast<std::uint64_t>(mic), 0x4D4943u),
+        [&nodes, mic, &generated](net::DataPacket p) {
+          ++generated;
+          nodes[static_cast<std::size_t>(mic)]->send(p);
+        }));
+    mics.back()->start();
+  }
+
+  simulator.run_until(duration);
+
+  double wifi_energy = 0, sensor_energy = 0;
+  for (const auto& n : nodes) {
+    n->sensor_radio().meter().finalize(duration);
+    n->wifi_radio().meter().finalize(duration);
+    using energy::EnergyCategory;
+    sensor_energy += n->sensor_radio().meter().energy(EnergyCategory::kTx) +
+                     n->sensor_radio().meter().energy(EnergyCategory::kRx);
+    wifi_energy += n->wifi_radio().meter().charged_total(
+        energy::ChargingPolicy::full());
+  }
+
+  std::printf("audio packets: generated %lld, delivered %lld, dropped %lld "
+              "(%.1f%% goodput)\n",
+              static_cast<long long>(generated),
+              static_cast<long long>(delivered),
+              static_cast<long long>(dropped),
+              generated ? 100.0 * static_cast<double>(delivered) /
+                              static_cast<double>(generated)
+                        : 0.0);
+  if (!delays.empty()) {
+    std::printf("delay: median %.1f s, p95 %.1f s, max %.1f s\n",
+                stats::percentile(delays, 50), stats::percentile(delays, 95),
+                stats::percentile(delays, 100));
+  }
+  const double kbits =
+      static_cast<double>(delivered) * 32 * 8 / 1000.0;
+  std::printf("energy: %.2f J total (%.2f J wifi, %.2f J sensor ctrl) = "
+              "%.4f J/Kbit\n",
+              wifi_energy + sensor_energy, wifi_energy, sensor_energy,
+              kbits > 0 ? (wifi_energy + sensor_energy) / kbits : 0.0);
+  std::printf(
+      "\nAt 8 kbit/s talkspurts a 500-packet burst fills in ~16 s — BCP is\n"
+      "near-real-time for audio, exactly the paper's EnviroMic argument.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Environmental monitoring: the paper's motivating deployment (§1) — slow
+// periodic measurements where "a collection delay of even several days is
+// not detrimental, especially if it increases system lifetime".
+//
+//   $ ./environmental_monitoring [--senders N] [--days D] [--burst P]
+//
+// Simulates a 36-node field over the paper's grid (§4.1 multi-hop setup:
+// Cabletron one hop to the sink), compares the pure sensor network against
+// the BCP dual-radio network, and converts the measured energy into a
+// battery-lifetime estimate (2xAA ≈ 20 kJ per node).
+#include <cstdio>
+
+#include "app/scenario.hpp"
+#include "util/options.hpp"
+#include "util/units.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bcp;
+  util::Options opt("environmental_monitoring",
+                    "sensor-vs-dual lifetime comparison for slow sensing");
+  opt.add_int("senders", 12, "reporting nodes")
+      .add_int("burst", 500, "BCP burst threshold in 32 B packets")
+      .add_double("rate", 200.0, "per-sender data rate (bit/s)")
+      .add_double("hours", 2.0, "simulated field time (hours)")
+      .add_int("seed", 1, "RNG seed");
+  if (!opt.parse(argc, argv)) return 1;
+  const int senders = static_cast<int>(opt.get_int("senders"));
+  const int burst = static_cast<int>(opt.get_int("burst"));
+  const double duration = opt.get_double("hours") * 3600.0;
+
+  const auto configure = [&](app::EvalModel model) {
+    auto cfg = app::ScenarioConfig::multi_hop(model, senders, burst);
+    cfg.rate_bps = opt.get_double("rate");
+    cfg.duration = duration;
+    cfg.seed = static_cast<std::uint64_t>(opt.get_int("seed"));
+    return cfg;
+  };
+
+  std::printf("Simulating %.1f h of %d nodes reporting %.1f bit/s each...\n\n",
+              duration / 3600.0, senders, opt.get_double("rate"));
+  const auto sensor = app::run_scenario(configure(app::EvalModel::kSensor));
+  const auto dual = app::run_scenario(configure(app::EvalModel::kDualRadio));
+
+  const double n_nodes = 36.0;
+  const double battery_joules = 20e3;  // 2x AA alkaline, usable energy
+  // Radio energy per node-hour under each model's charging rules.
+  const double hours = duration / 3600.0;
+  const double sensor_per_node_hour =
+      sensor.sensor_energy.ideal() / n_nodes / hours;
+  const double dual_per_node_hour =
+      (dual.sensor_energy.ideal() + dual.wifi_energy.full()) / n_nodes /
+      hours;
+
+  std::printf("                      Sensor-only      Dual-radio (BCP-%d)\n",
+              burst);
+  std::printf("goodput               %-16.3f %.3f\n", sensor.goodput,
+              dual.goodput);
+  std::printf("mean delay (s)        %-16.1f %.1f\n", sensor.mean_delay,
+              dual.mean_delay);
+  std::printf("energy (J/Kbit)       %-16.4f %.4f\n",
+              sensor.normalized_energy, dual.normalized_energy);
+  std::printf("radio J/node/hour     %-16.3f %.3f\n", sensor_per_node_hour,
+              dual_per_node_hour);
+  std::printf("battery life (days)*  %-16.0f %.0f\n",
+              battery_joules / sensor_per_node_hour / 24.0,
+              battery_joules / dual_per_node_hour / 24.0);
+  std::printf(
+      "\n* radio budget only, 20 kJ battery; the paper's premise: weeks of\n"
+      "  extra lifetime are worth minutes-to-hours of reporting delay.\n");
+  return 0;
+}

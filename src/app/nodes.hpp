@@ -1,0 +1,129 @@
+// Node assemblies for the three §4.1 evaluation models.
+//
+// ForwardingNode — a single-radio node (Sensor or pure-802.11 model):
+//   workload/relayed packets are queued straight into the MAC toward the
+//   sink, hop by hop along a static routing table.
+//
+// DualRadioNode — a dual-radio node running BCP: the sensor radio carries
+//   the routed wake-up handshake (relayed below BCP by this class), the
+//   802.11 radio carries bulk frames, and core::BcpAgent does the rest.
+//   This class is the simulator's implementation of core::BcpHost.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "core/bcp_agent.hpp"
+#include "core/bcp_host.hpp"
+#include "mac/csma_mac.hpp"
+#include "net/routing.hpp"
+#include "phy/radio.hpp"
+#include "sim/simulator.hpp"
+
+namespace bcp::app {
+
+/// Where delivered packets and drop notices end up (owned by the scenario).
+struct DeliverySink {
+  std::function<void(const net::DataPacket&)> delivered;
+  std::function<void(const net::DataPacket&, const char*)> dropped;
+};
+
+/// Single-radio store-and-forward node.
+class ForwardingNode {
+ public:
+  ForwardingNode(sim::Simulator& sim, phy::Channel& channel,
+                 const net::RoutingTable& routes, net::NodeId self,
+                 net::NodeId sink, const energy::RadioEnergyModel& radio_model,
+                 phy::OverhearMode overhear, mac::MacParams mac_params,
+                 std::uint64_t seed, DeliverySink* delivery);
+
+  /// Entry point for locally generated packets.
+  void send(const net::DataPacket& packet);
+
+  phy::Radio& radio() { return *radio_; }
+  const phy::Radio& radio() const { return *radio_; }
+  mac::CsmaCaMac& mac() { return *mac_; }
+  const mac::CsmaCaMac& mac() const { return *mac_; }
+  net::NodeId self() const { return self_; }
+
+ private:
+  void forward(const net::Message& msg);
+  void on_rx(const net::Message& msg, net::NodeId from);
+
+  sim::Simulator& sim_;
+  const net::RoutingTable& routes_;
+  net::NodeId self_;
+  net::NodeId sink_;
+  DeliverySink* delivery_;
+  std::unique_ptr<phy::Radio> radio_;
+  std::unique_ptr<mac::CsmaCaMac> mac_;
+};
+
+/// Dual-radio node: sensor radio + CSMA MAC for control, 802.11 radio +
+/// DCF MAC for bulk data, and a BcpAgent in between.
+class DualRadioNode final : public core::BcpHost {
+ public:
+  DualRadioNode(sim::Simulator& sim, phy::Channel& low_channel,
+                phy::Channel& high_channel, const net::RoutingTable& low_routes,
+                const net::RoutingTable& high_routes, net::NodeId self,
+                const energy::RadioEnergyModel& sensor_model,
+                const energy::RadioEnergyModel& wifi_model,
+                const core::BcpConfig& bcp_config,
+                phy::OverhearMode wifi_overhear, std::uint64_t seed,
+                DeliverySink* delivery);
+
+  /// Entry point for locally generated packets (goes through BCP).
+  void send(const net::DataPacket& packet);
+
+  core::BcpAgent& agent() { return *agent_; }
+  const core::BcpAgent& agent() const { return *agent_; }
+  phy::Radio& sensor_radio() { return *low_radio_; }
+  const phy::Radio& sensor_radio() const { return *low_radio_; }
+  phy::Radio& wifi_radio() { return *high_radio_; }
+  const phy::Radio& wifi_radio() const { return *high_radio_; }
+  mac::CsmaCaMac& sensor_mac() { return *low_mac_; }
+  const mac::CsmaCaMac& sensor_mac() const { return *low_mac_; }
+  mac::CsmaCaMac& wifi_mac() { return *high_mac_; }
+  const mac::CsmaCaMac& wifi_mac() const { return *high_mac_; }
+
+  // core::BcpHost:
+  net::NodeId self() const override { return self_; }
+  util::Seconds now() const override { return sim_.now(); }
+  TimerId set_timer(util::Seconds delay,
+                    std::function<void()> callback) override;
+  void cancel_timer(TimerId id) override;
+  void send_low(const net::Message& msg) override;
+  void send_high(const net::Message& msg, net::NodeId peer,
+                 std::function<void(bool)> done) override;
+  void high_radio_on() override;
+  void high_radio_off() override;
+  bool high_radio_ready() const override;
+  net::NodeId high_next_hop(net::NodeId dest) const override;
+  bool high_link_exists(net::NodeId peer) const override;
+  void deliver(const net::DataPacket& packet) override;
+  void packet_dropped(const net::DataPacket& packet,
+                      const char* reason) override;
+
+ private:
+  void on_low_rx(const net::Message& msg, net::NodeId from);
+  void on_high_rx(const net::Message& msg, net::NodeId from);
+  void try_power_off();
+
+  sim::Simulator& sim_;
+  const net::RoutingTable& low_routes_;
+  const net::RoutingTable& high_routes_;
+  net::NodeId self_;
+  DeliverySink* delivery_;
+  std::unique_ptr<phy::Radio> low_radio_;
+  std::unique_ptr<phy::Radio> high_radio_;
+  std::unique_ptr<mac::CsmaCaMac> low_mac_;
+  std::unique_ptr<mac::CsmaCaMac> high_mac_;
+  std::unique_ptr<core::BcpAgent> agent_;
+  /// Completion callbacks for in-flight high-radio sends, FIFO with the
+  /// MAC's single queue.
+  std::deque<std::function<void(bool)>> high_done_;
+};
+
+}  // namespace bcp::app

@@ -1,0 +1,270 @@
+#include "app/scenario.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <optional>
+
+#include "app/nodes.hpp"
+#include "app/workload.hpp"
+#include "mac/mac_params.hpp"
+#include "net/routing.hpp"
+#include "net/topology.hpp"
+#include "phy/channel.hpp"
+#include "sim/simulator.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace bcp::app {
+
+const char* to_string(EvalModel m) {
+  switch (m) {
+    case EvalModel::kSensor:    return "Sensor";
+    case EvalModel::kWifi:      return "802.11";
+    case EvalModel::kDualRadio: return "DualRadio";
+  }
+  return "?";
+}
+
+ScenarioConfig ScenarioConfig::single_hop(EvalModel model, int senders,
+                                          int burst_packets) {
+  ScenarioConfig cfg;
+  cfg.model = model;
+  cfg.n_senders = senders;
+  cfg.burst_packets = burst_packets;
+  cfg.sensor_radio = energy::mica();
+  cfg.wifi_radio = energy::lucent_11mbps();  // sensor-radio range: same hops
+  cfg.rate_bps = 200.0;                      // §4.1.1 runs at 0.2 Kbps
+  return cfg;
+}
+
+ScenarioConfig ScenarioConfig::multi_hop(EvalModel model, int senders,
+                                         int burst_packets) {
+  ScenarioConfig cfg;
+  cfg.model = model;
+  cfg.n_senders = senders;
+  cfg.burst_packets = burst_packets;
+  cfg.sensor_radio = energy::mica();
+  cfg.wifi_radio = energy::cabletron_2mbps();
+  // A corner sink is up to ~283 m from the far corner; stretch the
+  // Cabletron disc so "the IEEE 802.11 radio is able to reach the sink in
+  // one hop" (§4.1.2) holds for every sender.
+  cfg.wifi_range_override = 300.0;
+  cfg.rate_bps = 2000.0;  // §4.1.2 presents the 2 Kbps graphs
+  return cfg;
+}
+
+namespace {
+
+void accumulate(RadioEnergyTotals& t, const energy::EnergyMeter& meter) {
+  using energy::EnergyCategory;
+  t.tx += meter.energy(EnergyCategory::kTx);
+  t.rx += meter.energy(EnergyCategory::kRx);
+  t.overhear += meter.energy(EnergyCategory::kOverhear);
+  t.idle += meter.energy(EnergyCategory::kIdle);
+  t.wakeup += meter.energy(EnergyCategory::kWaking);
+}
+
+double per_kbit(util::Joules e, util::Bits delivered_bits) {
+  if (delivered_bits <= 0) return 0.0;
+  return e / (static_cast<double>(delivered_bits) / 1000.0);
+}
+
+}  // namespace
+
+RunMetrics run_scenario(const ScenarioConfig& config) {
+  BCP_REQUIRE(config.grid_side >= 2);
+  BCP_REQUIRE(config.duration > 0);
+  BCP_REQUIRE(config.rate_bps > 0);
+  BCP_REQUIRE(config.packet_bits > 0);
+  BCP_REQUIRE(config.burst_packets > 0);
+
+  sim::Simulator simulator;
+  const net::GridTopology topo(config.grid_side, config.area, config.sink);
+  const int n = topo.node_count();
+  BCP_REQUIRE_MSG(config.n_senders >= 1 && config.n_senders <= n - 1,
+                  "sender count must be in [1, nodes-1]");
+
+  const util::Metres wifi_range = config.wifi_range_override > 0
+                                      ? config.wifi_range_override
+                                      : config.wifi_radio.range;
+
+  RunMetrics m;
+  double delay_sum = 0;
+  DeliverySink delivery;
+  delivery.delivered = [&](const net::DataPacket& p) {
+    ++m.delivered;
+    delay_sum += simulator.now() - p.created_at;
+  };
+  delivery.dropped = [&](const net::DataPacket&, const char* reason) {
+    if (std::strcmp(reason, "buffer-full") == 0)
+      ++m.dropped_buffer;
+    else if (std::strcmp(reason, "queue-full") == 0)
+      ++m.dropped_queue;
+    else if (std::strcmp(reason, "mac-failed") == 0)
+      ++m.dropped_mac;
+    else
+      ++m.dropped_no_route;
+  };
+
+  const bool needs_low = config.model != EvalModel::kWifi;
+  const bool needs_high = config.model != EvalModel::kSensor;
+
+  std::optional<phy::Channel> low_channel;
+  std::optional<phy::Channel> high_channel;
+  std::optional<net::RoutingTable> low_routes;
+  std::optional<net::RoutingTable> high_routes;
+  if (needs_low) {
+    low_channel.emplace(simulator, topo.positions(),
+                        config.sensor_radio.range,
+                        phy::Channel::Params{config.frame_loss_prob},
+                        util::substream(config.seed, 1, 0x4C4348u));
+    low_routes.emplace(
+        net::ConnectivityGraph(topo.positions(), config.sensor_radio.range));
+    BCP_REQUIRE_MSG(low_routes->mean_hops_to(config.sink) > 0,
+                    "sensor network disconnected");
+  }
+  if (needs_high) {
+    high_channel.emplace(simulator, topo.positions(), wifi_range,
+                         phy::Channel::Params{config.frame_loss_prob},
+                         util::substream(config.seed, 2, 0x484348u));
+    high_routes.emplace(
+        net::ConnectivityGraph(topo.positions(), wifi_range));
+  }
+
+  core::BcpConfig bcp = config.bcp;
+  bcp.set_burst_packets(config.burst_packets, config.packet_bits);
+
+  std::vector<std::unique_ptr<ForwardingNode>> fwd_nodes;
+  std::vector<std::unique_ptr<DualRadioNode>> dual_nodes;
+  switch (config.model) {
+    case EvalModel::kSensor:
+      for (net::NodeId id = 0; id < n; ++id)
+        fwd_nodes.push_back(std::make_unique<ForwardingNode>(
+            simulator, *low_channel, *low_routes, id, config.sink,
+            config.sensor_radio, phy::OverhearMode::kHeaderOnly,
+            mac::sensor_mac_params(), config.seed, &delivery));
+      break;
+    case EvalModel::kWifi:
+      for (net::NodeId id = 0; id < n; ++id)
+        fwd_nodes.push_back(std::make_unique<ForwardingNode>(
+            simulator, *high_channel, *high_routes, id, config.sink,
+            config.wifi_radio, phy::OverhearMode::kFull, mac::dcf_mac_params(),
+            config.seed, &delivery));
+      break;
+    case EvalModel::kDualRadio:
+      for (net::NodeId id = 0; id < n; ++id)
+        dual_nodes.push_back(std::make_unique<DualRadioNode>(
+            simulator, *low_channel, *high_channel, *low_routes, *high_routes,
+            id, config.sensor_radio, config.wifi_radio, bcp,
+            config.wifi_promiscuous ? phy::OverhearMode::kFull
+                                    : phy::OverhearMode::kNone,
+            config.seed, &delivery));
+      break;
+  }
+
+  // Pick the senders: a seed-determined subset of the non-sink nodes.
+  std::vector<net::NodeId> candidates;
+  for (net::NodeId id = 0; id < n; ++id)
+    if (id != config.sink) candidates.push_back(id);
+  util::Xoshiro256 pick_rng(util::substream(config.seed, 3, 0x53454Eu));
+  for (std::size_t i = candidates.size(); i > 1; --i)
+    std::swap(candidates[i - 1], candidates[pick_rng.uniform_int(i)]);
+  candidates.resize(static_cast<std::size_t>(config.n_senders));
+  std::sort(candidates.begin(), candidates.end());
+
+  std::vector<std::unique_ptr<CbrWorkload>> workloads;
+  for (const net::NodeId sender : candidates) {
+    auto emit = [&, sender](net::DataPacket p) {
+      if (config.model == EvalModel::kDualRadio)
+        dual_nodes[static_cast<std::size_t>(sender)]->send(p);
+      else
+        fwd_nodes[static_cast<std::size_t>(sender)]->send(p);
+    };
+    workloads.push_back(std::make_unique<CbrWorkload>(
+        simulator, sender, config.sink, config.packet_bits, config.rate_bps,
+        util::substream(config.seed, static_cast<std::uint64_t>(sender),
+                        0x574Bu),
+        std::move(emit)));
+    workloads.back()->start();
+  }
+
+  simulator.run_until(config.duration);
+
+  // ---- Metrics ----
+  for (const auto& w : workloads) m.generated += w->generated();
+  m.goodput = m.generated > 0
+                  ? static_cast<double>(m.delivered) /
+                        static_cast<double>(m.generated)
+                  : 0.0;
+  m.mean_delay = m.delivered > 0
+                     ? delay_sum / static_cast<double>(m.delivered)
+                     : 0.0;
+
+  const util::Seconds end = config.duration;
+  for (const auto& node : fwd_nodes) {
+    energy::EnergyMeter& meter = node->radio().meter();
+    meter.finalize(end);
+    if (config.model == EvalModel::kSensor)
+      accumulate(m.sensor_energy, meter);
+    else
+      accumulate(m.wifi_energy, meter);
+    m.mac_tx_attempts += node->mac().stats().tx_attempts;
+    m.mac_tx_failed += node->mac().stats().tx_failed;
+  }
+  for (const auto& node : dual_nodes) {
+    node->sensor_radio().meter().finalize(end);
+    node->wifi_radio().meter().finalize(end);
+    accumulate(m.sensor_energy, node->sensor_radio().meter());
+    accumulate(m.wifi_energy, node->wifi_radio().meter());
+    m.mac_tx_attempts += node->sensor_mac().stats().tx_attempts +
+                         node->wifi_mac().stats().tx_attempts;
+    m.mac_tx_failed += node->sensor_mac().stats().tx_failed +
+                       node->wifi_mac().stats().tx_failed;
+    const auto& astats = node->agent().stats();
+    m.bcp_wakeups += astats.wakeups_sent;
+    m.bcp_handshakes_failed += astats.handshakes_failed;
+    m.bcp_sender_sessions += astats.sender_sessions_completed;
+    m.bcp_receiver_timeouts += astats.receiver_sessions_timed_out;
+    m.wifi_wakeup_transitions += node->wifi_radio().meter().wakeup_count();
+    using energy::EnergyCategory;
+    const auto& wm = node->wifi_radio().meter();
+    m.wifi_on_seconds += wm.duration(EnergyCategory::kIdle) +
+                         wm.duration(EnergyCategory::kRx) +
+                         wm.duration(EnergyCategory::kOverhear) +
+                         wm.duration(EnergyCategory::kTx);
+  }
+
+  const util::Bits delivered_bits = m.delivered * config.packet_bits;
+  m.normalized_energy_sensor_ideal =
+      per_kbit(m.sensor_energy.ideal(), delivered_bits);
+  m.normalized_energy_sensor_header = per_kbit(
+      m.sensor_energy.ideal() + m.sensor_energy.overhear, delivered_bits);
+  switch (config.model) {
+    case EvalModel::kSensor:
+      m.normalized_energy = m.normalized_energy_sensor_ideal;
+      break;
+    case EvalModel::kWifi:
+      m.normalized_energy = per_kbit(m.wifi_energy.full(), delivered_bits);
+      break;
+    case EvalModel::kDualRadio:
+      // Sensor radio at its ideal (tx+rx) charge + 802.11 fully charged.
+      m.normalized_energy = per_kbit(
+          m.sensor_energy.ideal() + m.wifi_energy.full(), delivered_bits);
+      break;
+  }
+  return m;
+}
+
+std::vector<RunMetrics> run_replications(ScenarioConfig config, int runs) {
+  BCP_REQUIRE(runs >= 1);
+  std::vector<RunMetrics> out;
+  out.reserve(static_cast<std::size_t>(runs));
+  for (int r = 0; r < runs; ++r) {
+    config.seed = config.seed + (r == 0 ? 0 : 1);
+    out.push_back(run_scenario(config));
+  }
+  return out;
+}
+
+}  // namespace bcp::app

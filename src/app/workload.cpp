@@ -1,0 +1,85 @@
+#include "app/workload.hpp"
+
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace bcp::app {
+
+CbrWorkload::CbrWorkload(sim::Simulator& sim, net::NodeId origin,
+                         net::NodeId destination, util::Bits packet_bits,
+                         double rate_bps, std::uint64_t seed, Emit emit)
+    : sim_(sim),
+      origin_(origin),
+      destination_(destination),
+      packet_bits_(packet_bits),
+      interval_(static_cast<double>(packet_bits) / rate_bps),
+      rng_(seed),
+      emit_(std::move(emit)) {
+  BCP_REQUIRE(packet_bits > 0);
+  BCP_REQUIRE(rate_bps > 0);
+  BCP_REQUIRE(emit_ != nullptr);
+}
+
+void CbrWorkload::start() {
+  sim_.schedule_in(rng_.uniform(0.0, interval_),
+                   [this] { emit_and_reschedule(); });
+}
+
+void CbrWorkload::emit_and_reschedule() {
+  net::DataPacket p;
+  p.origin = origin_;
+  p.destination = destination_;
+  p.seq = next_seq_++;
+  p.payload_bits = packet_bits_;
+  p.created_at = sim_.now();
+  ++generated_;
+  emit_(p);
+  sim_.schedule_in(interval_, [this] { emit_and_reschedule(); });
+}
+
+BurstyWorkload::BurstyWorkload(sim::Simulator& sim, net::NodeId origin,
+                               net::NodeId destination, Params params,
+                               std::uint64_t seed, Emit emit)
+    : sim_(sim),
+      origin_(origin),
+      destination_(destination),
+      params_(params),
+      rng_(seed),
+      emit_(std::move(emit)) {
+  BCP_REQUIRE(params_.packet_bits > 0);
+  BCP_REQUIRE(params_.on_rate_bps > 0);
+  BCP_REQUIRE(params_.mean_on > 0 && params_.mean_off > 0);
+  BCP_REQUIRE(emit_ != nullptr);
+}
+
+void BurstyWorkload::start() {
+  sim_.schedule_in(rng_.exponential(params_.mean_off),
+                   [this] { begin_on_period(); });
+}
+
+void BurstyWorkload::begin_on_period() {
+  on_ends_ = sim_.now() + rng_.exponential(params_.mean_on);
+  emit_packet();
+}
+
+void BurstyWorkload::emit_packet() {
+  if (sim_.now() >= on_ends_) {
+    sim_.schedule_in(rng_.exponential(params_.mean_off),
+                     [this] { begin_on_period(); });
+    return;
+  }
+  net::DataPacket p;
+  p.origin = origin_;
+  p.destination = destination_;
+  p.seq = next_seq_++;
+  p.payload_bits = params_.packet_bits;
+  p.created_at = sim_.now();
+  ++generated_;
+  emit_(p);
+  const util::Seconds interval =
+      static_cast<double>(params_.packet_bits) / params_.on_rate_bps;
+  sim_.schedule_in(interval, [this] { emit_packet(); });
+}
+
+}  // namespace bcp::app

@@ -1,0 +1,91 @@
+// Traffic generators.
+//
+// CbrWorkload — constant bit rate sensing (§4.1: 0.2 and 2 Kbps per
+// sender), one fixed-size packet every packet_bits/rate seconds with a
+// random initial phase so senders do not synchronize.
+//
+// BurstyWorkload — an EnviroMic-style acoustic source (the paper's §1
+// motivating application): exponentially distributed talk/silence periods;
+// during a talk period packets are produced at a high rate. Used by the
+// examples and robustness tests rather than the paper's figures.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "net/message.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace bcp::app {
+
+/// Emits net::DataPacket to a sink-bound consumer until stopped.
+class CbrWorkload {
+ public:
+  using Emit = std::function<void(net::DataPacket)>;
+
+  /// Packets of `packet_bits` from `origin` to `destination` at `rate_bps`.
+  CbrWorkload(sim::Simulator& sim, net::NodeId origin,
+              net::NodeId destination, util::Bits packet_bits,
+              double rate_bps, std::uint64_t seed, Emit emit);
+
+  /// Schedules the first packet (random phase within one interval).
+  void start();
+
+  std::int64_t generated() const { return generated_; }
+  util::Bits generated_bits() const { return generated_ * packet_bits_; }
+
+ private:
+  void emit_and_reschedule();
+
+  sim::Simulator& sim_;
+  net::NodeId origin_;
+  net::NodeId destination_;
+  util::Bits packet_bits_;
+  util::Seconds interval_;
+  util::Xoshiro256 rng_;
+  Emit emit_;
+  std::uint32_t next_seq_ = 1;
+  std::int64_t generated_ = 0;
+};
+
+/// On/off (talkspurt/silence) source with exponential period lengths.
+class BurstyWorkload {
+ public:
+  using Emit = std::function<void(net::DataPacket)>;
+
+  struct Params {
+    util::Bits packet_bits = util::bytes(32);
+    double on_rate_bps = 8000;          ///< rate while talking
+    util::Seconds mean_on = 2.0;        ///< mean talk duration
+    util::Seconds mean_off = 10.0;      ///< mean silence duration
+  };
+
+  BurstyWorkload(sim::Simulator& sim, net::NodeId origin,
+                 net::NodeId destination, Params params, std::uint64_t seed,
+                 Emit emit);
+
+  void start();
+
+  std::int64_t generated() const { return generated_; }
+  util::Bits generated_bits() const {
+    return generated_ * params_.packet_bits;
+  }
+
+ private:
+  void begin_on_period();
+  void emit_packet();
+
+  sim::Simulator& sim_;
+  net::NodeId origin_;
+  net::NodeId destination_;
+  Params params_;
+  util::Xoshiro256 rng_;
+  Emit emit_;
+  std::uint32_t next_seq_ = 1;
+  std::int64_t generated_ = 0;
+  util::Seconds on_ends_ = 0;
+};
+
+}  // namespace bcp::app

@@ -1,0 +1,54 @@
+#include "core/bcp_config.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace bcp::core {
+
+const char* to_string(DelayPolicy p) {
+  switch (p) {
+    case DelayPolicy::kUnbounded:   return "unbounded";
+    case DelayPolicy::kFlushHigh:   return "flush-high";
+    case DelayPolicy::kFallbackLow: return "fallback-low";
+  }
+  return "?";
+}
+
+void BcpConfig::set_burst_packets(int packets, util::Bits packet_bits) {
+  BCP_REQUIRE(packets > 0);
+  BCP_REQUIRE(packet_bits > 0);
+  burst_threshold_bits = static_cast<util::Bits>(packets) * packet_bits;
+}
+
+BcpConfig BcpConfig::from_analysis(const energy::DualRadioAnalysis& analysis,
+                                   double alpha) {
+  BCP_REQUIRE(alpha > 0);
+  const auto s_star = analysis.break_even_bits();
+  BCP_REQUIRE_MSG(s_star.has_value(),
+                  "radio pair has no break-even point — the high-power "
+                  "radio never saves energy on this link");
+  BcpConfig cfg;
+  cfg.burst_threshold_bits = static_cast<util::Bits>(
+      std::ceil(alpha * static_cast<double>(*s_star)));
+  return cfg;
+}
+
+void BcpConfig::validate() const {
+  BCP_REQUIRE(burst_threshold_bits > 0);
+  BCP_REQUIRE(buffer_capacity_bits > 0);
+  BCP_REQUIRE(frame_payload_bits > 0);
+  BCP_REQUIRE_MSG(burst_threshold_bits <= buffer_capacity_bits,
+                  "threshold exceeds the buffer — it could never trigger");
+  BCP_REQUIRE(wakeup_ack_timeout > 0);
+  BCP_REQUIRE(max_wakeup_retries >= 0);
+  BCP_REQUIRE(handshake_retry_backoff > 0);
+  BCP_REQUIRE(first_data_timeout > 0);
+  BCP_REQUIRE(inter_frame_timeout > 0);
+  BCP_REQUIRE(radio_off_linger >= 0);
+  BCP_REQUIRE(shortcut_listen_time >= 0);
+  if (delay_policy != DelayPolicy::kUnbounded)
+    BCP_REQUIRE(max_buffering_delay > 0);
+}
+
+}  // namespace bcp::core

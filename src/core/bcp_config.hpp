@@ -1,0 +1,82 @@
+// BCP protocol parameters (§3 of the paper).
+#pragma once
+
+#include "energy/breakeven.hpp"
+#include "util/units.hpp"
+
+namespace bcp::core {
+
+/// What to do with data that has waited longer than max_buffering_delay
+/// without its queue reaching the α·s* threshold. §5 leaves this as the
+/// paper's open question ("is it best to send immediately with the
+/// low-power radio or to buffer as much as allowed by the delay
+/// constraints and send with the high-power radio?") — both answers are
+/// implemented so they can be compared.
+enum class DelayPolicy {
+  kUnbounded,    ///< the paper's evaluated protocol: wait for the threshold
+  kFlushHigh,    ///< deadline: wake the high radio for a sub-threshold burst
+  kFallbackLow,  ///< deadline: send the expired packets over the low radio
+};
+
+const char* to_string(DelayPolicy p);
+
+struct BcpConfig {
+  /// Accumulation threshold α·s* — a node initiates the wake-up handshake
+  /// once this much data is buffered for one next hop. §3: if the radio
+  /// characteristics are unknown, "α-s* can be set, for instance, 10 K".
+  util::Bits burst_threshold_bits = 10 * util::kilobytes(1);
+
+  /// Total per-node buffer (§4.1 uses 5000 × 32 B).
+  util::Bits buffer_capacity_bits = 5000 * util::bytes(32);
+
+  /// Payload carried by one high-power-radio frame (§4.1 uses 1024 B).
+  util::Bits frame_payload_bits = util::bytes(1024);
+
+  /// Sender: how long to wait for the wake-up ack before resending the
+  /// wake-up message ("If the sender times out before receiving an ack, a
+  /// wake-up message is resent").
+  util::Seconds wakeup_ack_timeout = 3.0;
+
+  /// Sender: wake-up retransmissions before giving up on the handshake.
+  int max_wakeup_retries = 3;
+
+  /// Sender: cooldown before re-attempting a failed handshake.
+  util::Seconds handshake_retry_backoff = 10.0;
+
+  /// Receiver: radio-on to first data frame ("To avoid waiting for the
+  /// sender data indefinitely, the receiver times out and turns its
+  /// high-power radio off if it does not receive any data packets").
+  util::Seconds first_data_timeout = 3.0;
+
+  /// Receiver: max gap between consecutive frames of one burst.
+  util::Seconds inter_frame_timeout = 1.0;
+
+  /// Both sides: grace period between the last session ending and the
+  /// radio powering off, so in-flight link-layer acks can complete.
+  util::Seconds radio_off_linger = 0.01;
+
+  /// Delay-constrained buffering (§5 future work; see DelayPolicy).
+  DelayPolicy delay_policy = DelayPolicy::kUnbounded;
+  /// Oldest-packet age that triggers the delay policy.
+  util::Seconds max_buffering_delay = 60.0;
+
+  /// §3 route optimization: after transmitting, keep the radio on for
+  /// `shortcut_listen_time` to overhear the burst being forwarded and learn
+  /// a farther next hop. Off by default (as in the paper's evaluation).
+  bool enable_shortcuts = false;
+  util::Seconds shortcut_listen_time = 0.25;
+
+  /// Threshold in whole sensor packets of `packet_bits` each — how §4.1
+  /// specifies burst sizes (10, 100, 500, 1000, 2500 × 32 B).
+  void set_burst_packets(int packets, util::Bits packet_bits);
+
+  /// Derives the threshold from the analytic break-even point: α·s*.
+  /// Requires the pair to be feasible (s* exists).
+  static BcpConfig from_analysis(const energy::DualRadioAnalysis& analysis,
+                                 double alpha);
+
+  /// Sanity-checks invariants (positive sizes, threshold <= capacity, ...).
+  void validate() const;
+};
+
+}  // namespace bcp::core

@@ -1,0 +1,70 @@
+// Protocol observability.
+//
+// BcpAgent emits a structured event stream through this interface so
+// deployments can trace, debug and audit protocol behaviour without
+// touching the state machines. All callbacks are optional (default no-op);
+// the agent never depends on observer behaviour.
+#pragma once
+
+#include <cstdint>
+
+#include "net/message.hpp"
+#include "util/units.hpp"
+
+namespace bcp::core {
+
+enum class SessionEnd : std::uint8_t {
+  kCompleted,       ///< all frames transferred / received
+  kHandshakeFailed, ///< sender gave up waiting for the wake-up ack
+  kTimedOut,        ///< receiver data timeout
+  kReplaced,        ///< stale receiver session superseded by a new handshake
+};
+
+const char* to_string(SessionEnd e);
+
+class BcpObserver {
+ public:
+  virtual ~BcpObserver() = default;
+
+  virtual void on_packet_buffered(util::Seconds now, net::NodeId next_hop,
+                                  const net::DataPacket& packet) {
+    (void)now; (void)next_hop; (void)packet;
+  }
+  virtual void on_wakeup_sent(util::Seconds now, net::NodeId peer,
+                              std::uint32_t handshake_id,
+                              util::Bits burst_bits, int attempt) {
+    (void)now; (void)peer; (void)handshake_id; (void)burst_bits;
+    (void)attempt;
+  }
+  virtual void on_ack_sent(util::Seconds now, net::NodeId peer,
+                           std::uint32_t handshake_id,
+                           util::Bits granted_bits) {
+    (void)now; (void)peer; (void)handshake_id; (void)granted_bits;
+  }
+  virtual void on_transfer_started(util::Seconds now, net::NodeId peer,
+                                   std::uint32_t handshake_id,
+                                   std::uint16_t frames) {
+    (void)now; (void)peer; (void)handshake_id; (void)frames;
+  }
+  virtual void on_frame_sent(util::Seconds now, net::NodeId peer,
+                             std::uint16_t index, std::uint16_t total) {
+    (void)now; (void)peer; (void)index; (void)total;
+  }
+  virtual void on_frame_received(util::Seconds now, net::NodeId peer,
+                                 std::uint16_t index, std::uint16_t total) {
+    (void)now; (void)peer; (void)index; (void)total;
+  }
+  virtual void on_sender_session_ended(util::Seconds now, net::NodeId peer,
+                                       SessionEnd how) {
+    (void)now; (void)peer; (void)how;
+  }
+  virtual void on_receiver_session_ended(util::Seconds now,
+                                         net::NodeId peer, SessionEnd how) {
+    (void)now; (void)peer; (void)how;
+  }
+  virtual void on_radio_request(util::Seconds now, bool on) {
+    (void)now; (void)on;
+  }
+};
+
+}  // namespace bcp::core

@@ -1,0 +1,93 @@
+#include "core/bulk_buffer.hpp"
+
+#include "util/assert.hpp"
+
+namespace bcp::core {
+
+BulkBuffer::BulkBuffer(util::Bits capacity_bits) : capacity_(capacity_bits) {
+  BCP_REQUIRE(capacity_bits > 0);
+}
+
+bool BulkBuffer::push(net::NodeId next_hop, const net::DataPacket& packet) {
+  BCP_REQUIRE(next_hop >= 0);
+  BCP_REQUIRE(packet.payload_bits > 0);
+  if (total_bits_ + packet.payload_bits > capacity_) return false;
+  Queue& q = queues_[next_hop];
+  q.packets.push_back(packet);
+  q.bits += packet.payload_bits;
+  total_bits_ += packet.payload_bits;
+  ++total_packets_;
+  return true;
+}
+
+std::vector<net::DataPacket> BulkBuffer::pop_up_to(net::NodeId next_hop,
+                                                   util::Bits budget_bits) {
+  BCP_REQUIRE(budget_bits >= 0);
+  std::vector<net::DataPacket> out;
+  const auto it = queues_.find(next_hop);
+  if (it == queues_.end()) return out;
+  Queue& q = it->second;
+  util::Bits used = 0;
+  while (q.head < q.packets.size()) {
+    const net::DataPacket& p = q.packets[q.head];
+    if (used + p.payload_bits > budget_bits) break;
+    used += p.payload_bits;
+    q.bits -= p.payload_bits;
+    total_bits_ -= p.payload_bits;
+    --total_packets_;
+    out.push_back(p);
+    ++q.head;
+  }
+  // Compact or drop the queue once the popped prefix dominates.
+  if (q.head == q.packets.size()) {
+    queues_.erase(it);
+  } else if (q.head > q.packets.size() / 2) {
+    q.packets.erase(q.packets.begin(),
+                    q.packets.begin() + static_cast<std::ptrdiff_t>(q.head));
+    q.head = 0;
+  }
+  return out;
+}
+
+std::optional<net::DataPacket> BulkBuffer::pop_front(net::NodeId next_hop) {
+  const auto it = queues_.find(next_hop);
+  if (it == queues_.end()) return std::nullopt;
+  Queue& q = it->second;
+  BCP_ENSURE(q.head < q.packets.size());
+  net::DataPacket p = q.packets[q.head];
+  q.bits -= p.payload_bits;
+  total_bits_ -= p.payload_bits;
+  --total_packets_;
+  ++q.head;
+  if (q.head == q.packets.size()) queues_.erase(it);
+  return p;
+}
+
+std::optional<util::Seconds> BulkBuffer::oldest_created_at(
+    net::NodeId next_hop) const {
+  const auto it = queues_.find(next_hop);
+  if (it == queues_.end()) return std::nullopt;
+  const Queue& q = it->second;
+  BCP_ENSURE(q.head < q.packets.size());
+  return q.packets[q.head].created_at;
+}
+
+util::Bits BulkBuffer::buffered_bits(net::NodeId next_hop) const {
+  const auto it = queues_.find(next_hop);
+  return it == queues_.end() ? 0 : it->second.bits;
+}
+
+std::size_t BulkBuffer::packet_count(net::NodeId next_hop) const {
+  const auto it = queues_.find(next_hop);
+  return it == queues_.end() ? 0 : it->second.packets.size() - it->second.head;
+}
+
+std::vector<net::NodeId> BulkBuffer::active_next_hops() const {
+  std::vector<net::NodeId> hops;
+  hops.reserve(queues_.size());
+  for (const auto& [id, q] : queues_)
+    if (q.bits > 0) hops.push_back(id);
+  return hops;
+}
+
+}  // namespace bcp::core

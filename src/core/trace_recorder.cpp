@@ -1,0 +1,120 @@
+#include "core/trace_recorder.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace bcp::core {
+
+const char* to_string(SessionEnd e) {
+  switch (e) {
+    case SessionEnd::kCompleted:       return "completed";
+    case SessionEnd::kHandshakeFailed: return "handshake-failed";
+    case SessionEnd::kTimedOut:        return "timed-out";
+    case SessionEnd::kReplaced:        return "replaced";
+  }
+  return "?";
+}
+
+const char* to_string(TraceRecorder::Kind kind) {
+  using Kind = TraceRecorder::Kind;
+  switch (kind) {
+    case Kind::kBuffered:        return "buffered";
+    case Kind::kWakeupSent:      return "wakeup-sent";
+    case Kind::kAckSent:         return "ack-sent";
+    case Kind::kTransferStarted: return "transfer-started";
+    case Kind::kFrameSent:       return "frame-sent";
+    case Kind::kFrameReceived:   return "frame-received";
+    case Kind::kSenderEnded:     return "sender-ended";
+    case Kind::kReceiverEnded:   return "receiver-ended";
+    case Kind::kRadioRequest:    return "radio-request";
+  }
+  return "?";
+}
+
+void TraceRecorder::add(util::Seconds t, Kind k, net::NodeId peer,
+                        std::int64_t a, std::int64_t b) {
+  records_.push_back(Record{t, k, peer, a, b});
+}
+
+std::int64_t TraceRecorder::count(Kind kind) const {
+  return std::count_if(records_.begin(), records_.end(),
+                       [&](const Record& r) { return r.kind == kind; });
+}
+
+std::string TraceRecorder::transcript() const {
+  std::string out;
+  char line[160];
+  for (const auto& r : records_) {
+    std::snprintf(line, sizeof line, "%10.4f  %-16s peer=%d a=%lld b=%lld\n",
+                  r.time, to_string(r.kind), r.peer,
+                  static_cast<long long>(r.a), static_cast<long long>(r.b));
+    out += line;
+  }
+  return out;
+}
+
+std::string TraceRecorder::csv() const {
+  std::string out = "time,kind,peer,a,b\n";
+  char line[160];
+  for (const auto& r : records_) {
+    std::snprintf(line, sizeof line, "%.6f,%s,%d,%lld,%lld\n", r.time,
+                  to_string(r.kind), r.peer, static_cast<long long>(r.a),
+                  static_cast<long long>(r.b));
+    out += line;
+  }
+  return out;
+}
+
+void TraceRecorder::on_packet_buffered(util::Seconds now,
+                                       net::NodeId next_hop,
+                                       const net::DataPacket& packet) {
+  add(now, Kind::kBuffered, next_hop, packet.seq, packet.payload_bits);
+}
+
+void TraceRecorder::on_wakeup_sent(util::Seconds now, net::NodeId peer,
+                                   std::uint32_t handshake_id,
+                                   util::Bits burst_bits, int attempt) {
+  (void)attempt;
+  add(now, Kind::kWakeupSent, peer, handshake_id, burst_bits);
+}
+
+void TraceRecorder::on_ack_sent(util::Seconds now, net::NodeId peer,
+                                std::uint32_t handshake_id,
+                                util::Bits granted_bits) {
+  add(now, Kind::kAckSent, peer, handshake_id, granted_bits);
+}
+
+void TraceRecorder::on_transfer_started(util::Seconds now, net::NodeId peer,
+                                        std::uint32_t handshake_id,
+                                        std::uint16_t frames) {
+  add(now, Kind::kTransferStarted, peer, handshake_id, frames);
+}
+
+void TraceRecorder::on_frame_sent(util::Seconds now, net::NodeId peer,
+                                  std::uint16_t index, std::uint16_t total) {
+  add(now, Kind::kFrameSent, peer, index, total);
+}
+
+void TraceRecorder::on_frame_received(util::Seconds now, net::NodeId peer,
+                                      std::uint16_t index,
+                                      std::uint16_t total) {
+  add(now, Kind::kFrameReceived, peer, index, total);
+}
+
+void TraceRecorder::on_sender_session_ended(util::Seconds now,
+                                            net::NodeId peer,
+                                            SessionEnd how) {
+  add(now, Kind::kSenderEnded, peer, static_cast<std::int64_t>(how), 0);
+}
+
+void TraceRecorder::on_receiver_session_ended(util::Seconds now,
+                                              net::NodeId peer,
+                                              SessionEnd how) {
+  add(now, Kind::kReceiverEnded, peer, static_cast<std::int64_t>(how), 0);
+}
+
+void TraceRecorder::on_radio_request(util::Seconds now, bool on) {
+  add(now, Kind::kRadioRequest, net::kInvalidNode, on ? 1 : 0, 0);
+}
+
+}  // namespace bcp::core

@@ -1,0 +1,76 @@
+// A BcpObserver that records the protocol event stream and renders it as
+// a human-readable transcript or CSV — the library-level counterpart of
+// §4.2's "all the events were logged in detail".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/bcp_observer.hpp"
+
+namespace bcp::core {
+
+class TraceRecorder final : public BcpObserver {
+ public:
+  enum class Kind : std::uint8_t {
+    kBuffered,
+    kWakeupSent,
+    kAckSent,
+    kTransferStarted,
+    kFrameSent,
+    kFrameReceived,
+    kSenderEnded,
+    kReceiverEnded,
+    kRadioRequest,
+  };
+
+  struct Record {
+    util::Seconds time = 0;
+    Kind kind = Kind::kBuffered;
+    net::NodeId peer = net::kInvalidNode;
+    std::int64_t a = 0;  ///< kind-specific (handshake id, frame index, ...)
+    std::int64_t b = 0;  ///< kind-specific (bits, total, SessionEnd, ...)
+  };
+
+  const std::vector<Record>& records() const { return records_; }
+  std::int64_t count(Kind kind) const;
+  void clear() { records_.clear(); }
+
+  /// One line per record: "12.340 wakeup-sent peer=5 hs=3 bits=128000".
+  std::string transcript() const;
+
+  /// Machine-readable: "time,kind,peer,a,b" with a header row.
+  std::string csv() const;
+
+  // BcpObserver:
+  void on_packet_buffered(util::Seconds now, net::NodeId next_hop,
+                          const net::DataPacket& packet) override;
+  void on_wakeup_sent(util::Seconds now, net::NodeId peer,
+                      std::uint32_t handshake_id, util::Bits burst_bits,
+                      int attempt) override;
+  void on_ack_sent(util::Seconds now, net::NodeId peer,
+                   std::uint32_t handshake_id,
+                   util::Bits granted_bits) override;
+  void on_transfer_started(util::Seconds now, net::NodeId peer,
+                           std::uint32_t handshake_id,
+                           std::uint16_t frames) override;
+  void on_frame_sent(util::Seconds now, net::NodeId peer,
+                     std::uint16_t index, std::uint16_t total) override;
+  void on_frame_received(util::Seconds now, net::NodeId peer,
+                         std::uint16_t index, std::uint16_t total) override;
+  void on_sender_session_ended(util::Seconds now, net::NodeId peer,
+                               SessionEnd how) override;
+  void on_receiver_session_ended(util::Seconds now, net::NodeId peer,
+                                 SessionEnd how) override;
+  void on_radio_request(util::Seconds now, bool on) override;
+
+ private:
+  void add(util::Seconds t, Kind k, net::NodeId peer, std::int64_t a,
+           std::int64_t b);
+
+  std::vector<Record> records_;
+};
+
+const char* to_string(TraceRecorder::Kind kind);
+
+}  // namespace bcp::core

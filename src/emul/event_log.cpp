@@ -1,0 +1,124 @@
+#include "emul/event_log.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/assert.hpp"
+
+namespace bcp::emul {
+
+const char* to_string(LogEvent e) {
+  switch (e) {
+    case LogEvent::kWifiPowerOn:  return "wifi-power-on";
+    case LogEvent::kWifiReady:    return "wifi-ready";
+    case LogEvent::kWifiPowerOff: return "wifi-power-off";
+    case LogEvent::kLowTxStart:   return "low-tx-start";
+    case LogEvent::kLowTxEnd:     return "low-tx-end";
+    case LogEvent::kLowRxStart:   return "low-rx-start";
+    case LogEvent::kLowRxEnd:     return "low-rx-end";
+    case LogEvent::kHighTxStart:  return "high-tx-start";
+    case LogEvent::kHighTxEnd:    return "high-tx-end";
+    case LogEvent::kHighRxStart:  return "high-rx-start";
+    case LogEvent::kHighRxEnd:    return "high-rx-end";
+    case LogEvent::kMsgGenerated: return "msg-generated";
+    case LogEvent::kMsgDelivered: return "msg-delivered";
+  }
+  return "?";
+}
+
+void EventLog::append(util::Seconds time, net::NodeId node, LogEvent event,
+                      util::Bits bits) {
+  BCP_REQUIRE(time >= 0);
+  entries_.push_back(LogEntry{time, node, event, bits});
+}
+
+std::int64_t EventLog::count(LogEvent event) const {
+  return std::count_if(entries_.begin(), entries_.end(),
+                       [&](const LogEntry& e) { return e.event == event; });
+}
+
+util::Joules energy_from_log(const EventLog& log,
+                             const energy::RadioEnergyModel& sensor,
+                             const energy::RadioEnergyModel& wifi,
+                             util::Seconds end_time) {
+  struct NodeState {
+    util::Seconds low_tx_start = -1, low_rx_start = -1;
+    util::Seconds high_tx_start = -1, high_rx_start = -1;
+    util::Seconds wifi_on_since = -1;
+    util::Seconds wifi_busy = 0;  ///< tx+rx time inside the current on-period
+    util::Joules total = 0;
+  };
+  std::map<net::NodeId, NodeState> nodes;
+
+  for (const auto& e : log.entries()) {
+    NodeState& n = nodes[e.node];
+    switch (e.event) {
+      case LogEvent::kLowTxStart:
+        n.low_tx_start = e.time;
+        break;
+      case LogEvent::kLowTxEnd:
+        BCP_ENSURE(n.low_tx_start >= 0);
+        n.total += sensor.p_tx * (e.time - n.low_tx_start);
+        n.low_tx_start = -1;
+        break;
+      case LogEvent::kLowRxStart:
+        n.low_rx_start = e.time;
+        break;
+      case LogEvent::kLowRxEnd:
+        BCP_ENSURE(n.low_rx_start >= 0);
+        n.total += sensor.p_rx * (e.time - n.low_rx_start);
+        n.low_rx_start = -1;
+        break;
+      case LogEvent::kWifiPowerOn:
+        n.total += wifi.e_wakeup;
+        n.wifi_on_since = e.time;
+        n.wifi_busy = 0;
+        break;
+      case LogEvent::kWifiReady:
+        break;  // the transition draws only the lump
+      case LogEvent::kWifiPowerOff: {
+        BCP_ENSURE(n.wifi_on_since >= 0);
+        // Idle = on-period minus the wake-up transition and busy time.
+        const util::Seconds on = e.time - n.wifi_on_since;
+        const util::Seconds idle =
+            std::max(on - wifi.t_wakeup - n.wifi_busy, 0.0);
+        n.total += wifi.p_idle * idle;
+        n.wifi_on_since = -1;
+        break;
+      }
+      case LogEvent::kHighTxStart:
+        n.high_tx_start = e.time;
+        break;
+      case LogEvent::kHighTxEnd:
+        BCP_ENSURE(n.high_tx_start >= 0);
+        n.total += wifi.p_tx * (e.time - n.high_tx_start);
+        n.wifi_busy += e.time - n.high_tx_start;
+        n.high_tx_start = -1;
+        break;
+      case LogEvent::kHighRxStart:
+        n.high_rx_start = e.time;
+        break;
+      case LogEvent::kHighRxEnd:
+        BCP_ENSURE(n.high_rx_start >= 0);
+        n.total += wifi.p_rx * (e.time - n.high_rx_start);
+        n.wifi_busy += e.time - n.high_rx_start;
+        n.high_rx_start = -1;
+        break;
+      case LogEvent::kMsgGenerated:
+      case LogEvent::kMsgDelivered:
+        break;
+    }
+  }
+
+  util::Joules total = 0;
+  for (auto& [id, n] : nodes) {
+    if (n.wifi_on_since >= 0) {  // close a dangling on-period
+      const util::Seconds on = end_time - n.wifi_on_since;
+      n.total += wifi.p_idle * std::max(on - wifi.t_wakeup - n.wifi_busy, 0.0);
+    }
+    total += n.total;
+  }
+  return total;
+}
+
+}  // namespace bcp::emul

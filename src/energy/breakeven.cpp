@@ -1,0 +1,155 @@
+#include "energy/breakeven.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace bcp::energy {
+
+LinkParams default_sensor_link() {
+  return LinkParams{util::bytes(32), util::bytes(11), 1.0};
+}
+
+LinkParams default_wifi_link() {
+  return LinkParams{util::bytes(1024), util::bytes(52), 1.0};
+}
+
+util::Bits default_wakeup_message_bits() {
+  // 16 B of control payload + 11 B sensor-radio header, per message; the
+  // handshake is one request plus one ack.
+  return util::bytes(16 + 11);
+}
+
+DualRadioAnalysis::DualRadioAnalysis(Config cfg) : cfg_(std::move(cfg)) {
+  BCP_REQUIRE(cfg_.low.rate > 0 && cfg_.high.rate > 0);
+  BCP_REQUIRE(cfg_.low_link.payload_bits > 0);
+  BCP_REQUIRE(cfg_.high_link.payload_bits > 0);
+  BCP_REQUIRE(cfg_.low_link.retransmissions >= 1.0);
+  BCP_REQUIRE(cfg_.high_link.retransmissions >= 1.0);
+  BCP_REQUIRE(cfg_.wakeup_handshake_bits >= 0);
+  BCP_REQUIRE(cfg_.idle_time >= 0);
+}
+
+DualRadioAnalysis DualRadioAnalysis::standard(const RadioEnergyModel& low,
+                                              const RadioEnergyModel& high) {
+  Config cfg;
+  cfg.low = low;
+  cfg.high = high;
+  cfg.low_link = default_sensor_link();
+  cfg.high_link = default_wifi_link();
+  cfg.wakeup_handshake_bits = 2 * default_wakeup_message_bits();
+  return DualRadioAnalysis(std::move(cfg));
+}
+
+util::Joules DualRadioAnalysis::packet_quantized_cost(
+    const RadioEnergyModel& radio, const LinkParams& link,
+    util::Bits s) const {
+  BCP_REQUIRE(s >= 0);
+  if (s == 0) return 0.0;
+  // ceil(s / ps) full packets of (ps + hs) bits, each transmitted n_i times,
+  // paid by both the transmitter and the receiver — the summation of Eq. 1.
+  const auto packets =
+      (s + link.payload_bits - 1) / link.payload_bits;  // ceil
+  const double on_air_bits = static_cast<double>(packets) *
+                             static_cast<double>(link.payload_bits +
+                                                 link.header_bits) *
+                             link.retransmissions;
+  return (radio.p_tx + radio.p_rx) / radio.rate * on_air_bits;
+}
+
+util::Joules DualRadioAnalysis::energy_low(util::Bits s) const {
+  return packet_quantized_cost(cfg_.low, cfg_.low_link, s) +
+         cfg_.overhear_low;
+}
+
+util::Joules DualRadioAnalysis::energy_high(util::Bits s) const {
+  return wakeup_overhead() + cfg_.overhear_high +
+         packet_quantized_cost(cfg_.high, cfg_.high_link, s);
+}
+
+util::Joules DualRadioAnalysis::low_wakeup_energy() const {
+  return (cfg_.low.p_tx + cfg_.low.p_rx) / cfg_.low.rate *
+         static_cast<double>(cfg_.wakeup_handshake_bits);
+}
+
+util::Joules DualRadioAnalysis::idle_energy() const {
+  return 2.0 * cfg_.high.p_idle * cfg_.idle_time;
+}
+
+util::Joules DualRadioAnalysis::wakeup_overhead() const {
+  // E^H_wakeup covers switching on the high-power radio at both ends.
+  const util::Joules high_wakeup = 2.0 * cfg_.high.e_wakeup;
+  return high_wakeup + low_wakeup_energy() + idle_energy();
+}
+
+util::Joules DualRadioAnalysis::per_bit_low() const {
+  return cfg_.low.per_payload_bit(cfg_.low_link.payload_bits,
+                                  cfg_.low_link.header_bits) *
+         cfg_.low_link.retransmissions;
+}
+
+util::Joules DualRadioAnalysis::per_bit_high() const {
+  return cfg_.high.per_payload_bit(cfg_.high_link.payload_bits,
+                                   cfg_.high_link.header_bits) *
+         cfg_.high_link.retransmissions;
+}
+
+std::optional<util::Bits> DualRadioAnalysis::break_even_bits() const {
+  return break_even_bits_multihop(1);
+}
+
+util::Joules DualRadioAnalysis::energy_low_multihop(
+    util::Bits s, int forward_progress) const {
+  BCP_REQUIRE(forward_progress >= 1);
+  // Eq. 4: every one of the fp low-radio hops pays the full link cost.
+  return static_cast<double>(forward_progress) * energy_low(s);
+}
+
+util::Joules DualRadioAnalysis::energy_high_multihop(
+    util::Bits s, int forward_progress) const {
+  BCP_REQUIRE(forward_progress >= 1);
+  // Eq. 5: the data crosses in one high-power hop; the wake-up message is
+  // relayed over the remaining fp-1 low-radio hops.
+  return energy_high(s) +
+         static_cast<double>(forward_progress - 1) * low_wakeup_energy();
+}
+
+std::optional<util::Bits> DualRadioAnalysis::break_even_bits_multihop(
+    int forward_progress) const {
+  BCP_REQUIRE(forward_progress >= 1);
+  const double fp = static_cast<double>(forward_progress);
+  const double denominator = fp * per_bit_low() - per_bit_high();
+  if (denominator <= 0.0) return std::nullopt;  // high radio never wins
+  const double numerator =
+      2.0 * cfg_.high.e_wakeup + fp * low_wakeup_energy() + idle_energy();
+  return static_cast<util::Bits>(std::ceil(numerator / denominator));
+}
+
+double DualRadioAnalysis::savings_fraction(util::Bits s) const {
+  const util::Joules low = energy_low(s);
+  BCP_REQUIRE(low > 0.0);
+  return 1.0 - energy_high(s) / low;
+}
+
+double DualRadioAnalysis::burst_savings_fraction(
+    int n_packets, util::Seconds idle_before_off) const {
+  BCP_REQUIRE(n_packets >= 1);
+  BCP_REQUIRE(idle_before_off >= 0);
+  // Fixed cost per wake-up episode: both high radios switch on, the
+  // handshake crosses the low radio, and both ends linger idle before
+  // switching off again.
+  const util::Joules wake_cost = 2.0 * cfg_.high.e_wakeup +
+                                 low_wakeup_energy() +
+                                 2.0 * cfg_.high.p_idle * idle_before_off;
+  const util::Joules per_packet =
+      (cfg_.high.p_tx + cfg_.high.p_rx) / cfg_.high.rate *
+      static_cast<double>(cfg_.high_link.payload_bits +
+                          cfg_.high_link.header_bits) *
+      cfg_.high_link.retransmissions;
+  const double n = static_cast<double>(n_packets);
+  const util::Joules burst = wake_cost + n * per_packet;
+  const util::Joules separate = n * (wake_cost + per_packet);
+  return 1.0 - burst / separate;
+}
+
+}  // namespace bcp::energy

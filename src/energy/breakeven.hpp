@@ -1,0 +1,125 @@
+// Break-even analysis for dual-radio systems — §2.1 and §2.2 of the paper.
+//
+// Implements:
+//   Eq. 1  E_L(s)          — energy to move s bits over the low-power radio
+//   Eq. 2  E_H(s, R_H)     — energy over the high-power radio, including the
+//                            wake-up handshake and idle waiting
+//   Eq. 3  s*              — the break-even data size
+//   Eq. 4  E^mh_L(s)       — multi-hop low-power cost (fp hops)
+//   Eq. 5  E^mh_H(s, R)    — high-power cost with a multi-hop wake-up
+// plus the Fig. 4 burst-amortization model (n packets in one burst vs n
+// separate wake-ups).
+//
+// All energies are end-to-end link costs: transmitter + receiver, as in the
+// paper (per-hop in the multi-hop variants).
+#pragma once
+
+#include <optional>
+
+#include "energy/radio_model.hpp"
+#include "util/units.hpp"
+
+namespace bcp::energy {
+
+/// Packetization of one link: payload size ps, header size hs, and the mean
+/// transmission count n_i per packet (1 = no retransmissions, the paper's
+/// analytic assumption; simulations measure the real value).
+struct LinkParams {
+  util::Bits payload_bits = 0;     ///< ps
+  util::Bits header_bits = 0;      ///< hs
+  double retransmissions = 1.0;    ///< n_i >= 1
+};
+
+/// §4.1 packetization: 32 B sensor packets, 1024 B 802.11 frames. Header
+/// sizes are not in the paper; we use 11 B for the sensor radio (802.15.4
+/// MAC + FCS as used by TinyOS on CC2420-class radios) and 52 B for 802.11
+/// (MAC 24 + LLC/SNAP 8 + FCS 4 + PLCP preamble-equivalent 16).
+LinkParams default_sensor_link();
+LinkParams default_wifi_link();
+
+/// Size of one low-radio control message of the wake-up handshake,
+/// including its header (wake-up request and ack are this size each).
+util::Bits default_wakeup_message_bits();
+
+/// Closed-form dual-radio energy analysis for one (low, high) radio pair.
+class DualRadioAnalysis {
+ public:
+  struct Config {
+    RadioEnergyModel low;
+    RadioEnergyModel high;
+    LinkParams low_link;
+    LinkParams high_link;
+    /// Total bits sent over the low radio to wake the peer (request + ack).
+    util::Bits wakeup_handshake_bits = 0;
+    /// Per-radio idle wait; E_idle = 2 · P_i(high) · idle_time (both ends).
+    util::Seconds idle_time = 0;
+    /// E^L_o and E^H_o — overhearing charges (0 in the paper's analysis).
+    util::Joules overhear_low = 0;
+    util::Joules overhear_high = 0;
+  };
+
+  explicit DualRadioAnalysis(Config cfg);
+
+  /// Standard configuration: default links, one request + one ack wake-up
+  /// handshake, no idling, no overhearing — the Fig. 1 setting.
+  static DualRadioAnalysis standard(const RadioEnergyModel& low,
+                                    const RadioEnergyModel& high);
+
+  const Config& config() const { return cfg_; }
+
+  /// Eq. 1 — low-power radio cost for s payload bits (packet-quantized).
+  util::Joules energy_low(util::Bits s) const;
+
+  /// Eq. 2 — high-power radio cost for s payload bits (packet-quantized),
+  /// including E^H_wakeup (both ends), E^L_wakeup, and E_idle.
+  util::Joules energy_high(util::Bits s) const;
+
+  /// E^H_wakeup + E^L_wakeup + E_idle — the fixed cost a burst amortizes.
+  util::Joules wakeup_overhead() const;
+
+  /// E^L_wakeup — the low-radio handshake cost.
+  util::Joules low_wakeup_energy() const;
+
+  /// E_idle = 2 · P_i(high) · idle_time.
+  util::Joules idle_energy() const;
+
+  /// Effective sender+receiver energy per payload bit on each radio —
+  /// the two terms of Eq. 3's denominator.
+  util::Joules per_bit_low() const;
+  util::Joules per_bit_high() const;
+
+  /// Eq. 3 — break-even size s* in bits. nullopt when the high radio's
+  /// per-bit cost is not lower than the low radio's (no crossover exists;
+  /// e.g. Cabletron-Micaz, Lucent2-Micaz in Fig. 1).
+  std::optional<util::Bits> break_even_bits() const;
+
+  /// Eq. 4 — fp · E_L(s): the low radio takes `forward_progress` hops.
+  util::Joules energy_low_multihop(util::Bits s, int forward_progress) const;
+
+  /// Eq. 5 — E_H(s) + (fp-1) · E^L_wakeup: one high-power hop, with the
+  /// wake-up message relayed over fp low-radio hops.
+  util::Joules energy_high_multihop(util::Bits s, int forward_progress) const;
+
+  /// Multi-hop break-even size; nullopt when infeasible at this progress.
+  std::optional<util::Bits> break_even_bits_multihop(
+      int forward_progress) const;
+
+  /// 1 - E_H(s)/E_L(s); negative below the break-even point.
+  double savings_fraction(util::Bits s) const;
+
+  /// Fig. 4 — savings of sending n full high-radio packets in one burst
+  /// versus n wake-ups of one packet each. `idle_before_off` is the time
+  /// both radios linger awake after each burst (the "idle" curves use
+  /// 100 ms). Returns 0 at n = 1 by construction.
+  double burst_savings_fraction(int n_packets,
+                                util::Seconds idle_before_off) const;
+
+ private:
+  util::Joules packet_quantized_cost(const RadioEnergyModel& radio,
+                                     const LinkParams& link,
+                                     util::Bits s) const;
+
+  Config cfg_;
+};
+
+}  // namespace bcp::energy

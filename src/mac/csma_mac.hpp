@@ -1,0 +1,128 @@
+// CSMA/CA MAC with link-layer acknowledgments and retransmissions.
+//
+// One frame is in flight at a time. The transmit cycle:
+//   head of queue -> [DIFS + U(0, CW) slots] -> carrier sense ->
+//   (busy: re-arm at channel-clear + fresh backoff) ->
+//   transmit -> (broadcast: done) ->
+//   wait SIFS + ack airtime + guard -> ack? success : retry with
+//   (optionally doubled) CW, up to retry_limit, then report failure.
+//
+// The backoff approximation: instead of freezing the slot countdown while
+// the medium is busy (as real DCF does), a busy medium at expiry re-arms a
+// fresh backoff after the medium clears. This preserves what the study
+// measures — collision probability under contention, exponential penalty
+// after losses — at a fraction of the event load.
+//
+// Receive side: clean unicast frames are acked after SIFS (unless the radio
+// is mid-transmission, in which case the sender will time out and retry).
+// Duplicates — retransmissions whose ack was lost — are re-acked but
+// delivered only once, using a per-neighbour highest-seq filter.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+
+#include "mac/mac_params.hpp"
+#include "net/message.hpp"
+#include "phy/radio.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace bcp::mac {
+
+class CsmaCaMac {
+ public:
+  struct Stats {
+    std::int64_t enqueued = 0;
+    std::int64_t queue_drops = 0;    ///< tail drops (queue full)
+    std::int64_t tx_attempts = 0;    ///< data frame transmissions started
+    std::int64_t tx_success = 0;     ///< frames acked (or broadcast sent)
+    std::int64_t tx_failed = 0;      ///< frames dropped after retry_limit
+    std::int64_t acks_sent = 0;
+    std::int64_t acks_suppressed = 0;///< radio busy at ack time
+    std::int64_t rx_delivered = 0;
+    std::int64_t rx_duplicates = 0;
+  };
+
+  /// Called for every clean frame delivered to this node.
+  using RxCallback =
+      std::function<void(const net::Message&, net::NodeId from)>;
+  /// Called when a frame leaves the MAC: acked/broadcast (success) or
+  /// dropped after exhausting retries or because the radio went down.
+  using TxDoneCallback = std::function<void(
+      const net::Message&, net::NodeId next_hop, bool success)>;
+
+  CsmaCaMac(sim::Simulator& sim, phy::Radio& radio, MacParams params,
+            std::uint64_t seed);
+
+  CsmaCaMac(const CsmaCaMac&) = delete;
+  CsmaCaMac& operator=(const CsmaCaMac&) = delete;
+
+  /// Queues a message for `next_hop` (net::kBroadcastNode for broadcast).
+  /// Returns false (and counts a drop) when the queue is full.
+  bool enqueue(net::Message msg, net::NodeId next_hop);
+
+  void set_rx_callback(RxCallback cb) { rx_cb_ = std::move(cb); }
+  void set_tx_done_callback(TxDoneCallback cb) { tx_done_cb_ = std::move(cb); }
+
+  /// True when nothing is queued or in flight.
+  bool idle() const { return queue_.empty() && !in_flight_; }
+  std::size_t queue_size() const { return queue_.size(); }
+  const Stats& stats() const { return stats_; }
+  const MacParams& params() const { return params_; }
+
+  /// Fails every queued frame (used when the owner powers the radio down
+  /// with traffic pending — BCP aborting a session).
+  void flush_queue();
+
+ private:
+  struct Outgoing {
+    net::Message msg;
+    net::NodeId next_hop = net::kInvalidNode;
+    int attempts = 0;       // transmissions performed
+    int cw = 0;             // current contention window
+    std::uint32_t seq = 0;  // assigned at first transmission; 0 = unassigned
+  };
+
+  void start_cycle();                 // arm backoff for the head frame
+  void arm_backoff(util::Seconds extra_wait);
+  void on_backoff_expired();
+  void transmit_head();
+  void on_radio_tx_done();
+  void on_ack_timeout();
+  void on_frame_received(const phy::Frame& frame);
+  void send_ack(net::NodeId to, std::uint32_t seq);
+  void finish_head(bool success);
+  util::Seconds ack_duration() const;
+  phy::Frame make_data_frame(const Outgoing& out) const;
+
+  sim::Simulator& sim_;
+  phy::Radio& radio_;
+  MacParams params_;
+  util::Xoshiro256 rng_;
+  Stats stats_;
+
+  std::deque<Outgoing> queue_;
+  bool in_flight_ = false;        // head frame mid-cycle (backoff/tx/ack)
+  bool awaiting_ack_ = false;
+  bool tx_is_ack_ = false;        // current radio transmission is an ack
+  std::uint32_t next_seq_ = 1;
+  sim::Timer backoff_timer_;
+  sim::Timer ack_timer_;
+  // Highest seq delivered per neighbour, for duplicate suppression.
+  std::unordered_map<net::NodeId, std::uint32_t> delivered_seq_;
+  // Pending ack (serialized through the single radio).
+  struct PendingAck {
+    net::NodeId to;
+    std::uint32_t seq;
+  };
+  std::deque<PendingAck> pending_acks_;
+  sim::Timer ack_tx_timer_;
+
+  RxCallback rx_cb_;
+  TxDoneCallback tx_done_cb_;
+};
+
+}  // namespace bcp::mac

@@ -1,0 +1,45 @@
+#include "mac/mac_params.hpp"
+
+#include "util/units.hpp"
+
+namespace bcp::mac {
+
+using util::bytes;
+using util::microseconds;
+using util::milliseconds;
+
+MacParams sensor_mac_params() {
+  MacParams p;
+  p.slot = microseconds(500);
+  p.sifs = microseconds(300);     // CC2420-class rx/tx turnaround
+  p.difs = milliseconds(1);
+  p.cw_min = 31;
+  p.cw_max = 31;                  // fixed window — no BEB
+  p.exponential_backoff = false;
+  p.retry_limit = 3;
+  p.max_queue = 5000;             // the paper's 5000-packet node buffer
+  p.header_bits = bytes(11);      // 802.15.4 MAC header + FCS
+  p.ack_bits = bytes(11);
+  p.preamble = 0;                 // sync bytes folded into the header
+  p.ack_guard = milliseconds(2);
+  return p;
+}
+
+MacParams dcf_mac_params() {
+  MacParams p;
+  p.slot = microseconds(20);
+  p.sifs = microseconds(10);
+  p.difs = microseconds(50);
+  p.cw_min = 31;
+  p.cw_max = 1023;
+  p.exponential_backoff = true;
+  p.retry_limit = 7;
+  p.max_queue = 1000;
+  p.header_bits = bytes(28);      // MAC header 24 + FCS 4
+  p.ack_bits = bytes(14);
+  p.preamble = microseconds(96);  // 802.11b short PLCP preamble
+  p.ack_guard = microseconds(20);
+  return p;
+}
+
+}  // namespace bcp::mac

@@ -1,0 +1,44 @@
+// MAC timing/behaviour parameter sets.
+//
+// One CSMA/CA engine (CsmaCaMac) covers both §4.1 MACs:
+//  * the sensor radio runs "a simpler MAC layer that complies with MAC
+//    protocols for sensor platforms (e.g., no RTS/CTS)" — unslotted CSMA
+//    with a fixed contention window, link acks and a small retry limit
+//    (B-MAC/CC2420-style);
+//  * the 802.11 radio runs "full IEEE 802.11b MAC" basic access — DIFS/SIFS
+//    slotted binary-exponential backoff, link acks, retry limit 7.
+// Neither uses RTS/CTS, so both are hidden-terminal-prone, which is what
+// drives the paper's multi-hop goodput collapse.
+#pragma once
+
+#include <cstddef>
+
+#include "util/units.hpp"
+
+namespace bcp::mac {
+
+struct MacParams {
+  util::Seconds slot = 0;      ///< backoff slot time
+  util::Seconds sifs = 0;      ///< data->ack turnaround
+  util::Seconds difs = 0;      ///< sense time before backoff countdown
+  int cw_min = 0;              ///< initial contention window (slots)
+  int cw_max = 0;              ///< BEB ceiling
+  bool exponential_backoff = false;
+  int retry_limit = 0;         ///< retransmissions per frame (excl. first tx)
+  std::size_t max_queue = 0;   ///< frames; tail-drop beyond this
+  util::Bits header_bits = 0;  ///< link header on data frames
+  util::Bits ack_bits = 0;     ///< ack frame size
+  util::Seconds preamble = 0;  ///< fixed PHY preamble per frame
+  util::Seconds ack_guard = 0; ///< slack added to the ack timeout
+};
+
+/// Sensor-radio CSMA (B-MAC-like): fixed CW, 3 retransmissions, 11 B
+/// headers. Timings sized for the tens-of-kbit/s sensor rates.
+MacParams sensor_mac_params();
+
+/// 802.11b DCF basic access: 20 us slots, SIFS 10 us, DIFS 50 us,
+/// CW 31..1023 with binary exponential backoff, retry limit 7, 28 B MAC
+/// header + 96 us PLCP preamble, 14 B acks.
+MacParams dcf_mac_params();
+
+}  // namespace bcp::mac

@@ -1,0 +1,54 @@
+#include "net/address.hpp"
+
+#include "util/assert.hpp"
+
+namespace bcp::net {
+
+void DualAddressMap::add(NodeId node, LowAddress low, HighAddress high) {
+  BCP_REQUIRE(node >= 0);
+  BCP_REQUIRE_MSG(!by_node_.count(node), "node already registered");
+  BCP_REQUIRE_MSG(!by_low_.count(low), "low address already registered");
+  BCP_REQUIRE_MSG(!by_high_.count(high), "high address already registered");
+  by_node_.emplace(node, Entry{low, high});
+  by_low_.emplace(low, node);
+  by_high_.emplace(high, node);
+}
+
+DualAddressMap DualAddressMap::canonical(int count) {
+  BCP_REQUIRE(count >= 0 && count <= 0x7FFF);
+  DualAddressMap map;
+  for (NodeId id = 0; id < count; ++id) {
+    const auto low = static_cast<LowAddress>(0x8000u |
+                                             static_cast<unsigned>(id));
+    const auto high = std::uint64_t{0x024243500000} |
+                      static_cast<std::uint64_t>(static_cast<unsigned>(id));
+    map.add(id, low, high);
+  }
+  return map;
+}
+
+std::optional<LowAddress> DualAddressMap::low_address(NodeId node) const {
+  const auto it = by_node_.find(node);
+  if (it == by_node_.end()) return std::nullopt;
+  return it->second.low;
+}
+
+std::optional<HighAddress> DualAddressMap::high_address(NodeId node) const {
+  const auto it = by_node_.find(node);
+  if (it == by_node_.end()) return std::nullopt;
+  return it->second.high;
+}
+
+std::optional<NodeId> DualAddressMap::node_of_low(LowAddress a) const {
+  const auto it = by_low_.find(a);
+  if (it == by_low_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<NodeId> DualAddressMap::node_of_high(HighAddress a) const {
+  const auto it = by_high_.find(a);
+  if (it == by_high_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace bcp::net

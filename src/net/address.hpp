@@ -1,0 +1,51 @@
+// Dual-radio address mapping.
+//
+// §3: "BCP needs to be able to map the low-power and high-power radio
+// addresses for the receiver" and "route lookups need the low-power and
+// high-power radio addresses for both the source and the destination".
+// In the simulator both radios use the node id on the air, but the protocol
+// code goes through this map so the lookup the paper requires is explicit
+// (and testable), exactly as a TinyOS port would need.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "net/message.hpp"
+
+namespace bcp::net {
+
+/// A 16-bit 802.15.4-style short address for the low-power radio.
+using LowAddress = std::uint16_t;
+/// A 48-bit 802.11-style MAC address for the high-power radio.
+using HighAddress = std::uint64_t;
+
+class DualAddressMap {
+ public:
+  /// Registers a node with explicit radio addresses.
+  void add(NodeId node, LowAddress low, HighAddress high);
+
+  /// Registers `count` nodes 0..count-1 with the simulator's canonical
+  /// scheme: low = 0x8000 | id, high = locally-administered OUI 02:42:4350
+  /// followed by the id.
+  static DualAddressMap canonical(int count);
+
+  std::optional<LowAddress> low_address(NodeId node) const;
+  std::optional<HighAddress> high_address(NodeId node) const;
+  std::optional<NodeId> node_of_low(LowAddress a) const;
+  std::optional<NodeId> node_of_high(HighAddress a) const;
+
+  int size() const { return static_cast<int>(by_node_.size()); }
+
+ private:
+  struct Entry {
+    LowAddress low;
+    HighAddress high;
+  };
+  std::unordered_map<NodeId, Entry> by_node_;
+  std::unordered_map<LowAddress, NodeId> by_low_;
+  std::unordered_map<HighAddress, NodeId> by_high_;
+};
+
+}  // namespace bcp::net

@@ -1,0 +1,33 @@
+#include "net/message.hpp"
+
+#include "util/assert.hpp"
+
+namespace bcp::net {
+
+util::Bits BulkFrame::payload_bits() const {
+  util::Bits total_bits = 0;
+  for (const auto& p : packets) total_bits += p.payload_bits;
+  return total_bits;
+}
+
+util::Bits control_body_bits() { return util::bytes(16); }
+
+util::Bits Message::size_bits() const {
+  struct Visitor {
+    util::Bits operator()(const DataPacket& p) const { return p.payload_bits; }
+    util::Bits operator()(const WakeupRequest&) const {
+      return control_body_bits();
+    }
+    util::Bits operator()(const WakeupAck&) const {
+      return control_body_bits();
+    }
+    util::Bits operator()(const BulkFrame& f) const {
+      return f.payload_bits();
+    }
+  };
+  const util::Bits bits = std::visit(Visitor{}, body);
+  BCP_ENSURE(bits >= 0);
+  return bits;
+}
+
+}  // namespace bcp::net

@@ -1,0 +1,98 @@
+// Network-layer message types.
+//
+// Four message bodies cross the network (§3 of the paper):
+//   DataPacket    — an application sensor reading (32 B in §4.1); subject to
+//                   BCP buffering in the dual-radio model, forwarded
+//                   hop-by-hop in the single-radio models.
+//   WakeupRequest — BCP control: "I have `burst_bits` for you, wake up";
+//                   sent over the low-power radio, possibly multi-hop.
+//   WakeupAck     — BCP control: "send up to `granted_bits`"; also over the
+//                   low-power radio.
+//   BulkFrame     — an assembly of buffered DataPackets shipped in one
+//                   high-power-radio frame (1024 B payload in §4.1).
+#pragma once
+
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace bcp::net {
+
+using NodeId = std::int32_t;
+constexpr NodeId kInvalidNode = -1;
+/// MAC-layer broadcast address.
+constexpr NodeId kBroadcastNode = -2;
+
+/// One application data unit. `payload_bits` is the network-layer packet
+/// size (the paper's 32 B sensor packet); link headers are added per hop by
+/// the MAC.
+struct DataPacket {
+  NodeId origin = kInvalidNode;        ///< node that generated the packet
+  NodeId destination = kInvalidNode;   ///< final destination (the sink)
+  std::uint32_t seq = 0;               ///< per-origin sequence number
+  util::Bits payload_bits = 0;
+  util::Seconds created_at = 0;        ///< generation time, for delay metrics
+};
+
+/// BCP wake-up request (§3, "Sender Side: Interface to MAC layers").
+struct WakeupRequest {
+  NodeId requester = kInvalidNode;
+  NodeId target = kInvalidNode;
+  std::uint32_t handshake_id = 0;
+  util::Bits burst_bits = 0;  ///< amount of buffered data the sender holds
+};
+
+/// BCP wake-up acknowledgment carrying the receiver's grant (§3, "Receiver
+/// Side"). `granted_bits` may be lower than requested when the receiver is
+/// short on buffer space.
+struct WakeupAck {
+  NodeId responder = kInvalidNode;
+  NodeId requester = kInvalidNode;
+  std::uint32_t handshake_id = 0;
+  util::Bits granted_bits = 0;
+};
+
+/// A bundle of DataPackets assembled into one high-power-radio frame.
+/// `index`/`total` let the receiver know when the advertised burst is
+/// complete (it "turns off its high-power radio when it receives the total
+/// number of packets advertised or after a timeout").
+struct BulkFrame {
+  NodeId sender = kInvalidNode;
+  NodeId receiver = kInvalidNode;
+  std::uint32_t handshake_id = 0;
+  std::uint16_t index = 0;  ///< 0-based frame index within the burst
+  std::uint16_t total = 0;  ///< number of frames in the burst
+  std::vector<DataPacket> packets;
+
+  util::Bits payload_bits() const;
+};
+
+using MessageBody =
+    std::variant<DataPacket, WakeupRequest, WakeupAck, BulkFrame>;
+
+/// A routed network message: `src` originated it, `dst` must consume it.
+/// Control messages relay over intermediate low-power hops; BulkFrames are
+/// single-hop (src and dst adjacent on the high-power radio).
+struct Message {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  MessageBody body;
+
+  /// Network-layer size on the air (link header excluded — the MAC adds it).
+  util::Bits size_bits() const;
+
+  bool is_data() const { return std::holds_alternative<DataPacket>(body); }
+  bool is_control() const {
+    return std::holds_alternative<WakeupRequest>(body) ||
+           std::holds_alternative<WakeupAck>(body);
+  }
+  bool is_bulk() const { return std::holds_alternative<BulkFrame>(body); }
+};
+
+/// Size of a WakeupRequest/WakeupAck control body (16 B, matching
+/// energy::default_wakeup_message_bits() minus the link header).
+util::Bits control_body_bits();
+
+}  // namespace bcp::net

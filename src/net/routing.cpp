@@ -1,0 +1,87 @@
+#include "net/routing.hpp"
+
+#include <deque>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace bcp::net {
+
+RoutingTable::RoutingTable(const ConnectivityGraph& graph)
+    : n_(graph.node_count()),
+      next_hop_(static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_),
+                kInvalidNode),
+      hops_(static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_), -1) {
+  // One BFS per destination, relaxing parents with the deterministic
+  // (hops, distance-to-destination, id) preference order.
+  for (NodeId to = 0; to < n_; ++to) {
+    std::vector<int> dist(static_cast<std::size_t>(n_), -1);
+    std::deque<NodeId> queue;
+    dist[static_cast<std::size_t>(to)] = 0;
+    queue.push_back(to);
+    while (!queue.empty()) {
+      const NodeId u = queue.front();
+      queue.pop_front();
+      for (const NodeId v : graph.neighbors(u)) {
+        if (dist[static_cast<std::size_t>(v)] < 0) {
+          dist[static_cast<std::size_t>(v)] =
+              dist[static_cast<std::size_t>(u)] + 1;
+          queue.push_back(v);
+        }
+      }
+    }
+    for (NodeId from = 0; from < n_; ++from) {
+      const int d = dist[static_cast<std::size_t>(from)];
+      hops_[static_cast<std::size_t>(index(from, to))] = d;
+      if (from == to) {
+        next_hop_[static_cast<std::size_t>(index(from, to))] = from;
+        continue;
+      }
+      if (d < 0) continue;  // unreachable
+      // The next hop is the best neighbour one step closer to `to`.
+      NodeId best = kInvalidNode;
+      double best_dist = std::numeric_limits<double>::infinity();
+      for (const NodeId v : graph.neighbors(from)) {
+        if (dist[static_cast<std::size_t>(v)] != d - 1) continue;
+        const double dv = distance(graph.position(v), graph.position(to));
+        if (best == kInvalidNode || dv < best_dist ||
+            (dv == best_dist && v < best)) {
+          best = v;
+          best_dist = dv;
+        }
+      }
+      BCP_ENSURE(best != kInvalidNode);
+      next_hop_[static_cast<std::size_t>(index(from, to))] = best;
+    }
+  }
+}
+
+int RoutingTable::index(NodeId from, NodeId to) const {
+  BCP_REQUIRE(from >= 0 && from < n_);
+  BCP_REQUIRE(to >= 0 && to < n_);
+  return from * n_ + to;
+}
+
+NodeId RoutingTable::next_hop(NodeId from, NodeId to) const {
+  return next_hop_[static_cast<std::size_t>(index(from, to))];
+}
+
+int RoutingTable::hops(NodeId from, NodeId to) const {
+  return hops_[static_cast<std::size_t>(index(from, to))];
+}
+
+double RoutingTable::mean_hops_to(NodeId to) const {
+  double sum = 0;
+  int count = 0;
+  for (NodeId from = 0; from < n_; ++from) {
+    if (from == to) continue;
+    const int h = hops(from, to);
+    if (h < 0) continue;
+    sum += h;
+    ++count;
+  }
+  BCP_REQUIRE_MSG(count > 0, "destination unreachable from every node");
+  return sum / count;
+}
+
+}  // namespace bcp::net

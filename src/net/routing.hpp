@@ -1,0 +1,47 @@
+// Static shortest-path routing over one radio's connectivity graph.
+//
+// §4.1: "To decouple the routing effects on performance, two separate trees
+// that go over sensor and IEEE 802.11 radios are built." RoutingTable is an
+// all-pairs BFS next-hop table (36 nodes, so all-pairs is trivial); the
+// convergecast tree the paper describes is the slice next_hop(·, sink).
+// Ties are broken deterministically: among equal-hop parents prefer the one
+// geometrically closer to the destination, then the lower node id.
+#pragma once
+
+#include <vector>
+
+#include "net/topology.hpp"
+
+namespace bcp::net {
+
+class RoutingTable {
+ public:
+  explicit RoutingTable(const ConnectivityGraph& graph);
+
+  /// First hop on a shortest path from `from` toward `to`.
+  /// Returns `to` itself when adjacent, `from` when from == to, and
+  /// kInvalidNode when unreachable.
+  NodeId next_hop(NodeId from, NodeId to) const;
+
+  /// Shortest-path hop count; 0 when from == to, -1 when unreachable.
+  int hops(NodeId from, NodeId to) const;
+
+  bool reachable(NodeId from, NodeId to) const {
+    return hops(from, to) >= 0;
+  }
+
+  int node_count() const { return n_; }
+
+  /// Mean hop count from every node (other than `to`) that can reach `to` —
+  /// the "forward progress" statistic of §2.2.
+  double mean_hops_to(NodeId to) const;
+
+ private:
+  int index(NodeId from, NodeId to) const;
+
+  int n_;
+  std::vector<NodeId> next_hop_;  // n*n, row = from, col = to
+  std::vector<int> hops_;         // n*n
+};
+
+}  // namespace bcp::net

@@ -1,0 +1,70 @@
+#include "net/topology.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace bcp::net {
+
+util::Metres distance(const Position& a, const Position& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+GridTopology::GridTopology(int side, util::Metres area, NodeId sink)
+    : side_(side),
+      spacing_(side > 1 ? area / (side - 1) : 0.0),
+      sink_(sink) {
+  BCP_REQUIRE(side >= 1);
+  BCP_REQUIRE(area > 0);
+  BCP_REQUIRE(sink >= 0 && sink < side * side);
+  positions_.reserve(static_cast<std::size_t>(side) *
+                     static_cast<std::size_t>(side));
+  for (int row = 0; row < side; ++row)
+    for (int col = 0; col < side; ++col)
+      positions_.push_back(Position{col * spacing_, row * spacing_});
+}
+
+GridTopology GridTopology::paper_grid() { return GridTopology(6, 200.0, 0); }
+
+const Position& GridTopology::position(NodeId id) const {
+  BCP_REQUIRE(id >= 0 && id < node_count());
+  return positions_[static_cast<std::size_t>(id)];
+}
+
+ConnectivityGraph::ConnectivityGraph(std::vector<Position> positions,
+                                     util::Metres range)
+    : positions_(std::move(positions)), range_(range) {
+  BCP_REQUIRE(range > 0);
+  const auto n = positions_.size();
+  neighbors_.resize(n);
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = a + 1; b < n; ++b) {
+      if (distance(positions_[a], positions_[b]) <= range_) {
+        neighbors_[a].push_back(static_cast<NodeId>(b));
+        neighbors_[b].push_back(static_cast<NodeId>(a));
+      }
+    }
+  }
+}
+
+const std::vector<NodeId>& ConnectivityGraph::neighbors(NodeId id) const {
+  BCP_REQUIRE(id >= 0 && id < node_count());
+  return neighbors_[static_cast<std::size_t>(id)];
+}
+
+bool ConnectivityGraph::connected(NodeId a, NodeId b) const {
+  BCP_REQUIRE(a >= 0 && a < node_count());
+  BCP_REQUIRE(b >= 0 && b < node_count());
+  if (a == b) return false;
+  return distance(positions_[static_cast<std::size_t>(a)],
+                  positions_[static_cast<std::size_t>(b)]) <= range_;
+}
+
+const Position& ConnectivityGraph::position(NodeId id) const {
+  BCP_REQUIRE(id >= 0 && id < node_count());
+  return positions_[static_cast<std::size_t>(id)];
+}
+
+}  // namespace bcp::net

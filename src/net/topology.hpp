@@ -1,0 +1,66 @@
+// Node placement and connectivity.
+//
+// §4.1: "We simulate a 200×200 m^2 grid network with 36 nodes" — a 6×6 grid
+// with 40 m spacing, which equals the sensor-radio range, so sensor-radio
+// connectivity is exactly the 4-neighbour grid and routes are Manhattan
+// paths (mean depth ≈ 5 hops to a corner sink, matching the paper's 5-hop
+// linear example in §2.2).
+#pragma once
+
+#include <vector>
+
+#include "net/message.hpp"
+#include "util/units.hpp"
+
+namespace bcp::net {
+
+struct Position {
+  util::Metres x = 0;
+  util::Metres y = 0;
+};
+
+util::Metres distance(const Position& a, const Position& b);
+
+/// A square grid of nodes with a designated sink.
+class GridTopology {
+ public:
+  /// `side` nodes per edge spread over `area` metres (spacing =
+  /// area/(side-1)); `sink` must be a valid node index.
+  GridTopology(int side, util::Metres area, NodeId sink);
+
+  /// The paper's topology: 6×6 nodes over 200 m, sink at node 0 (a corner).
+  static GridTopology paper_grid();
+
+  int node_count() const { return side_ * side_; }
+  int side() const { return side_; }
+  util::Metres spacing() const { return spacing_; }
+  NodeId sink() const { return sink_; }
+  const Position& position(NodeId id) const;
+  const std::vector<Position>& positions() const { return positions_; }
+
+ private:
+  int side_;
+  util::Metres spacing_;
+  NodeId sink_;
+  std::vector<Position> positions_;
+};
+
+/// Undirected disc-model connectivity: a and b are linked iff
+/// distance(a, b) <= range.
+class ConnectivityGraph {
+ public:
+  ConnectivityGraph(std::vector<Position> positions, util::Metres range);
+
+  int node_count() const { return static_cast<int>(positions_.size()); }
+  util::Metres range() const { return range_; }
+  const std::vector<NodeId>& neighbors(NodeId id) const;
+  bool connected(NodeId a, NodeId b) const;
+  const Position& position(NodeId id) const;
+
+ private:
+  std::vector<Position> positions_;
+  util::Metres range_;
+  std::vector<std::vector<NodeId>> neighbors_;
+};
+
+}  // namespace bcp::net

@@ -1,0 +1,110 @@
+#include "phy/channel.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace bcp::phy {
+
+Channel::Channel(sim::Simulator& sim, std::vector<net::Position> positions,
+                 util::Metres range, Params params, std::uint64_t seed)
+    : sim_(sim),
+      graph_(std::move(positions), range),
+      params_(params),
+      rng_(util::substream(seed, 0, /*salt=*/0x43484E4C)) {
+  BCP_REQUIRE(params_.frame_loss_prob >= 0.0 &&
+              params_.frame_loss_prob < 1.0);
+  const auto n = static_cast<std::size_t>(graph_.node_count());
+  listeners_.resize(n, nullptr);
+  arrivals_.resize(n);
+  transmitting_.resize(n, 0);
+  own_tx_end_.resize(n, 0.0);
+}
+
+void Channel::attach(net::NodeId node, ChannelListener* listener) {
+  BCP_REQUIRE(node >= 0 && node < graph_.node_count());
+  BCP_REQUIRE(listener != nullptr);
+  BCP_REQUIRE_MSG(listeners_[static_cast<std::size_t>(node)] == nullptr,
+                  "listener already attached");
+  listeners_[static_cast<std::size_t>(node)] = listener;
+}
+
+std::vector<Channel::Arrival>& Channel::arrivals(net::NodeId node) {
+  return arrivals_[static_cast<std::size_t>(node)];
+}
+
+void Channel::start_tx(net::NodeId src, const Frame& frame,
+                       util::Seconds duration) {
+  BCP_REQUIRE(src >= 0 && src < graph_.node_count());
+  BCP_REQUIRE(duration > 0);
+  BCP_REQUIRE_MSG(transmitting_[static_cast<std::size_t>(src)] == 0,
+                  "node already transmitting");
+  BCP_REQUIRE(frame.rx_node != src);
+
+  const std::uint64_t tx_id = next_tx_id_++;
+  const util::Seconds end = sim_.now() + duration;
+  active_.emplace(tx_id, Transmission{src, frame, end});
+  transmitting_[static_cast<std::size_t>(src)] = tx_id;
+  own_tx_end_[static_cast<std::size_t>(src)] = end;
+  ++stats_.frames;
+
+  // Half-duplex: whatever the transmitter was hearing is lost to it.
+  for (auto& a : arrivals(src)) a.clean = false;
+
+  for (const net::NodeId r : graph_.neighbors(src)) {
+    auto& at_r = arrivals(r);
+    // Overlap at r corrupts both the new frame and everything in flight.
+    const bool overlap = !at_r.empty() ||
+                         transmitting_[static_cast<std::size_t>(r)] != 0;
+    for (auto& a : at_r) a.clean = false;
+    const bool clean =
+        !overlap && !rng_.chance(params_.frame_loss_prob);
+    at_r.push_back(Arrival{tx_id, clean, end});
+    if (auto* l = listeners_[static_cast<std::size_t>(r)]; l != nullptr)
+      l->on_rx_start(tx_id, frame, duration);
+  }
+
+  sim_.schedule_at(end, [this, tx_id] { finish_tx(tx_id); });
+}
+
+void Channel::finish_tx(std::uint64_t tx_id) {
+  const auto it = active_.find(tx_id);
+  BCP_ENSURE(it != active_.end());
+  const Transmission tx = it->second;
+  active_.erase(it);
+  transmitting_[static_cast<std::size_t>(tx.src)] = 0;
+
+  for (const net::NodeId r : graph_.neighbors(tx.src)) {
+    auto& at_r = arrivals(r);
+    const auto a = std::find_if(at_r.begin(), at_r.end(),
+                                [&](const Arrival& x) {
+                                  return x.tx_id == tx_id;
+                                });
+    BCP_ENSURE(a != at_r.end());
+    const bool clean = a->clean;
+    at_r.erase(a);
+    if (clean)
+      ++stats_.deliveries_clean;
+    else
+      ++stats_.deliveries_corrupt;
+    if (auto* l = listeners_[static_cast<std::size_t>(r)]; l != nullptr)
+      l->on_rx_end(tx_id, tx.frame, clean);
+  }
+}
+
+bool Channel::busy_at(net::NodeId node) const {
+  BCP_REQUIRE(node >= 0 && node < graph_.node_count());
+  const auto i = static_cast<std::size_t>(node);
+  return transmitting_[i] != 0 || !arrivals_[i].empty();
+}
+
+util::Seconds Channel::clear_at(net::NodeId node) const {
+  BCP_REQUIRE(node >= 0 && node < graph_.node_count());
+  const auto i = static_cast<std::size_t>(node);
+  util::Seconds t = sim_.now();
+  if (transmitting_[i] != 0) t = std::max(t, own_tx_end_[i]);
+  for (const auto& a : arrivals_[i]) t = std::max(t, a.end);
+  return t;
+}
+
+}  // namespace bcp::phy

@@ -1,0 +1,38 @@
+// The on-air unit exchanged between MACs through a Channel.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "net/message.hpp"
+#include "util/units.hpp"
+
+namespace bcp::phy {
+
+enum class FrameKind : std::uint8_t { kData, kAck };
+
+struct Frame {
+  net::NodeId tx_node = net::kInvalidNode;
+  /// MAC destination; net::kBroadcastNode for broadcast (no ack expected).
+  net::NodeId rx_node = net::kInvalidNode;
+  FrameKind kind = FrameKind::kData;
+  std::uint32_t mac_seq = 0;
+  util::Bits payload_bits = 0;   ///< network-layer bits (0 for acks)
+  util::Bits header_bits = 0;    ///< link header bits
+  util::Seconds preamble = 0;    ///< fixed-duration PHY preamble (e.g. PLCP)
+  std::optional<net::Message> message;  ///< present for kData frames
+
+  /// Time on the air at `rate` bit/s.
+  util::Seconds duration(util::BitsPerSecond rate) const {
+    return preamble +
+           static_cast<double>(payload_bits + header_bits) / rate;
+  }
+
+  /// Time until the link header has been received — what a header-only
+  /// overhearing radio pays (§4's "Sensor-header" model).
+  util::Seconds header_duration(util::BitsPerSecond rate) const {
+    return preamble + static_cast<double>(header_bits) / rate;
+  }
+};
+
+}  // namespace bcp::phy

@@ -1,0 +1,84 @@
+#include "sim/simulator.hpp"
+
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace bcp::sim {
+
+Simulator::EventHandle Simulator::schedule_at(TimePoint t, Callback cb) {
+  BCP_REQUIRE_MSG(t >= now_, "cannot schedule into the past");
+  BCP_REQUIRE(cb != nullptr);
+  const std::uint64_t id = next_id_++;
+  queue_.push(Event{t, next_seq_++, id, std::move(cb)});
+  pending_ids_.insert(id);
+  return EventHandle{id};
+}
+
+Simulator::EventHandle Simulator::schedule_in(util::Seconds delay,
+                                              Callback cb) {
+  BCP_REQUIRE_MSG(delay >= 0.0, "negative delay");
+  return schedule_at(now_ + delay, std::move(cb));
+}
+
+bool Simulator::cancel(EventHandle h) {
+  if (!h.valid()) return false;
+  if (pending_ids_.erase(h.id) == 0) return false;
+  cancelled_.insert(h.id);  // lazily skipped when popped
+  return true;
+}
+
+bool Simulator::is_pending(EventHandle h) const {
+  return h.valid() && pending_ids_.count(h.id) != 0;
+}
+
+void Simulator::dispatch_one() {
+  Event ev = queue_.top();
+  queue_.pop();
+  if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
+    cancelled_.erase(it);
+    return;
+  }
+  BCP_ENSURE(ev.time >= now_);
+  now_ = ev.time;
+  pending_ids_.erase(ev.id);
+  ++processed_;
+  ev.cb();
+}
+
+void Simulator::run() {
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_) dispatch_one();
+}
+
+void Simulator::run_until(TimePoint end) {
+  BCP_REQUIRE(end >= now_);
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_ && queue_.top().time <= end)
+    dispatch_one();
+  if (!stopped_) now_ = end;
+}
+
+Timer::Timer(Simulator& sim, Simulator::Callback on_expire)
+    : sim_(sim), on_expire_(std::move(on_expire)) {
+  BCP_REQUIRE(on_expire_ != nullptr);
+}
+
+void Timer::start(util::Seconds delay) {
+  cancel();
+  handle_ = sim_.schedule_in(delay, [this] {
+    handle_ = Simulator::EventHandle{};
+    on_expire_();
+  });
+}
+
+void Timer::cancel() {
+  if (handle_.valid()) {
+    sim_.cancel(handle_);
+    handle_ = Simulator::EventHandle{};
+  }
+}
+
+bool Timer::running() const { return sim_.is_pending(handle_); }
+
+}  // namespace bcp::sim

@@ -1,0 +1,124 @@
+// Single-threaded discrete-event simulator.
+//
+// Events are (time, callback) pairs processed in non-decreasing time order;
+// events scheduled for the same instant run in FIFO order (a sequence number
+// breaks ties), which keeps runs deterministic. Cancellation is lazy: a
+// cancelled event stays in the heap and is skipped when popped.
+//
+// The whole library is single-threaded by design (Core Guidelines CP.1 —
+// assume your code will run in a multi-threaded program only where you say
+// so); simulations parallelize across *runs* in the bench harnesses, each
+// with its own Simulator.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace bcp::sim {
+
+using TimePoint = util::Seconds;
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Opaque handle to a scheduled event; value-semantic, cheap to copy.
+  /// A default-constructed handle is invalid and never pending.
+  struct EventHandle {
+    std::uint64_t id = 0;
+    bool valid() const { return id != 0; }
+  };
+
+  /// Current simulation time. Starts at 0.
+  TimePoint now() const { return now_; }
+
+  /// Schedules `cb` at absolute time `t` (>= now).
+  EventHandle schedule_at(TimePoint t, Callback cb);
+
+  /// Schedules `cb` after `delay` (>= 0) seconds.
+  EventHandle schedule_in(util::Seconds delay, Callback cb);
+
+  /// Cancels a pending event. Returns true if it was pending (and is now
+  /// guaranteed not to fire); false if already fired, cancelled, or invalid.
+  bool cancel(EventHandle h);
+
+  /// True if the event has neither fired nor been cancelled.
+  bool is_pending(EventHandle h) const;
+
+  /// Runs until the queue is empty or stop() is called.
+  void run();
+
+  /// Processes every event with time <= `end`, then advances the clock to
+  /// exactly `end` (so time-integrating observers can be finalized there).
+  void run_until(TimePoint end);
+
+  /// Makes run()/run_until() return after the current callback completes.
+  void stop() { stopped_ = true; }
+
+  /// Number of callbacks executed so far (skipped cancellations excluded).
+  std::uint64_t processed_count() const { return processed_; }
+
+  /// Number of live (scheduled, not cancelled, not fired) events.
+  std::size_t pending_count() const { return pending_ids_.size(); }
+
+ private:
+  struct Event {
+    TimePoint time;
+    std::uint64_t seq;  // FIFO tie-break for equal times
+    std::uint64_t id;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Pops and runs the earliest live event. Pre: queue has a live event.
+  void dispatch_one();
+
+  TimePoint now_ = 0.0;
+  bool stopped_ = false;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<std::uint64_t> pending_ids_;  // live events
+  std::unordered_set<std::uint64_t> cancelled_;    // awaiting lazy skip
+};
+
+/// Restartable one-shot timer bound to a Simulator. `start` reschedules
+/// (cancelling any pending expiry); the callback is fixed at construction.
+/// Protocol state machines (MAC retries, BCP handshake timeouts) use this.
+class Timer {
+ public:
+  Timer(Simulator& sim, Simulator::Callback on_expire);
+
+  // The simulator holds no reference back to the timer, but moving would
+  // invalidate the `this` captured via the bound callback's closure state in
+  // derived users; keep it pinned.
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+
+  /// (Re)starts the timer to fire after `delay` seconds.
+  void start(util::Seconds delay);
+
+  /// Cancels a pending expiry; no-op if not running.
+  void cancel();
+
+  /// True if an expiry is pending.
+  bool running() const;
+
+ private:
+  Simulator& sim_;
+  Simulator::Callback on_expire_;
+  Simulator::EventHandle handle_;
+};
+
+}  // namespace bcp::sim

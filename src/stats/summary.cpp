@@ -1,0 +1,118 @@
+#include "stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bcp::stats {
+
+void Summary::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Summary::mean() const {
+  BCP_REQUIRE(n_ > 0);
+  return mean_;
+}
+
+double Summary::variance() const {
+  BCP_REQUIRE(n_ >= 2);
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double Summary::stddev() const { return std::sqrt(variance()); }
+
+double Summary::min() const {
+  BCP_REQUIRE(n_ > 0);
+  return min_;
+}
+
+double Summary::max() const {
+  BCP_REQUIRE(n_ > 0);
+  return max_;
+}
+
+double Summary::ci_half_width(double confidence) const {
+  BCP_REQUIRE(n_ > 0);
+  if (n_ == 1) return 0.0;
+  const double se = stddev() / std::sqrt(static_cast<double>(n_));
+  return t_critical(n_ - 1, confidence) * se;
+}
+
+namespace {
+
+// Two-sided 95% Student-t critical values for dof 1..30.
+constexpr double kT95[31] = {
+    0.0,    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+    2.228,  2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093,
+    2.086,  2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045,
+    2.042};
+
+// Inverse of the standard normal CDF (Acklam's rational approximation,
+// relative error < 1.15e-9 over (0,1)).
+double normal_quantile(double p) {
+  BCP_REQUIRE(p > 0.0 && p < 1.0);
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double plow = 0.02425;
+  if (p < plow) {
+    const double q = std::sqrt(-2 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+            c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+  }
+  if (p > 1 - plow) {
+    const double q = std::sqrt(-2 * std::log(1 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+             c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+  }
+  const double q = p - 0.5;
+  const double r = q * q;
+  return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+          a[5]) *
+         q /
+         (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1);
+}
+
+}  // namespace
+
+double t_critical(std::int64_t dof, double confidence) {
+  BCP_REQUIRE(dof >= 1);
+  BCP_REQUIRE(confidence > 0.0 && confidence < 1.0);
+  if (confidence == 0.95 && dof <= 30) return kT95[dof];
+  // Normal quantile with a second-order dof correction (Cornish-Fisher):
+  // t ~ z + (z^3 + z) / (4 dof).
+  const double z = normal_quantile(0.5 + confidence / 2.0);
+  return z + (z * z * z + z) / (4.0 * static_cast<double>(dof));
+}
+
+double percentile(std::vector<double> values, double p) {
+  BCP_REQUIRE(!values.empty());
+  BCP_REQUIRE(p >= 0.0 && p <= 100.0);
+  std::sort(values.begin(), values.end());
+  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] + frac * (values[hi] - values[lo]);
+}
+
+}  // namespace bcp::stats

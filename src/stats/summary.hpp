@@ -1,0 +1,49 @@
+// Streaming summary statistics with Student-t confidence intervals.
+//
+// The paper reports "an average of 20 runs and 95% confidence intervals";
+// every bench harness aggregates per-run metrics through this class.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace bcp::stats {
+
+/// Welford-style running mean/variance.
+class Summary {
+ public:
+  void add(double x);
+
+  std::int64_t count() const { return n_; }
+  double mean() const;
+  /// Unbiased sample variance (requires >= 2 samples).
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+  /// Half-width of the two-sided confidence interval at the given level
+  /// (default 95%) using the Student-t distribution. Requires >= 2 samples;
+  /// with 1 sample returns 0 so single-run quick benches still print.
+  double ci_half_width(double confidence = 0.95) const;
+
+ private:
+  std::int64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Two-sided Student-t critical value t_{(1+confidence)/2, dof}.
+/// Exact for the table of common confidences; falls back to a normal
+/// approximation with the Cornish-Fisher dof correction otherwise.
+double t_critical(std::int64_t dof, double confidence);
+
+/// p-th percentile (0 <= p <= 100) with linear interpolation; the input is
+/// copied and sorted. Requires a non-empty sample.
+double percentile(std::vector<double> values, double p);
+
+}  // namespace bcp::stats

@@ -1,0 +1,48 @@
+#include "stats/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace bcp::stats {
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::num(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*g", precision, value);
+  return buf;
+}
+
+std::string TextTable::num_ci(double mean, double ci, int precision) {
+  // "+-" rather than U+00B1 so column widths (computed in bytes) stay exact.
+  return num(mean, precision) + "+-" + num(ci, std::max(precision - 2, 1));
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> widths;
+  for (const auto& row : rows_) {
+    if (row.size() > widths.size()) widths.resize(row.size(), 0);
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+  }
+  std::string out;
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out += row[c];
+      if (c + 1 < row.size())
+        out.append(widths[c] - row[c].size() + 2, ' ');
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+void TextTable::print() const { std::fputs(to_string().c_str(), stdout); }
+
+void print_titled(const std::string& title, const TextTable& table) {
+  std::printf("# %s\n%s\n", title.c_str(), table.to_string().c_str());
+}
+
+}  // namespace bcp::stats

@@ -1,0 +1,39 @@
+// Plain-text table/series printers shared by the bench harnesses so every
+// figure reproduction prints in the same, diffable format:
+//
+//   # Figure 6 — SH: Normalized energy (J/Kbit)
+//   senders  DualRadio-10  DualRadio-100 ...
+//   5        0.031±0.002   0.012±0.001   ...
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace bcp::stats {
+
+/// A column-aligned text table. Cells are strings; numeric helpers format
+/// with a fixed precision. The first added row is the header.
+class TextTable {
+ public:
+  void add_row(std::vector<std::string> cells);
+
+  /// Formats `value` with `precision` significant decimal digits.
+  static std::string num(double value, int precision = 4);
+
+  /// Formats "mean+-ci" (the paper plots 95% confidence intervals).
+  static std::string num_ci(double mean, double ci, int precision = 4);
+
+  /// Renders with two-space column separation.
+  std::string to_string() const;
+
+  /// Convenience: render to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints "# <title>" followed by the table.
+void print_titled(const std::string& title, const TextTable& table);
+
+}  // namespace bcp::stats

@@ -1,0 +1,50 @@
+// Contract-checking macros used across the library.
+//
+// BCP_REQUIRE   — precondition on arguments; throws std::invalid_argument.
+// BCP_ENSURE    — internal invariant / postcondition; throws std::logic_error.
+//
+// Both are always on (they guard protocol invariants whose violation would
+// silently corrupt simulation results, so the cost is accepted; see
+// DESIGN.md §7).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace bcp::util {
+
+[[noreturn]] inline void require_failed(const char* expr, const char* file,
+                                        int line, const std::string& msg) {
+  throw std::invalid_argument(std::string("precondition failed: ") + expr +
+                              " at " + file + ":" + std::to_string(line) +
+                              (msg.empty() ? "" : (" — " + msg)));
+}
+
+[[noreturn]] inline void ensure_failed(const char* expr, const char* file,
+                                       int line, const std::string& msg) {
+  throw std::logic_error(std::string("invariant violated: ") + expr + " at " +
+                         file + ":" + std::to_string(line) +
+                         (msg.empty() ? "" : (" — " + msg)));
+}
+
+}  // namespace bcp::util
+
+#define BCP_REQUIRE(expr)                                              \
+  do {                                                                 \
+    if (!(expr)) ::bcp::util::require_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define BCP_REQUIRE_MSG(expr, msg)                                       \
+  do {                                                                   \
+    if (!(expr)) ::bcp::util::require_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+#define BCP_ENSURE(expr)                                              \
+  do {                                                                \
+    if (!(expr)) ::bcp::util::ensure_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define BCP_ENSURE_MSG(expr, msg)                                       \
+  do {                                                                  \
+    if (!(expr)) ::bcp::util::ensure_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)

@@ -1,0 +1,27 @@
+// Lightweight leveled logging.
+//
+// Off (kWarn) by default so simulations run silently; benches and debugging
+// sessions can raise the level. Not thread-safe by design — the simulator is
+// single-threaded (see sim/simulator.hpp).
+#pragma once
+
+#include <string>
+
+namespace bcp::util {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4 };
+
+/// Global level; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Writes "[level] message\n" to stderr if `level` >= the global level.
+void log(LogLevel level, const std::string& message);
+
+inline void log_trace(const std::string& m) { log(LogLevel::kTrace, m); }
+inline void log_debug(const std::string& m) { log(LogLevel::kDebug, m); }
+inline void log_info(const std::string& m) { log(LogLevel::kInfo, m); }
+inline void log_warn(const std::string& m) { log(LogLevel::kWarn, m); }
+inline void log_error(const std::string& m) { log(LogLevel::kError, m); }
+
+}  // namespace bcp::util

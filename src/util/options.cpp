@@ -1,0 +1,167 @@
+#include "util/options.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "util/assert.hpp"
+
+namespace bcp::util {
+
+Options::Options(std::string program, std::string summary)
+    : program_(std::move(program)), summary_(std::move(summary)) {}
+
+Options& Options::add_flag(const std::string& name, const std::string& help) {
+  BCP_REQUIRE_MSG(!decls_.count(name), "duplicate option: " + name);
+  Decl d;
+  d.kind = Kind::kFlag;
+  d.help = help;
+  d.default_text = "false";
+  decls_.emplace(name, std::move(d));
+  order_.push_back(name);
+  return *this;
+}
+
+Options& Options::add_int(const std::string& name, std::int64_t def,
+                          const std::string& help) {
+  BCP_REQUIRE_MSG(!decls_.count(name), "duplicate option: " + name);
+  Decl d;
+  d.kind = Kind::kInt;
+  d.help = help;
+  d.default_text = std::to_string(def);
+  d.int_value = def;
+  decls_.emplace(name, std::move(d));
+  order_.push_back(name);
+  return *this;
+}
+
+Options& Options::add_double(const std::string& name, double def,
+                             const std::string& help) {
+  BCP_REQUIRE_MSG(!decls_.count(name), "duplicate option: " + name);
+  Decl d;
+  d.kind = Kind::kDouble;
+  d.help = help;
+  d.default_text = std::to_string(def);
+  d.double_value = def;
+  decls_.emplace(name, std::move(d));
+  order_.push_back(name);
+  return *this;
+}
+
+Options& Options::add_string(const std::string& name, std::string def,
+                             const std::string& help) {
+  BCP_REQUIRE_MSG(!decls_.count(name), "duplicate option: " + name);
+  Decl d;
+  d.kind = Kind::kString;
+  d.help = help;
+  d.default_text = def;
+  d.string_value = std::move(def);
+  decls_.emplace(name, std::move(d));
+  order_.push_back(name);
+  return *this;
+}
+
+bool Options::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage().c_str(), stdout);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected positional argument '%s'\n%s",
+                   arg.c_str(), usage().c_str());
+      return false;
+    }
+    std::string name = arg.substr(2);
+    std::string inline_value;
+    bool has_inline = false;
+    if (auto eq = name.find('='); eq != std::string::npos) {
+      inline_value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_inline = true;
+    }
+    auto it = decls_.find(name);
+    if (it == decls_.end()) {
+      std::fprintf(stderr, "unknown option '--%s'\n%s", name.c_str(),
+                   usage().c_str());
+      return false;
+    }
+    Decl& d = it->second;
+    if (d.kind == Kind::kFlag) {
+      if (has_inline) {
+        std::fprintf(stderr, "flag '--%s' takes no value\n", name.c_str());
+        return false;
+      }
+      d.flag_value = true;
+      continue;
+    }
+    std::string value;
+    if (has_inline) {
+      value = inline_value;
+    } else {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "option '--%s' expects a value\n", name.c_str());
+        return false;
+      }
+      value = argv[++i];
+    }
+    try {
+      switch (d.kind) {
+        case Kind::kInt:
+          d.int_value = std::stoll(value);
+          break;
+        case Kind::kDouble:
+          d.double_value = std::stod(value);
+          break;
+        case Kind::kString:
+          d.string_value = value;
+          break;
+        case Kind::kFlag:
+          break;  // handled above
+      }
+    } catch (const std::exception&) {
+      std::fprintf(stderr, "bad value '%s' for option '--%s'\n", value.c_str(),
+                   name.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+const Options::Decl& Options::lookup(const std::string& name,
+                                     Kind kind) const {
+  auto it = decls_.find(name);
+  BCP_REQUIRE_MSG(it != decls_.end(), "undeclared option: " + name);
+  BCP_REQUIRE_MSG(it->second.kind == kind, "option type mismatch: " + name);
+  return it->second;
+}
+
+bool Options::flag(const std::string& name) const {
+  return lookup(name, Kind::kFlag).flag_value;
+}
+
+std::int64_t Options::get_int(const std::string& name) const {
+  return lookup(name, Kind::kInt).int_value;
+}
+
+double Options::get_double(const std::string& name) const {
+  return lookup(name, Kind::kDouble).double_value;
+}
+
+std::string Options::get_string(const std::string& name) const {
+  return lookup(name, Kind::kString).string_value;
+}
+
+std::string Options::usage() const {
+  std::string out = program_ + " — " + summary_ + "\noptions:\n";
+  for (const auto& name : order_) {
+    const Decl& d = decls_.at(name);
+    out += "  --" + name;
+    if (d.kind != Kind::kFlag) out += " <value>";
+    out += "  (default: " + d.default_text + ")  " + d.help + "\n";
+  }
+  out += "  --help  print this message\n";
+  return out;
+}
+
+}  // namespace bcp::util

@@ -1,0 +1,62 @@
+// Minimal command-line option parser used by the bench harnesses and
+// examples (`--runs 5`, `--duration 1000`, `--full`, ...).
+//
+// Deliberately tiny: flags are declared up front with defaults and help
+// text, unknown flags are an error, and `--help` prints usage and reports
+// that the caller should exit.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace bcp::util {
+
+class Options {
+ public:
+  /// `program` and `summary` feed the --help text.
+  Options(std::string program, std::string summary);
+
+  /// Declare options before parse(). Each returns *this for chaining.
+  Options& add_flag(const std::string& name, const std::string& help);
+  Options& add_int(const std::string& name, std::int64_t def,
+                   const std::string& help);
+  Options& add_double(const std::string& name, double def,
+                      const std::string& help);
+  Options& add_string(const std::string& name, std::string def,
+                      const std::string& help);
+
+  /// Parses argv. Returns false if --help was requested (usage printed) or a
+  /// parse error occurred (error printed); callers should exit in that case.
+  bool parse(int argc, const char* const* argv);
+
+  bool flag(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  std::string get_string(const std::string& name) const;
+
+  std::string usage() const;
+
+ private:
+  enum class Kind { kFlag, kInt, kDouble, kString };
+  struct Decl {
+    Kind kind = Kind::kFlag;
+    std::string help;
+    std::string default_text;
+    bool flag_value = false;
+    std::int64_t int_value = 0;
+    double double_value = 0.0;
+    std::string string_value;
+  };
+
+  const Decl& lookup(const std::string& name, Kind kind) const;
+
+  std::string program_;
+  std::string summary_;
+  std::vector<std::string> order_;  // declaration order, for usage()
+  std::map<std::string, Decl> decls_;
+};
+
+}  // namespace bcp::util

@@ -1,0 +1,33 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace bcp::util {
+
+std::uint64_t Xoshiro256::uniform_int(std::uint64_t n) {
+  BCP_REQUIRE(n > 0);
+  // Lemire-style rejection to avoid modulo bias.
+  const std::uint64_t threshold = (0 - n) % n;
+  for (;;) {
+    const std::uint64_t r = (*this)();
+    if (r >= threshold) return r % n;
+  }
+}
+
+double Xoshiro256::exponential(double mean) {
+  BCP_REQUIRE(mean > 0.0);
+  // Inversion; (1 - u) keeps the argument of log strictly positive.
+  return -mean * std::log1p(-uniform());
+}
+
+std::uint64_t substream(std::uint64_t root_seed, std::uint64_t stream_id,
+                        std::uint64_t salt) {
+  SplitMix64 sm(root_seed ^ (0x9E3779B97F4A7C15ULL * (stream_id + 1)) ^
+                (0xD1B54A32D192ED03ULL * (salt + 1)));
+  // Burn a few outputs so nearby (seed, id) pairs decorrelate.
+  sm.next();
+  sm.next();
+  return sm.next();
+}
+
+}  // namespace bcp::util

@@ -1,0 +1,99 @@
+// Deterministic random-number generation.
+//
+// Every simulation run draws all randomness from a single 64-bit seed.
+// Sub-components (per-node MACs, workload generators, the channel) derive
+// independent streams via `substream`, so adding a consumer never perturbs
+// the draws seen by existing consumers — a property the reproducibility
+// tests rely on.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace bcp::util {
+
+/// SplitMix64 — used to whiten seeds and derive substream seeds.
+/// Reference: Steele, Lea & Flood, "Fast Splittable Pseudorandom Number
+/// Generators", OOPSLA 2014.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna) — the workhorse generator.
+/// Satisfies UniformRandomBitGenerator so it plugs into <random>.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& w : s_) w = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    BCP_REQUIRE(lo <= hi);
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint64_t uniform_int(std::uint64_t n);
+
+  /// Bernoulli trial with success probability p in [0, 1].
+  bool chance(double p) {
+    BCP_REQUIRE(p >= 0.0 && p <= 1.0);
+    return uniform() < p;
+  }
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double exponential(double mean);
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4];
+};
+
+/// Derives the seed of an independent substream. `stream_id` identifies the
+/// consumer (e.g. node id) and `salt` the purpose (e.g. "mac" vs "workload").
+std::uint64_t substream(std::uint64_t root_seed, std::uint64_t stream_id,
+                        std::uint64_t salt);
+
+}  // namespace bcp::util

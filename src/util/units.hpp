@@ -1,0 +1,68 @@
+// Unit conventions for the whole library (DESIGN.md §7):
+//   time   — seconds (double)
+//   energy — joules  (double)
+//   power  — watts   (double)
+//   size   — bits    (int64_t); helpers convert from bytes / KB
+//   rate   — bits per second (double)
+//   length — metres  (double)
+//
+// The paper quotes powers in mW, wake-up energies in mJ, sizes in bytes/KB
+// and rates in Kbps/Mbps; the helpers below keep those translations explicit
+// at the call site instead of burying magic factors in the models.
+#pragma once
+
+#include <cstdint>
+
+namespace bcp::util {
+
+using Seconds = double;
+using Joules = double;
+using Watts = double;
+using BitsPerSecond = double;
+using Metres = double;
+using Bits = std::int64_t;
+
+constexpr double kMilli = 1e-3;
+constexpr double kMicro = 1e-6;
+
+/// Bytes to bits.
+constexpr Bits bytes(std::int64_t n) { return n * 8; }
+
+/// Kilobytes (2^10 bytes, as the paper's figures use) to bits.
+constexpr Bits kilobytes(std::int64_t n) { return n * 1024 * 8; }
+
+/// Bits to (fractional) bytes.
+constexpr double to_bytes(Bits bits) { return static_cast<double>(bits) / 8.0; }
+
+/// Bits to (fractional) kilobytes.
+constexpr double to_kilobytes(Bits bits) {
+  return static_cast<double>(bits) / (8.0 * 1024.0);
+}
+
+/// Milliwatts to watts (Table 1 is quoted in mW).
+constexpr Watts milliwatts(double mw) { return mw * kMilli; }
+
+/// Millijoules to joules (Table 1 wake-up energies are in mJ).
+constexpr Joules millijoules(double mj) { return mj * kMilli; }
+
+/// Microjoules to joules (Figures 11-12 are in uJ).
+constexpr Joules microjoules(double uj) { return uj * kMicro; }
+
+/// Kilobits-per-second to bit/s.
+constexpr BitsPerSecond kbps(double k) { return k * 1e3; }
+
+/// Megabits-per-second to bit/s.
+constexpr BitsPerSecond mbps(double m) { return m * 1e6; }
+
+/// Milliseconds to seconds.
+constexpr Seconds milliseconds(double ms) { return ms * kMilli; }
+
+/// Microseconds to seconds.
+constexpr Seconds microseconds(double us) { return us * kMicro; }
+
+/// Serialization time of `bits` at `rate` bit/s.
+constexpr Seconds tx_duration(Bits bits, BitsPerSecond rate) {
+  return static_cast<double>(bits) / rate;
+}
+
+}  // namespace bcp::util

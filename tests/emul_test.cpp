@@ -1,0 +1,182 @@
+// Integration tests: the §4.2 prototype emulation (event log, threshold
+// sweep behaviour, cross-checked energy accounting).
+#include <gtest/gtest.h>
+
+#include "core/trace_recorder.hpp"
+#include "emul/event_log.hpp"
+#include "emul/prototype.hpp"
+#include "util/units.hpp"
+
+namespace bcp::emul {
+namespace {
+
+using util::bytes;
+using util::kilobytes;
+
+PrototypeConfig quick(util::Bits threshold, int messages = 100) {
+  PrototypeConfig cfg;
+  cfg.threshold_bits = threshold;
+  cfg.message_count = messages;
+  return cfg;
+}
+
+TEST(Prototype, AllMessagesDelivered) {
+  const auto r = run_prototype(quick(kilobytes(1)));
+  EXPECT_EQ(r.generated, 100);
+  EXPECT_EQ(r.delivered, 100);
+  EXPECT_GT(r.wifi_wakeups, 0);
+  EXPECT_GT(r.bulk_frames, 0);
+  EXPECT_GT(r.log_entries, 0);
+}
+
+TEST(Prototype, DeterministicAcrossRuns) {
+  const auto a = run_prototype(quick(kilobytes(2)));
+  const auto b = run_prototype(quick(kilobytes(2)));
+  EXPECT_DOUBLE_EQ(a.dual_energy, b.dual_energy);
+  EXPECT_DOUBLE_EQ(a.mean_delay_per_packet, b.mean_delay_per_packet);
+  EXPECT_EQ(a.wifi_wakeups, b.wifi_wakeups);
+}
+
+TEST(Prototype, LogEnergyMatchesMeterEnergy) {
+  // The paper computed energy from event logs; we also meter it live.
+  // The two accountings must agree (the log replay is an independent
+  // implementation).
+  const auto r = run_prototype(quick(kilobytes(2)));
+  EXPECT_NEAR(r.log_energy, r.dual_energy, 1e-6 + 0.01 * r.dual_energy);
+}
+
+TEST(Prototype, LargerThresholdMeansFewerWakeups) {
+  const auto small = run_prototype(quick(bytes(512), 200));
+  const auto large = run_prototype(quick(bytes(4096), 200));
+  EXPECT_GT(small.wifi_wakeups, large.wifi_wakeups);
+}
+
+TEST(Prototype, EnergyPerPacketDropsAsThresholdGrows) {
+  // Fig. 11's dominant trend (sawtooth aside): bigger bursts amortize the
+  // wake-up cost.
+  const auto at_512 = run_prototype(quick(bytes(512), 500));
+  const auto at_4k = run_prototype(quick(bytes(4096), 500));
+  EXPECT_LT(at_4k.dual_energy_per_packet,
+            0.8 * at_512.dual_energy_per_packet);
+}
+
+TEST(Prototype, DualBeatsSensorBaselineAtLargeThreshold) {
+  // Fig. 11: the dual-radio curve falls below the flat sensor-radio line
+  // once the threshold passes s* (slightly above 1 KB).
+  const auto r = run_prototype(quick(bytes(4096), 500));
+  EXPECT_LT(r.dual_energy_per_packet, r.sensor_energy_per_packet);
+}
+
+TEST(Prototype, SensorBaselineBeatsDualAtTinyThreshold) {
+  const auto r = run_prototype(quick(bytes(128), 200));
+  EXPECT_GT(r.dual_energy_per_packet, r.sensor_energy_per_packet);
+}
+
+TEST(Prototype, DelayGrowsWithThreshold) {
+  // Fig. 12's x-axis: buffering delay scales with the threshold.
+  const auto small = run_prototype(quick(bytes(1024), 300));
+  const auto large = run_prototype(quick(bytes(4096), 300));
+  EXPECT_GT(large.mean_delay_per_packet, 2.0 * small.mean_delay_per_packet);
+}
+
+TEST(Prototype, SensorBaselineMatchesClosedForm) {
+  const auto r = run_prototype(quick(kilobytes(1), 50));
+  // (Ptx + Prx)/R × (32 B + 11 B) for the CC2420/Micaz table entry.
+  const double expected = (0.051 + 0.0591) / 250e3 * (43 * 8);
+  EXPECT_NEAR(r.sensor_energy_per_packet, expected, 1e-12);
+}
+
+TEST(Prototype, WakeupCountMatchesBurstMath) {
+  // 200 messages of 32 B with a 2 KB threshold = 64 messages per burst
+  // -> 3 threshold bursts + 1 final flush; each burst wakes both radios.
+  const auto r = run_prototype(quick(kilobytes(2), 200));
+  EXPECT_EQ(r.wifi_wakeups, 2 * 4);
+  EXPECT_EQ(r.delivered, 200);
+}
+
+TEST(Prototype, InvalidConfigThrows) {
+  EXPECT_THROW(run_prototype(quick(0)), std::invalid_argument);
+  auto cfg = quick(kilobytes(1));
+  cfg.message_count = 0;
+  EXPECT_THROW(run_prototype(cfg), std::invalid_argument);
+  cfg = quick(kilobytes(1));
+  cfg.message_interval = 0;
+  EXPECT_THROW(run_prototype(cfg), std::invalid_argument);
+}
+
+TEST(Prototype, ObserversSeeBothSidesOfEveryBurst) {
+  core::TraceRecorder sender_trace, receiver_trace;
+  auto cfg = quick(kilobytes(2), 200);  // 64 msgs/burst -> 4 bursts
+  cfg.sender_observer = &sender_trace;
+  cfg.receiver_observer = &receiver_trace;
+  const auto r = run_prototype(cfg);
+  EXPECT_EQ(r.delivered, 200);
+  using Kind = core::TraceRecorder::Kind;
+  EXPECT_EQ(sender_trace.count(Kind::kWakeupSent), 4);
+  EXPECT_EQ(sender_trace.count(Kind::kSenderEnded), 4);
+  EXPECT_EQ(sender_trace.count(Kind::kFrameSent), r.bulk_frames);
+  EXPECT_EQ(receiver_trace.count(Kind::kAckSent), 4);
+  EXPECT_EQ(receiver_trace.count(Kind::kFrameReceived), r.bulk_frames);
+  EXPECT_EQ(receiver_trace.count(Kind::kReceiverEnded), 4);
+  // Every frame the sender traced, the receiver traced too (perfect link).
+  EXPECT_FALSE(sender_trace.transcript().empty());
+}
+
+// ---------------------------------------------------------- event log ----
+
+TEST(EventLog, AppendAndCount) {
+  EventLog log;
+  log.append(0.0, 0, LogEvent::kWifiPowerOn);
+  log.append(0.1, 0, LogEvent::kWifiReady);
+  log.append(0.2, 0, LogEvent::kWifiPowerOff);
+  log.append(0.3, 0, LogEvent::kWifiPowerOn);
+  EXPECT_EQ(log.count(LogEvent::kWifiPowerOn), 2);
+  EXPECT_EQ(log.count(LogEvent::kWifiPowerOff), 1);
+  EXPECT_EQ(log.entries().size(), 4u);
+}
+
+TEST(EventLog, EnergyFromLogHandComputed) {
+  // One wake-up, 1 s idle before off, one 0.5 s high tx segment inside.
+  EventLog log;
+  const auto& wifi = energy::lucent_11mbps();
+  const auto& sensor = energy::micaz();
+  log.append(0.0, 0, LogEvent::kWifiPowerOn);
+  log.append(wifi.t_wakeup, 0, LogEvent::kWifiReady);
+  log.append(0.2, 0, LogEvent::kHighTxStart, 8000);
+  log.append(0.7, 0, LogEvent::kHighTxEnd);
+  log.append(0.0 + wifi.t_wakeup + 1.0 + 0.5, 0, LogEvent::kWifiPowerOff);
+  const double expected =
+      wifi.e_wakeup + wifi.p_tx * 0.5 + wifi.p_idle * 1.0;
+  EXPECT_NEAR(energy_from_log(log, sensor, wifi, 10.0), expected, 1e-12);
+}
+
+TEST(EventLog, LowRadioSegmentsCharged) {
+  EventLog log;
+  const auto& sensor = energy::micaz();
+  log.append(1.0, 3, LogEvent::kLowTxStart, 344);
+  log.append(1.5, 3, LogEvent::kLowTxEnd);
+  log.append(1.0, 4, LogEvent::kLowRxStart, 344);
+  log.append(1.5, 4, LogEvent::kLowRxEnd);
+  const double expected = sensor.p_tx * 0.5 + sensor.p_rx * 0.5;
+  EXPECT_NEAR(energy_from_log(log, sensor, energy::lucent_11mbps(), 2.0),
+              expected, 1e-12);
+}
+
+TEST(EventLog, DanglingOnPeriodClosedAtEndTime) {
+  EventLog log;
+  const auto& wifi = energy::lucent_11mbps();
+  log.append(0.0, 0, LogEvent::kWifiPowerOn);
+  // Never powered off; end_time = 2.0 -> idle = 2.0 - t_wakeup.
+  const double expected =
+      wifi.e_wakeup + wifi.p_idle * (2.0 - wifi.t_wakeup);
+  EXPECT_NEAR(energy_from_log(log, energy::micaz(), wifi, 2.0), expected,
+              1e-12);
+}
+
+TEST(EventLog, NamesAreStable) {
+  EXPECT_STREQ(to_string(LogEvent::kWifiPowerOn), "wifi-power-on");
+  EXPECT_STREQ(to_string(LogEvent::kMsgDelivered), "msg-delivered");
+}
+
+}  // namespace
+}  // namespace bcp::emul

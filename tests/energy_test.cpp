@@ -1,0 +1,183 @@
+// Unit tests: radio catalog (Table 1) and the EnergyMeter integrator.
+#include <gtest/gtest.h>
+
+#include "energy/energy_meter.hpp"
+#include "energy/radio_model.hpp"
+#include "util/units.hpp"
+
+namespace bcp::energy {
+namespace {
+
+using util::bytes;
+
+TEST(RadioCatalog, Table1Values) {
+  // Spot-check the transcription of Table 1 (mW, mJ).
+  const auto& c = cabletron_2mbps();
+  EXPECT_DOUBLE_EQ(c.rate, 2e6);
+  EXPECT_DOUBLE_EQ(c.p_tx, 1.400);
+  EXPECT_DOUBLE_EQ(c.p_rx, 1.000);
+  EXPECT_DOUBLE_EQ(c.p_idle, 0.830);
+  EXPECT_DOUBLE_EQ(c.e_wakeup, 1.328e-3);
+
+  const auto& l2 = lucent_2mbps();
+  EXPECT_DOUBLE_EQ(l2.p_tx, 1.3272);
+  EXPECT_DOUBLE_EQ(l2.p_rx, 0.9669);
+  EXPECT_DOUBLE_EQ(l2.p_idle, 0.8437);
+  EXPECT_DOUBLE_EQ(l2.e_wakeup, 0.6e-3);
+
+  const auto& l11 = lucent_11mbps();
+  EXPECT_DOUBLE_EQ(l11.rate, 11e6);
+  EXPECT_DOUBLE_EQ(l11.p_tx, 1.3461);
+  EXPECT_DOUBLE_EQ(l11.p_rx, 0.9006);
+  EXPECT_DOUBLE_EQ(l11.p_idle, 0.7394);
+
+  const auto& m = mica();
+  EXPECT_DOUBLE_EQ(m.rate, 40e3);
+  EXPECT_DOUBLE_EQ(m.p_tx, 0.081);
+  EXPECT_DOUBLE_EQ(m.p_rx, 0.030);
+  EXPECT_DOUBLE_EQ(m.p_idle, 0.030);
+
+  const auto& m2 = mica2();
+  EXPECT_DOUBLE_EQ(m2.rate, 38.4e3);
+  EXPECT_DOUBLE_EQ(m2.p_tx, 0.042);
+  EXPECT_DOUBLE_EQ(m2.p_rx, 0.029);
+
+  const auto& mz = micaz();
+  EXPECT_DOUBLE_EQ(mz.rate, 250e3);
+  EXPECT_DOUBLE_EQ(mz.p_tx, 0.051);
+  EXPECT_DOUBLE_EQ(mz.p_rx, 0.0591);
+}
+
+TEST(RadioCatalog, ClassesAndRanges) {
+  EXPECT_EQ(cabletron_2mbps().radio_class, RadioClass::kHighPower);
+  EXPECT_EQ(lucent_2mbps().radio_class, RadioClass::kHighPower);
+  EXPECT_EQ(micaz().radio_class, RadioClass::kLowPower);
+  // §2.2: 802.11 ~250 m, sensor ~40 m; Lucent-11 assumed sensor range.
+  EXPECT_DOUBLE_EQ(cabletron_2mbps().range, 250);
+  EXPECT_DOUBLE_EQ(mica().range, 40);
+  EXPECT_DOUBLE_EQ(lucent_11mbps().range, 40);
+}
+
+TEST(RadioCatalog, SensorRadiosHaveNoWakeupCost) {
+  EXPECT_DOUBLE_EQ(mica().e_wakeup, 0);
+  EXPECT_DOUBLE_EQ(mica2().e_wakeup, 0);
+  EXPECT_DOUBLE_EQ(micaz().e_wakeup, 0);
+}
+
+TEST(RadioCatalog, LookupByName) {
+  ASSERT_TRUE(find_radio("Cabletron").has_value());
+  ASSERT_TRUE(find_radio("Lucent-11Mbps").has_value());
+  ASSERT_TRUE(find_radio("Micaz").has_value());
+  EXPECT_FALSE(find_radio("Atheros").has_value());
+  EXPECT_EQ(radio_catalog().size(), 6u);
+}
+
+TEST(RadioModel, TxRxEnergyLinearInBits) {
+  const auto& r = micaz();
+  EXPECT_NEAR(r.tx_energy(bytes(32)), 0.051 * 256.0 / 250e3, 1e-12);
+  EXPECT_DOUBLE_EQ(r.tx_energy(2000), 2 * r.tx_energy(1000));
+  EXPECT_DOUBLE_EQ(r.rx_energy(2000), 2 * r.rx_energy(1000));
+}
+
+TEST(RadioModel, PerPayloadBitIncludesHeaderOverhead) {
+  const auto& r = micaz();
+  const double plain = r.per_payload_bit(bytes(32), 0);
+  const double with_header = r.per_payload_bit(bytes(32), bytes(11));
+  EXPECT_NEAR(plain, (0.051 + 0.0591) / 250e3, 1e-12);
+  EXPECT_NEAR(with_header / plain, 43.0 / 32.0, 1e-12);
+  EXPECT_THROW(r.per_payload_bit(0, 0), std::invalid_argument);
+}
+
+TEST(EnergyMeter, IntegratesPowerOverTime) {
+  EnergyMeter m(micaz());
+  m.transition(EnergyCategory::kIdle, 0.0);
+  m.transition(EnergyCategory::kTx, 10.0);   // 10 s idle
+  m.transition(EnergyCategory::kRx, 11.0);   // 1 s tx
+  m.finalize(13.0);                          // 2 s rx
+  EXPECT_NEAR(m.energy(EnergyCategory::kIdle), 0.0591 * 10, 1e-12);
+  EXPECT_NEAR(m.energy(EnergyCategory::kTx), 0.051 * 1, 1e-12);
+  EXPECT_NEAR(m.energy(EnergyCategory::kRx), 0.0591 * 2, 1e-12);
+  EXPECT_NEAR(m.duration(EnergyCategory::kIdle), 10.0, 1e-12);
+  EXPECT_NEAR(m.duration(EnergyCategory::kRx), 2.0, 1e-12);
+}
+
+TEST(EnergyMeter, StartsOffAndOffDrawsNothing) {
+  EnergyMeter m(cabletron_2mbps());
+  EXPECT_EQ(m.category(), EnergyCategory::kOff);
+  m.finalize(100.0);
+  EXPECT_DOUBLE_EQ(m.total(), 0.0);
+  EXPECT_DOUBLE_EQ(m.duration(EnergyCategory::kOff), 100.0);
+}
+
+TEST(EnergyMeter, WakeupLumpCharged) {
+  EnergyMeter m(cabletron_2mbps());
+  m.add_wakeup_charge();
+  m.add_wakeup_charge();
+  EXPECT_EQ(m.wakeup_count(), 2);
+  EXPECT_NEAR(m.energy(EnergyCategory::kWaking), 2 * 1.328e-3, 1e-12);
+}
+
+TEST(EnergyMeter, WakingIntervalDrawsOnlyTheLump) {
+  EnergyMeter m(cabletron_2mbps());
+  m.transition(EnergyCategory::kWaking, 0.0);
+  m.add_wakeup_charge();
+  m.transition(EnergyCategory::kIdle, 0.1);
+  m.finalize(0.1);
+  EXPECT_NEAR(m.energy(EnergyCategory::kWaking), 1.328e-3, 1e-12);
+  EXPECT_NEAR(m.duration(EnergyCategory::kWaking), 0.1, 1e-12);
+}
+
+TEST(EnergyMeter, OverhearDrawsReceivePower) {
+  EnergyMeter m(micaz());
+  m.transition(EnergyCategory::kOverhear, 0.0);
+  m.finalize(2.0);
+  EXPECT_NEAR(m.energy(EnergyCategory::kOverhear), 0.0591 * 2, 1e-12);
+}
+
+TEST(EnergyMeter, ChargingPolicySelectsCategories) {
+  EnergyMeter m(micaz());
+  m.transition(EnergyCategory::kTx, 0.0);
+  m.transition(EnergyCategory::kRx, 1.0);
+  m.transition(EnergyCategory::kOverhear, 2.0);
+  m.transition(EnergyCategory::kIdle, 3.0);
+  m.finalize(4.0);
+  const double tx = 0.051, rx = 0.0591;
+  EXPECT_NEAR(m.charged_total(ChargingPolicy::ideal_tx_rx()), tx + rx, 1e-12);
+  EXPECT_NEAR(m.charged_total(ChargingPolicy::full()),
+              tx + rx + rx + rx, 1e-12);  // + overhear + idle(=rx for micaz)
+}
+
+TEST(EnergyMeter, TimeMustNotGoBackwards) {
+  EnergyMeter m(micaz());
+  m.transition(EnergyCategory::kIdle, 5.0);
+  EXPECT_THROW(m.transition(EnergyCategory::kTx, 4.0),
+               std::invalid_argument);
+  EXPECT_THROW(m.finalize(1.0), std::invalid_argument);
+}
+
+TEST(EnergyMeter, ZeroLengthIntervalsAreFree) {
+  EnergyMeter m(micaz());
+  m.transition(EnergyCategory::kTx, 1.0);
+  m.transition(EnergyCategory::kRx, 1.0);
+  m.transition(EnergyCategory::kIdle, 1.0);
+  m.finalize(1.0);
+  EXPECT_DOUBLE_EQ(m.total(), 0.0);
+}
+
+TEST(EnergyMeter, AddLumpAccumulates) {
+  EnergyMeter m(micaz());
+  m.add_lump(EnergyCategory::kRx, 0.5);
+  m.add_lump(EnergyCategory::kRx, 0.25);
+  EXPECT_DOUBLE_EQ(m.energy(EnergyCategory::kRx), 0.75);
+  EXPECT_THROW(m.add_lump(EnergyCategory::kRx, -1.0),
+               std::invalid_argument);
+}
+
+TEST(EnergyMeter, CategoryNamesAreStable) {
+  EXPECT_STREQ(to_string(EnergyCategory::kTx), "tx");
+  EXPECT_STREQ(to_string(EnergyCategory::kOverhear), "overhear");
+  EXPECT_STREQ(to_string(EnergyCategory::kWaking), "waking");
+}
+
+}  // namespace
+}  // namespace bcp::energy

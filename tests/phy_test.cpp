@@ -1,0 +1,356 @@
+// Unit tests: channel semantics (range, collisions, losses, carrier sense)
+// and the radio power/reception state machine.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "energy/radio_model.hpp"
+#include "net/topology.hpp"
+#include "phy/channel.hpp"
+#include "phy/radio.hpp"
+#include "sim/simulator.hpp"
+
+namespace bcp::phy {
+namespace {
+
+using net::NodeId;
+using net::Position;
+
+Frame make_frame(NodeId from, NodeId to, util::Bits payload = 256,
+                 util::Bits header = 88) {
+  Frame f;
+  f.tx_node = from;
+  f.rx_node = to;
+  f.kind = FrameKind::kData;
+  f.mac_seq = 1;
+  f.payload_bits = payload;
+  f.header_bits = header;
+  net::Message m;
+  m.src = from;
+  m.dst = to;
+  m.body = net::DataPacket{from, to, 1, payload, 0.0};
+  f.message = m;
+  return f;
+}
+
+/// Records every channel callback for one node.
+class Probe : public ChannelListener {
+ public:
+  struct Rx {
+    std::uint64_t id;
+    bool clean;
+  };
+  void on_rx_start(std::uint64_t, const Frame&, util::Seconds) override {
+    ++starts;
+  }
+  void on_rx_end(std::uint64_t id, const Frame&, bool clean) override {
+    ends.push_back(Rx{id, clean});
+  }
+  int starts = 0;
+  std::vector<Rx> ends;
+};
+
+class ChannelTest : public ::testing::Test {
+ protected:
+  // Line topology: 0 -- 50m -- 1 -- 50m -- 2; range 60 m, so 0 and 2 are
+  // hidden terminals with respect to each other.
+  ChannelTest()
+      : channel_(sim_, {{0, 0}, {50, 0}, {100, 0}}, 60.0,
+                 Channel::Params{0.0}, 1) {
+    for (auto& p : probes_) p = std::make_unique<Probe>();
+    for (NodeId i = 0; i < 3; ++i) channel_.attach(i, probes_[i].get());
+  }
+  sim::Simulator sim_;
+  Channel channel_;
+  std::unique_ptr<Probe> probes_[3];
+};
+
+TEST_F(ChannelTest, DeliversCleanWithinRange) {
+  channel_.start_tx(0, make_frame(0, 1), 0.01);
+  sim_.run();
+  ASSERT_EQ(probes_[1]->ends.size(), 1u);
+  EXPECT_TRUE(probes_[1]->ends[0].clean);
+  EXPECT_EQ(probes_[2]->starts, 0);  // out of range of node 0
+}
+
+TEST_F(ChannelTest, NeighborsHearFramesNotAddressedToThem) {
+  channel_.start_tx(1, make_frame(1, 2), 0.01);
+  sim_.run();
+  EXPECT_EQ(probes_[0]->starts, 1);  // in range — overhears
+  EXPECT_EQ(probes_[2]->starts, 1);
+}
+
+TEST_F(ChannelTest, OverlappingTransmissionsCollideAtCommonReceiver) {
+  // Hidden terminals 0 and 2 transmit simultaneously: node 1 hears both,
+  // both corrupted.
+  channel_.start_tx(0, make_frame(0, 1), 0.01);
+  channel_.start_tx(2, make_frame(2, 1), 0.01);
+  sim_.run();
+  ASSERT_EQ(probes_[1]->ends.size(), 2u);
+  EXPECT_FALSE(probes_[1]->ends[0].clean);
+  EXPECT_FALSE(probes_[1]->ends[1].clean);
+}
+
+TEST_F(ChannelTest, PartialOverlapAlsoCollides) {
+  channel_.start_tx(0, make_frame(0, 1), 0.01);
+  sim_.schedule_at(0.009, [&] {
+    channel_.start_tx(2, make_frame(2, 1), 0.01);
+  });
+  sim_.run();
+  ASSERT_EQ(probes_[1]->ends.size(), 2u);
+  EXPECT_FALSE(probes_[1]->ends[0].clean);
+  EXPECT_FALSE(probes_[1]->ends[1].clean);
+}
+
+TEST_F(ChannelTest, BackToBackFramesDoNotCollide) {
+  channel_.start_tx(0, make_frame(0, 1), 0.01);
+  sim_.schedule_at(0.0101, [&] {
+    channel_.start_tx(2, make_frame(2, 1), 0.01);
+  });
+  sim_.run();
+  ASSERT_EQ(probes_[1]->ends.size(), 2u);
+  EXPECT_TRUE(probes_[1]->ends[0].clean);
+  EXPECT_TRUE(probes_[1]->ends[1].clean);
+}
+
+TEST_F(ChannelTest, TransmitterCannotHearWhileTransmitting) {
+  // Node 1 transmits; node 0's frame to 1 overlaps -> corrupted at 1.
+  channel_.start_tx(1, make_frame(1, 2), 0.01);
+  channel_.start_tx(0, make_frame(0, 1), 0.005);
+  sim_.run();
+  ASSERT_EQ(probes_[1]->ends.size(), 1u);  // hears only node 0's frame
+  EXPECT_FALSE(probes_[1]->ends[0].clean);
+}
+
+TEST_F(ChannelTest, CollisionIsLocalNotGlobal) {
+  // 0->1 and 2->1 collide at 1, but node 2's frame... use a different
+  // pattern: 0 transmits, 2 transmits; node 1 sees collision. Node 0 and 2
+  // hear nothing (out of range of each other), so no corruption there.
+  channel_.start_tx(0, make_frame(0, 1), 0.01);
+  channel_.start_tx(2, make_frame(2, 1), 0.01);
+  sim_.run();
+  EXPECT_EQ(probes_[0]->starts, 0);
+  EXPECT_EQ(probes_[2]->starts, 0);
+}
+
+TEST_F(ChannelTest, CarrierSenseTracksAudibleTraffic) {
+  EXPECT_FALSE(channel_.busy_at(0));
+  channel_.start_tx(0, make_frame(0, 1), 0.01);
+  EXPECT_TRUE(channel_.busy_at(0));  // own transmission
+  EXPECT_TRUE(channel_.busy_at(1));
+  EXPECT_FALSE(channel_.busy_at(2));  // hidden from node 0
+  EXPECT_DOUBLE_EQ(channel_.clear_at(1), 0.01);
+  sim_.run();
+  EXPECT_FALSE(channel_.busy_at(1));
+  EXPECT_DOUBLE_EQ(channel_.clear_at(1), sim_.now());
+}
+
+TEST_F(ChannelTest, StatsCountCleanAndCorrupt) {
+  channel_.start_tx(0, make_frame(0, 1), 0.01);
+  sim_.run();
+  EXPECT_EQ(channel_.stats().frames, 1);
+  EXPECT_EQ(channel_.stats().deliveries_clean, 1);
+  channel_.start_tx(0, make_frame(0, 1), 0.01);
+  channel_.start_tx(2, make_frame(2, 1), 0.01);
+  sim_.run();
+  EXPECT_EQ(channel_.stats().deliveries_corrupt, 2);
+}
+
+TEST_F(ChannelTest, DoubleTransmitFromSameNodeThrows) {
+  channel_.start_tx(0, make_frame(0, 1), 0.01);
+  EXPECT_THROW(channel_.start_tx(0, make_frame(0, 1), 0.01),
+               std::invalid_argument);
+}
+
+TEST(ChannelLoss, BernoulliLossDropsRoughlyTheConfiguredFraction) {
+  sim::Simulator sim;
+  Channel ch(sim, {{0, 0}, {10, 0}}, 50.0, Channel::Params{0.3}, 42);
+  Probe p;
+  ch.attach(1, &p);
+  int clean = 0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    sim.schedule_at(i * 1.0, [&] { ch.start_tx(0, make_frame(0, 1), 0.01); });
+  }
+  sim.run();
+  for (const auto& e : p.ends)
+    if (e.clean) ++clean;
+  EXPECT_NEAR(static_cast<double>(clean) / n, 0.7, 0.04);
+}
+
+TEST(ChannelLoss, InvalidLossProbabilityThrows) {
+  sim::Simulator sim;
+  EXPECT_THROW(Channel(sim, {{0, 0}}, 50.0, Channel::Params{-0.1}, 1),
+               std::invalid_argument);
+  EXPECT_THROW(Channel(sim, {{0, 0}}, 50.0, Channel::Params{1.0}, 1),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- Radio --
+
+class RadioTest : public ::testing::Test {
+ protected:
+  RadioTest()
+      : channel_(sim_, {{0, 0}, {10, 0}, {20, 0}}, 50.0, Channel::Params{0.0},
+                 7) {}
+  sim::Simulator sim_;
+  Channel channel_;
+};
+
+TEST_F(RadioTest, StartsOnWhenRequested) {
+  Radio r(sim_, channel_, 0, energy::micaz(), OverhearMode::kNone, true);
+  EXPECT_EQ(r.state(), RadioState::kIdle);
+  EXPECT_TRUE(r.ready());
+  EXPECT_EQ(r.meter().wakeup_count(), 0);
+}
+
+TEST_F(RadioTest, PowerOnTakesWakeupTimeAndChargesLump) {
+  Radio r(sim_, channel_, 0, energy::lucent_11mbps(), OverhearMode::kNone,
+          false);
+  EXPECT_EQ(r.state(), RadioState::kOff);
+  bool woke = false;
+  r.callbacks().wake_complete = [&] { woke = true; };
+  r.power_on();
+  EXPECT_EQ(r.state(), RadioState::kWaking);
+  EXPECT_FALSE(r.ready());
+  sim_.run();
+  EXPECT_TRUE(woke);
+  EXPECT_EQ(r.state(), RadioState::kIdle);
+  EXPECT_DOUBLE_EQ(sim_.now(), 0.1);  // 100 ms wake-up
+  EXPECT_EQ(r.meter().wakeup_count(), 1);
+}
+
+TEST_F(RadioTest, DuplicatePowerOnIsNoOp) {
+  Radio r(sim_, channel_, 0, energy::lucent_11mbps(), OverhearMode::kNone,
+          false);
+  r.power_on();
+  r.power_on();
+  sim_.run();
+  EXPECT_EQ(r.meter().wakeup_count(), 1);
+}
+
+TEST_F(RadioTest, PowerOffDuringWakeCancelsCompletion) {
+  Radio r(sim_, channel_, 0, energy::lucent_11mbps(), OverhearMode::kNone,
+          false);
+  bool woke = false;
+  r.callbacks().wake_complete = [&] { woke = true; };
+  r.power_on();
+  r.power_off();
+  sim_.run();
+  EXPECT_FALSE(woke);
+  EXPECT_EQ(r.state(), RadioState::kOff);
+}
+
+TEST_F(RadioTest, TransmitDeliversToAddressee) {
+  Radio tx(sim_, channel_, 0, energy::micaz(), OverhearMode::kNone, true);
+  Radio rx(sim_, channel_, 1, energy::micaz(), OverhearMode::kNone, true);
+  int got = 0;
+  rx.callbacks().frame_received = [&](const Frame&) { ++got; };
+  bool tx_done = false;
+  tx.callbacks().tx_done = [&] { tx_done = true; };
+  tx.transmit(make_frame(0, 1));
+  EXPECT_EQ(tx.state(), RadioState::kTx);
+  sim_.run();
+  EXPECT_TRUE(tx_done);
+  EXPECT_EQ(got, 1);
+  EXPECT_EQ(tx.state(), RadioState::kIdle);
+  EXPECT_EQ(rx.state(), RadioState::kIdle);
+  // 344 bits at 250 Kb/s.
+  EXPECT_NEAR(sim_.now(), 344.0 / 250e3, 1e-9);
+}
+
+TEST_F(RadioTest, OffRadioHearsNothing) {
+  Radio tx(sim_, channel_, 0, energy::micaz(), OverhearMode::kNone, true);
+  Radio rx(sim_, channel_, 1, energy::micaz(), OverhearMode::kNone, false);
+  int got = 0;
+  rx.callbacks().frame_received = [&](const Frame&) { ++got; };
+  tx.transmit(make_frame(0, 1));
+  sim_.run();
+  EXPECT_EQ(got, 0);
+  EXPECT_DOUBLE_EQ(rx.meter().total(), 0.0);
+}
+
+TEST_F(RadioTest, PowerOffMidReceptionAbortsDelivery) {
+  Radio tx(sim_, channel_, 0, energy::micaz(), OverhearMode::kNone, true);
+  Radio rx(sim_, channel_, 1, energy::micaz(), OverhearMode::kNone, true);
+  int got = 0;
+  rx.callbacks().frame_received = [&](const Frame&) { ++got; };
+  tx.transmit(make_frame(0, 1));
+  sim_.schedule_at(0.0005, [&] { rx.power_off(); });
+  sim_.run();
+  EXPECT_EQ(got, 0);
+}
+
+TEST_F(RadioTest, OverhearNonePaysNothingForOthersTraffic) {
+  Radio tx(sim_, channel_, 0, energy::micaz(), OverhearMode::kNone, true);
+  Radio other(sim_, channel_, 2, energy::micaz(), OverhearMode::kNone, true);
+  tx.transmit(make_frame(0, 1));
+  sim_.run();
+  other.meter().finalize(sim_.now());
+  EXPECT_DOUBLE_EQ(other.meter().energy(energy::EnergyCategory::kOverhear),
+                   0.0);
+  EXPECT_EQ(other.state(), RadioState::kIdle);
+}
+
+TEST_F(RadioTest, OverhearFullPaysWholeFrameAndSurfacesIt) {
+  Radio tx(sim_, channel_, 0, energy::micaz(), OverhearMode::kNone, true);
+  Radio other(sim_, channel_, 2, energy::micaz(), OverhearMode::kFull, true);
+  int overheard = 0;
+  other.callbacks().frame_overheard = [&](const Frame&) { ++overheard; };
+  tx.transmit(make_frame(0, 1));
+  sim_.run();
+  other.meter().finalize(sim_.now());
+  EXPECT_EQ(overheard, 1);
+  const double frame_time = 344.0 / 250e3;
+  EXPECT_NEAR(other.meter().duration(energy::EnergyCategory::kOverhear),
+              frame_time, 1e-9);
+}
+
+TEST_F(RadioTest, OverhearHeaderOnlyPaysJustTheHeader) {
+  Radio tx(sim_, channel_, 0, energy::micaz(), OverhearMode::kNone, true);
+  Radio other(sim_, channel_, 2, energy::micaz(), OverhearMode::kHeaderOnly,
+              true);
+  int overheard = 0;
+  other.callbacks().frame_overheard = [&](const Frame&) { ++overheard; };
+  tx.transmit(make_frame(0, 1));
+  sim_.run();
+  other.meter().finalize(sim_.now());
+  EXPECT_EQ(overheard, 0);  // header-only listeners never surface frames
+  const double header_time = 88.0 / 250e3;
+  EXPECT_NEAR(other.meter().duration(energy::EnergyCategory::kOverhear),
+              header_time, 1e-9);
+}
+
+TEST_F(RadioTest, TransmitWhileNotReadyThrows) {
+  Radio r(sim_, channel_, 0, energy::lucent_11mbps(), OverhearMode::kNone,
+          false);
+  EXPECT_THROW(r.transmit(make_frame(0, 1)), std::invalid_argument);
+  r.power_on();
+  EXPECT_THROW(r.transmit(make_frame(0, 1)), std::invalid_argument);
+}
+
+TEST_F(RadioTest, PowerOffWhileTransmittingThrows) {
+  Radio r(sim_, channel_, 0, energy::micaz(), OverhearMode::kNone, true);
+  r.transmit(make_frame(0, 1));
+  EXPECT_THROW(r.power_off(), std::invalid_argument);
+  sim_.run();
+  EXPECT_NO_THROW(r.power_off());
+}
+
+TEST_F(RadioTest, EnergyAccountingAcrossAFullExchange) {
+  Radio tx(sim_, channel_, 0, energy::micaz(), OverhearMode::kNone, true);
+  Radio rx(sim_, channel_, 1, energy::micaz(), OverhearMode::kNone, true);
+  tx.transmit(make_frame(0, 1));
+  sim_.run();
+  tx.meter().finalize(sim_.now());
+  rx.meter().finalize(sim_.now());
+  const double frame_time = 344.0 / 250e3;
+  EXPECT_NEAR(tx.meter().energy(energy::EnergyCategory::kTx),
+              0.051 * frame_time, 1e-12);
+  EXPECT_NEAR(rx.meter().energy(energy::EnergyCategory::kRx),
+              0.0591 * frame_time, 1e-12);
+}
+
+}  // namespace
+}  // namespace bcp::phy

@@ -1,0 +1,178 @@
+// Integration tests: the full §4.1 grid simulation, all three evaluation
+// models, cross-model energy ordering, determinism, robustness to loss.
+//
+// These use shortened durations/small sender counts so the whole suite
+// stays fast; the bench harnesses run the paper-scale versions.
+#include <gtest/gtest.h>
+
+#include "app/scenario.hpp"
+#include "util/units.hpp"
+
+namespace bcp::app {
+namespace {
+
+ScenarioConfig quick(EvalModel model, int senders, int burst,
+                     double rate = 2000.0, double duration = 300.0) {
+  ScenarioConfig cfg = ScenarioConfig::multi_hop(model, senders, burst);
+  cfg.rate_bps = rate;
+  cfg.duration = duration;
+  cfg.seed = 42;
+  return cfg;
+}
+
+TEST(Scenario, SensorModelDeliversAtLightLoad) {
+  // 3 senders at 0.2 Kbps over ~5 hops ≈ 3 Kb/s of a 40 Kb/s channel —
+  // genuinely light (2 Kbps×5 hops×3 senders would already be near
+  // saturation for hidden-terminal CSMA).
+  const auto m = run_scenario(quick(EvalModel::kSensor, 3, 100, 200.0));
+  EXPECT_GT(m.generated, 500);
+  EXPECT_GT(m.goodput, 0.9);
+  EXPECT_GT(m.mean_delay, 0.0);
+  EXPECT_LT(m.mean_delay, 1.0);  // no buffering in the sensor model
+  // Only sensor radios exist — no wifi energy at all.
+  EXPECT_DOUBLE_EQ(m.wifi_energy.full(), 0.0);
+  EXPECT_GT(m.sensor_energy.ideal(), 0.0);
+  EXPECT_GT(m.normalized_energy, 0.0);
+}
+
+TEST(Scenario, SensorHeaderChargeExceedsIdeal) {
+  const auto m = run_scenario(quick(EvalModel::kSensor, 5, 100));
+  EXPECT_GT(m.normalized_energy_sensor_header,
+            m.normalized_energy_sensor_ideal);
+}
+
+TEST(Scenario, WifiModelDeliversWellButBurnsIdleEnergy) {
+  const auto m = run_scenario(quick(EvalModel::kWifi, 3, 100));
+  EXPECT_GT(m.goodput, 0.95);
+  // All 36 radios idle nearly the whole run: idle dominates everything.
+  EXPECT_GT(m.wifi_energy.idle, 10.0 * m.wifi_energy.tx);
+  EXPECT_GT(m.normalized_energy, 0.0);
+}
+
+TEST(Scenario, DualRadioDeliversBulkAndSavesEnergy) {
+  const auto dual = run_scenario(quick(EvalModel::kDualRadio, 3, 100));
+  EXPECT_GT(dual.goodput, 0.6);
+  EXPECT_GT(dual.bcp_wakeups, 0);
+  EXPECT_GT(dual.bcp_sender_sessions, 0);
+  EXPECT_GT(dual.wifi_wakeup_transitions, 0);
+  // The 802.11 radios were mostly off.
+  EXPECT_LT(dual.wifi_on_seconds, 0.5 * 36 * 300.0);
+
+  const auto wifi = run_scenario(quick(EvalModel::kWifi, 3, 100));
+  // Dual-radio must be far cheaper than the always-on 802.11 network.
+  EXPECT_LT(dual.normalized_energy, 0.2 * wifi.normalized_energy);
+}
+
+TEST(Scenario, MhDualBeatsSensorIdealEnergyAtModerateBurst) {
+  // The headline §4.1.2 result: with one-hop Cabletron bursts the dual
+  // model reaches (or beats) even the ideal-energy sensor model.
+  const auto dual = run_scenario(quick(EvalModel::kDualRadio, 6, 500,
+                                       2000.0, 600.0));
+  const auto sensor = run_scenario(quick(EvalModel::kSensor, 6, 500,
+                                         2000.0, 600.0));
+  ASSERT_GT(dual.delivered, 0);
+  ASSERT_GT(sensor.delivered, 0);
+  EXPECT_LT(dual.normalized_energy, sensor.normalized_energy_sensor_ideal);
+}
+
+TEST(Scenario, BufferingDelayGrowsWithBurstSize) {
+  const auto small = run_scenario(quick(EvalModel::kDualRadio, 3, 100));
+  const auto large = run_scenario(quick(EvalModel::kDualRadio, 3, 500));
+  ASSERT_GT(small.delivered, 0);
+  ASSERT_GT(large.delivered, 0);
+  EXPECT_GT(large.mean_delay, small.mean_delay);
+}
+
+TEST(Scenario, SensorGoodputCollapsesUnderLoad) {
+  // §4.1.2: "the goodput degrades very fast as the number of senders
+  // increases due to high contention and packet losses."
+  const auto light = run_scenario(quick(EvalModel::kSensor, 3, 100));
+  const auto heavy = run_scenario(quick(EvalModel::kSensor, 20, 100));
+  EXPECT_LT(heavy.goodput, 0.7 * light.goodput);
+  EXPECT_GT(heavy.mac_tx_failed, 0);
+}
+
+TEST(Scenario, DualRadioKeepsGoodputUnderLoad) {
+  const auto dual = run_scenario(quick(EvalModel::kDualRadio, 20, 500));
+  const auto sensor = run_scenario(quick(EvalModel::kSensor, 20, 500));
+  EXPECT_GT(dual.goodput, sensor.goodput);
+}
+
+TEST(Scenario, DeterministicForEqualSeeds) {
+  const auto a = run_scenario(quick(EvalModel::kDualRadio, 5, 100));
+  const auto b = run_scenario(quick(EvalModel::kDualRadio, 5, 100));
+  EXPECT_EQ(a.generated, b.generated);
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_DOUBLE_EQ(a.normalized_energy, b.normalized_energy);
+  EXPECT_DOUBLE_EQ(a.mean_delay, b.mean_delay);
+  EXPECT_EQ(a.bcp_wakeups, b.bcp_wakeups);
+}
+
+TEST(Scenario, DifferentSeedsDiffer) {
+  auto cfg = quick(EvalModel::kDualRadio, 5, 100);
+  const auto a = run_scenario(cfg);
+  cfg.seed = 1234;
+  const auto b = run_scenario(cfg);
+  EXPECT_NE(a.delivered, b.delivered);
+}
+
+TEST(Scenario, ExtraFrameLossDegradesButDoesNotBreak) {
+  auto cfg = quick(EvalModel::kDualRadio, 5, 100);
+  cfg.frame_loss_prob = 0.2;
+  const auto lossy = run_scenario(cfg);
+  cfg.frame_loss_prob = 0.0;
+  const auto clean = run_scenario(cfg);
+  EXPECT_GT(lossy.delivered, 0);
+  EXPECT_LE(lossy.goodput, clean.goodput + 0.05);
+  EXPECT_GT(lossy.mac_tx_attempts, clean.mac_tx_attempts);
+}
+
+TEST(Scenario, SingleHopCaseRunsWithLucent11) {
+  auto cfg = ScenarioConfig::single_hop(EvalModel::kDualRadio, 4, 100);
+  cfg.duration = 1500.0;  // 0.2 Kbps needs time to fill 100-packet bursts
+  cfg.seed = 7;
+  const auto m = run_scenario(cfg);
+  EXPECT_GT(m.delivered, 0);
+  EXPECT_GT(m.bcp_sender_sessions, 0);
+  EXPECT_GT(m.goodput, 0.3);
+}
+
+TEST(Scenario, EnergyConservationAccounting) {
+  // Every charged joule must appear in exactly one category; categories sum
+  // to the full() totals used by the normalized metrics.
+  const auto m = run_scenario(quick(EvalModel::kDualRadio, 4, 100));
+  const double wifi_sum = m.wifi_energy.tx + m.wifi_energy.rx +
+                          m.wifi_energy.overhear + m.wifi_energy.idle +
+                          m.wifi_energy.wakeup;
+  EXPECT_DOUBLE_EQ(m.wifi_energy.full(), wifi_sum);
+  EXPECT_GE(m.wifi_energy.tx, 0);
+  EXPECT_GE(m.wifi_energy.idle, 0);
+  // Dual normalized = (sensor ideal + wifi full) / delivered Kbit.
+  const double kbits =
+      static_cast<double>(m.delivered) * 32 * 8 / 1000.0;
+  EXPECT_NEAR(m.normalized_energy,
+              (m.sensor_energy.ideal() + m.wifi_energy.full()) / kbits,
+              1e-9);
+}
+
+TEST(Scenario, ReplicationsVarySeedsAndCount) {
+  auto cfg = quick(EvalModel::kSensor, 3, 100, 2000.0, 120.0);
+  const auto runs = run_replications(cfg, 3);
+  ASSERT_EQ(runs.size(), 3u);
+  EXPECT_NE(runs[0].delivered, runs[1].delivered);
+}
+
+TEST(Scenario, InvalidConfigsThrow) {
+  auto cfg = quick(EvalModel::kSensor, 3, 100);
+  cfg.n_senders = 0;
+  EXPECT_THROW(run_scenario(cfg), std::invalid_argument);
+  cfg = quick(EvalModel::kSensor, 3, 100);
+  cfg.n_senders = 36;
+  EXPECT_THROW(run_scenario(cfg), std::invalid_argument);
+  cfg = quick(EvalModel::kSensor, 3, 100);
+  cfg.duration = 0;
+  EXPECT_THROW(run_scenario(cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bcp::app

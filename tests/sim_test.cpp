@@ -1,0 +1,216 @@
+// Unit tests: discrete-event simulator (ordering, cancellation, timers).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace bcp::sim {
+namespace {
+
+TEST(Simulator, StartsAtTimeZero) {
+  Simulator s;
+  EXPECT_DOUBLE_EQ(s.now(), 0.0);
+  EXPECT_EQ(s.pending_count(), 0u);
+}
+
+TEST(Simulator, ProcessesInTimeOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.schedule_at(3.0, [&] { order.push_back(3); });
+  s.schedule_at(1.0, [&] { order.push_back(1); });
+  s.schedule_at(2.0, [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(s.now(), 3.0);
+}
+
+TEST(Simulator, EqualTimesRunFifo) {
+  Simulator s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i)
+    s.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  s.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, ClockAdvancesDuringCallback) {
+  Simulator s;
+  s.schedule_at(5.0, [&] { EXPECT_DOUBLE_EQ(s.now(), 5.0); });
+  s.run();
+}
+
+TEST(Simulator, CallbackCanScheduleMore) {
+  Simulator s;
+  int fired = 0;
+  s.schedule_at(1.0, [&] {
+    ++fired;
+    s.schedule_in(1.0, [&] { ++fired; });
+  });
+  s.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(s.now(), 2.0);
+}
+
+TEST(Simulator, ScheduleInUsesCurrentTime) {
+  Simulator s;
+  double fired_at = -1;
+  s.schedule_at(2.0, [&] {
+    s.schedule_in(0.5, [&] { fired_at = s.now(); });
+  });
+  s.run();
+  EXPECT_DOUBLE_EQ(fired_at, 2.5);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator s;
+  bool fired = false;
+  const auto h = s.schedule_at(1.0, [&] { fired = true; });
+  EXPECT_TRUE(s.is_pending(h));
+  EXPECT_TRUE(s.cancel(h));
+  EXPECT_FALSE(s.is_pending(h));
+  s.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, DoubleCancelReturnsFalse) {
+  Simulator s;
+  const auto h = s.schedule_at(1.0, [] {});
+  EXPECT_TRUE(s.cancel(h));
+  EXPECT_FALSE(s.cancel(h));
+}
+
+TEST(Simulator, CancelAfterFireReturnsFalse) {
+  Simulator s;
+  const auto h = s.schedule_at(1.0, [] {});
+  s.run();
+  EXPECT_FALSE(s.cancel(h));
+  EXPECT_FALSE(s.is_pending(h));
+}
+
+TEST(Simulator, InvalidHandleNeverPending) {
+  Simulator s;
+  EXPECT_FALSE(s.is_pending(Simulator::EventHandle{}));
+  EXPECT_FALSE(s.cancel(Simulator::EventHandle{}));
+}
+
+TEST(Simulator, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  Simulator s;
+  std::vector<double> fired;
+  s.schedule_at(1.0, [&] { fired.push_back(1.0); });
+  s.schedule_at(2.0, [&] { fired.push_back(2.0); });
+  s.schedule_at(5.0, [&] { fired.push_back(5.0); });
+  s.run_until(3.0);
+  EXPECT_EQ(fired.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.now(), 3.0);  // clock parked at the horizon
+  EXPECT_EQ(s.pending_count(), 1u);
+  s.run_until(10.0);
+  EXPECT_EQ(fired.size(), 3u);
+}
+
+TEST(Simulator, EventExactlyAtHorizonRuns) {
+  Simulator s;
+  bool fired = false;
+  s.schedule_at(3.0, [&] { fired = true; });
+  s.run_until(3.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, StopHaltsProcessing) {
+  Simulator s;
+  int fired = 0;
+  s.schedule_at(1.0, [&] {
+    ++fired;
+    s.stop();
+  });
+  s.schedule_at(2.0, [&] { ++fired; });
+  s.run();
+  EXPECT_EQ(fired, 1);
+  s.run();  // resumes
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, SchedulingInThePastThrows) {
+  Simulator s;
+  s.schedule_at(5.0, [] {});
+  s.run();
+  EXPECT_THROW(s.schedule_at(4.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(s.schedule_in(-1.0, [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, NullCallbackThrows) {
+  Simulator s;
+  EXPECT_THROW(s.schedule_at(1.0, nullptr), std::invalid_argument);
+}
+
+TEST(Simulator, ProcessedCountSkipsCancelled) {
+  Simulator s;
+  const auto h = s.schedule_at(1.0, [] {});
+  s.schedule_at(2.0, [] {});
+  s.cancel(h);
+  s.run();
+  EXPECT_EQ(s.processed_count(), 1u);
+}
+
+TEST(Simulator, ManyEventsStressOrdering) {
+  Simulator s;
+  double last = -1;
+  for (int i = 0; i < 20000; ++i) {
+    const double t = static_cast<double>((i * 7919) % 1000) / 10.0;
+    s.schedule_at(t, [&last, &s] {
+      EXPECT_GE(s.now(), last);
+      last = s.now();
+    });
+  }
+  s.run();
+  EXPECT_EQ(s.processed_count(), 20000u);
+}
+
+TEST(Timer, FiresAfterDelay) {
+  Simulator s;
+  int fired = 0;
+  Timer t(s, [&] { ++fired; });
+  t.start(2.0);
+  EXPECT_TRUE(t.running());
+  s.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(t.running());
+}
+
+TEST(Timer, RestartSupersedesPreviousDeadline) {
+  Simulator s;
+  double fired_at = -1;
+  Timer t(s, [&] { fired_at = s.now(); });
+  t.start(2.0);
+  s.schedule_at(1.0, [&] { t.start(5.0); });  // re-arm before expiry
+  s.run();
+  EXPECT_DOUBLE_EQ(fired_at, 6.0);
+}
+
+TEST(Timer, CancelStopsExpiry) {
+  Simulator s;
+  int fired = 0;
+  Timer t(s, [&] { ++fired; });
+  t.start(2.0);
+  s.schedule_at(1.0, [&] { t.cancel(); });
+  s.run();
+  EXPECT_EQ(fired, 0);
+  EXPECT_FALSE(t.running());
+}
+
+TEST(Timer, RestartFromWithinCallback) {
+  Simulator s;
+  int fired = 0;
+  Timer* self = nullptr;
+  Timer t(s, [&] {
+    if (++fired < 3) self->start(1.0);
+  });
+  self = &t;
+  t.start(1.0);
+  s.run();
+  EXPECT_EQ(fired, 3);
+  EXPECT_DOUBLE_EQ(s.now(), 3.0);
+}
+
+}  // namespace
+}  // namespace bcp::sim

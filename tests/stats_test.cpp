@@ -1,0 +1,131 @@
+// Unit tests: stats module (summaries, CIs, percentiles, tables).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/summary.hpp"
+#include "stats/table.hpp"
+#include "util/rng.hpp"
+
+namespace bcp::stats {
+namespace {
+
+TEST(Summary, MeanAndVarianceMatchClosedForm) {
+  Summary s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Summary, SingleSampleHasZeroCi) {
+  Summary s;
+  s.add(3.14);
+  EXPECT_DOUBLE_EQ(s.ci_half_width(), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.14);
+}
+
+TEST(Summary, EmptyThrows) {
+  Summary s;
+  EXPECT_THROW(s.mean(), std::invalid_argument);
+  EXPECT_THROW(s.min(), std::invalid_argument);
+  EXPECT_THROW(s.ci_half_width(), std::invalid_argument);
+}
+
+TEST(Summary, CiHalfWidthMatchesTTable) {
+  // n=20 samples, known stddev: hw = t_{0.975,19} * s/sqrt(20).
+  Summary s;
+  for (int i = 1; i <= 20; ++i) s.add(static_cast<double>(i));
+  const double sd = s.stddev();
+  const double expected = 2.093 * sd / std::sqrt(20.0);
+  EXPECT_NEAR(s.ci_half_width(0.95), expected, 1e-9);
+}
+
+TEST(Summary, CiShrinksWithSamples) {
+  util::Xoshiro256 rng(5);
+  Summary small, large;
+  for (int i = 0; i < 10; ++i) small.add(rng.uniform());
+  for (int i = 0; i < 1000; ++i) large.add(rng.uniform());
+  EXPECT_GT(small.ci_half_width(), large.ci_half_width());
+}
+
+TEST(Summary, CiCoversTrueMeanUsually) {
+  // Property: ~95% of intervals built from N(0,1) samples contain 0.
+  util::Xoshiro256 rng(1234);
+  int covered = 0;
+  const int trials = 400;
+  for (int t = 0; t < trials; ++t) {
+    Summary s;
+    for (int i = 0; i < 15; ++i) {
+      // Box-Muller standard normal.
+      const double u1 = rng.uniform();
+      const double u2 = rng.uniform();
+      s.add(std::sqrt(-2 * std::log(1 - u1)) *
+            std::cos(2 * M_PI * u2));
+    }
+    const double hw = s.ci_half_width(0.95);
+    if (std::abs(s.mean()) <= hw) ++covered;
+  }
+  const double coverage = static_cast<double>(covered) / trials;
+  EXPECT_GT(coverage, 0.90);
+  EXPECT_LT(coverage, 0.99);
+}
+
+TEST(TCritical, MatchesKnownValues) {
+  EXPECT_NEAR(t_critical(1, 0.95), 12.706, 1e-3);
+  EXPECT_NEAR(t_critical(19, 0.95), 2.093, 1e-3);
+  EXPECT_NEAR(t_critical(30, 0.95), 2.042, 1e-3);
+  // Large dof approaches the normal quantile 1.96.
+  EXPECT_NEAR(t_critical(1000, 0.95), 1.962, 5e-3);
+}
+
+TEST(TCritical, InvalidArgumentsThrow) {
+  EXPECT_THROW(t_critical(0, 0.95), std::invalid_argument);
+  EXPECT_THROW(t_critical(5, 0.0), std::invalid_argument);
+  EXPECT_THROW(t_critical(5, 1.0), std::invalid_argument);
+}
+
+TEST(Percentile, InterpolatesLinearly) {
+  std::vector<double> v{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 10);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 40);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 25);
+  EXPECT_DOUBLE_EQ(percentile(v, 25), 17.5);
+}
+
+TEST(Percentile, UnsortedInputHandled) {
+  std::vector<double> v{40, 10, 30, 20};
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 25);
+}
+
+TEST(Percentile, EmptyThrows) {
+  EXPECT_THROW(percentile({}, 50), std::invalid_argument);
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t;
+  t.add_row({"a", "bb"});
+  t.add_row({"ccc", "d"});
+  const std::string s = t.to_string();
+  EXPECT_EQ(s, "a    bb\nccc  d\n");
+}
+
+TEST(TextTable, NumFormatting) {
+  EXPECT_EQ(TextTable::num(0.123456, 3), "0.123");
+  EXPECT_EQ(TextTable::num(1500.0, 4), "1500");
+  const std::string ci = TextTable::num_ci(0.5, 0.01, 3);
+  EXPECT_NE(ci.find("0.5"), std::string::npos);
+  EXPECT_NE(ci.find("+-"), std::string::npos);
+}
+
+TEST(TextTable, RaggedRowsTolerated) {
+  TextTable t;
+  t.add_row({"x"});
+  t.add_row({"y", "z"});
+  EXPECT_NO_THROW(t.to_string());
+}
+
+}  // namespace
+}  // namespace bcp::stats

@@ -1,0 +1,123 @@
+// Unit tests: traffic generators.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "app/workload.hpp"
+#include "sim/simulator.hpp"
+
+namespace bcp::app {
+namespace {
+
+TEST(CbrWorkload, RateIsHonoured) {
+  sim::Simulator sim;
+  std::vector<net::DataPacket> out;
+  // 0.2 Kbps with 32 B packets -> one packet every 1.28 s.
+  CbrWorkload w(sim, 3, 0, util::bytes(32), 200.0, 1,
+                [&](net::DataPacket p) { out.push_back(p); });
+  w.start();
+  sim.run_until(1280.0);
+  // 1000 intervals; the random phase may shave one packet.
+  EXPECT_GE(w.generated(), 999);
+  EXPECT_LE(w.generated(), 1001);
+  EXPECT_EQ(static_cast<std::int64_t>(out.size()), w.generated());
+  EXPECT_EQ(w.generated_bits(), w.generated() * util::bytes(32));
+}
+
+TEST(CbrWorkload, PacketsAreWellFormedAndOrdered) {
+  sim::Simulator sim;
+  std::vector<net::DataPacket> out;
+  CbrWorkload w(sim, 7, 2, util::bytes(32), 2000.0, 9,
+                [&](net::DataPacket p) { out.push_back(p); });
+  w.start();
+  sim.run_until(10.0);
+  ASSERT_GT(out.size(), 10u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].origin, 7);
+    EXPECT_EQ(out[i].destination, 2);
+    EXPECT_EQ(out[i].seq, i + 1);
+    EXPECT_EQ(out[i].payload_bits, util::bytes(32));
+    if (i > 0) {
+      EXPECT_GT(out[i].created_at, out[i - 1].created_at);
+    }
+  }
+  // Inter-packet spacing is exactly the CBR interval after the phase.
+  EXPECT_NEAR(out[5].created_at - out[4].created_at, 0.128, 1e-9);
+}
+
+TEST(CbrWorkload, PhaseDiffersAcrossSeeds) {
+  sim::Simulator sim;
+  double first_a = -1, first_b = -1;
+  CbrWorkload a(sim, 1, 0, util::bytes(32), 200.0, 11,
+                [&](net::DataPacket p) {
+                  if (first_a < 0) first_a = p.created_at;
+                });
+  CbrWorkload b(sim, 2, 0, util::bytes(32), 200.0, 12,
+                [&](net::DataPacket p) {
+                  if (first_b < 0) first_b = p.created_at;
+                });
+  a.start();
+  b.start();
+  sim.run_until(2.0);
+  EXPECT_NE(first_a, first_b);
+}
+
+TEST(CbrWorkload, InvalidConfigThrows) {
+  sim::Simulator sim;
+  EXPECT_THROW(CbrWorkload(sim, 0, 1, 0, 200.0, 1, [](net::DataPacket) {}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      CbrWorkload(sim, 0, 1, util::bytes(32), 0.0, 1, [](net::DataPacket) {}),
+      std::invalid_argument);
+}
+
+TEST(BurstyWorkload, LongRunRateMatchesDutyCycle) {
+  sim::Simulator sim;
+  BurstyWorkload::Params p;
+  p.packet_bits = util::bytes(32);
+  p.on_rate_bps = 8000;
+  p.mean_on = 2.0;
+  p.mean_off = 8.0;
+  std::int64_t n = 0;
+  BurstyWorkload w(sim, 1, 0, p, 77, [&](net::DataPacket) { ++n; });
+  w.start();
+  const double horizon = 20000.0;
+  sim.run_until(horizon);
+  // Expected: duty cycle 0.2 × 8000 bps / 256 bits ≈ 6.25 pkt/s.
+  const double rate = static_cast<double>(n) / horizon;
+  EXPECT_NEAR(rate, 6.25, 1.0);
+}
+
+TEST(BurstyWorkload, SilencePeriodsContainNoTraffic) {
+  sim::Simulator sim;
+  BurstyWorkload::Params p;
+  p.on_rate_bps = 8000;
+  p.mean_on = 1.0;
+  p.mean_off = 50.0;
+  std::vector<double> times;
+  BurstyWorkload w(sim, 1, 0, p, 3,
+                   [&](net::DataPacket d) { times.push_back(d.created_at); });
+  w.start();
+  sim.run_until(2000.0);
+  ASSERT_GT(times.size(), 20u);
+  // Gaps are either one packet interval (32 ms) or a long silence; nothing
+  // in between (say 0.1 s .. 1 s) should dominate.
+  int mid_gaps = 0;
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    const double gap = times[i] - times[i - 1];
+    if (gap > 0.1 && gap < 1.0) { ++mid_gaps; }
+  }
+  EXPECT_LT(static_cast<double>(mid_gaps) / static_cast<double>(times.size()),
+            0.2);
+}
+
+TEST(BurstyWorkload, InvalidConfigThrows) {
+  sim::Simulator sim;
+  BurstyWorkload::Params p;
+  p.mean_on = 0.0;
+  EXPECT_THROW(BurstyWorkload(sim, 0, 1, p, 1, [](net::DataPacket) {}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bcp::app
