@@ -7,19 +7,58 @@
 #include <cmath>
 #include <cstdio>
 
+#include "common.hpp"
 #include "energy/breakeven.hpp"
 #include "energy/radio_model.hpp"
-#include "stats/table.hpp"
-#include "util/options.hpp"
 #include "util/units.hpp"
 
 int main(int argc, char** argv) {
   using namespace bcp;
+  using namespace bcp::benchharness;
   util::Options opt("bench_fig01_energy_vs_size",
                     "Figure 1: energy (mJ) vs data size (KB)");
-  opt.add_int("points", 25, "sample points on the log axis");
+  opt.add_int("points", 25, "sample points on the log axis")
+      .add_int("jobs", 0, "sweep worker threads (0 = all hardware cores)");
   if (!opt.parse(argc, argv)) return 1;
   const int points = static_cast<int>(opt.get_int("points"));
+
+  std::vector<double> kb_axis;
+  for (int i = 0; i < points; ++i)
+    kb_axis.push_back(0.1 *
+                      std::pow(100.0, static_cast<double>(i) / (points - 1)));
+
+  app::SweepGrid grid;
+  grid.axis("KB", kb_axis);
+  const app::SweepFn fn = [](const app::SweepJob& job) {
+    const auto cab = energy::DualRadioAnalysis::standard(
+        energy::micaz(), energy::cabletron_2mbps());
+    const auto lu2 = energy::DualRadioAnalysis::standard(
+        energy::micaz(), energy::lucent_2mbps());
+    const auto lu11 = energy::DualRadioAnalysis::standard(
+        energy::micaz(), energy::lucent_11mbps());
+    // Eq. 1 sensor-only curves reuse the same link parameters.
+    const auto mica_a = energy::DualRadioAnalysis::standard(
+        energy::mica(), energy::lucent_11mbps());
+    const auto mica2_a = energy::DualRadioAnalysis::standard(
+        energy::mica2(), energy::lucent_11mbps());
+    const auto s =
+        static_cast<util::Bits>(job.point.get("KB") * 8192.0);
+    const auto mj = [](double joules) { return joules * 1e3; };
+    return stats::ResultSink::Metrics{
+        {"Mica_mJ", mj(mica_a.energy_low(s))},
+        {"Mica2_mJ", mj(mica2_a.energy_low(s))},
+        {"Micaz_mJ", mj(cab.energy_low(s))},
+        {"Cabletron-Micaz_mJ", mj(cab.energy_high(s))},
+        {"Lucent2-Micaz_mJ", mj(lu2.energy_high(s))},
+        {"Lucent11-Micaz_mJ", mj(lu11.energy_high(s))},
+    };
+  };
+
+  app::SweepOptions sweep;
+  sweep.threads = static_cast<int>(opt.get_int("jobs"));
+  run_grid_bench("fig01_energy_vs_size",
+                 "Figure 1 — energy consumption (mJ) vs data size", grid, fn,
+                 sweep);
 
   const auto cab = energy::DualRadioAnalysis::standard(
       energy::micaz(), energy::cabletron_2mbps());
@@ -27,30 +66,6 @@ int main(int argc, char** argv) {
       energy::micaz(), energy::lucent_2mbps());
   const auto lu11 = energy::DualRadioAnalysis::standard(
       energy::micaz(), energy::lucent_11mbps());
-  // Eq. 1 sensor-only curves reuse the same link parameters.
-  const auto mica_a = energy::DualRadioAnalysis::standard(
-      energy::mica(), energy::lucent_11mbps());
-  const auto mica2_a = energy::DualRadioAnalysis::standard(
-      energy::mica2(), energy::lucent_11mbps());
-
-  stats::TextTable t;
-  t.add_row({"KB", "Mica", "Mica2", "Micaz", "Cabletron-Micaz",
-             "Lucent2-Micaz", "Lucent11-Micaz"});
-  for (int i = 0; i < points; ++i) {
-    const double kb =
-        0.1 * std::pow(100.0, static_cast<double>(i) / (points - 1));
-    const auto s = static_cast<util::Bits>(kb * 8192.0);
-    const auto mj = [](double joules) {
-      return stats::TextTable::num(joules * 1e3, 4);
-    };
-    t.add_row({stats::TextTable::num(kb, 3), mj(mica_a.energy_low(s)),
-               mj(mica2_a.energy_low(s)), mj(cab.energy_low(s)),
-               mj(cab.energy_high(s)), mj(lu2.energy_high(s)),
-               mj(lu11.energy_high(s))});
-  }
-  stats::print_titled("Figure 1 — energy consumption (mJ) vs data size",
-                      t);
-
   const auto s4 = util::kilobytes(4);
   std::printf(
       "Checks: Lucent11-Micaz saving at 4KB = %.1f%% (paper: ~50%%); "

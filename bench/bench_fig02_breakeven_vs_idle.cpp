@@ -4,67 +4,80 @@
 // minimized.
 #include <cmath>
 #include <cstdio>
+#include <limits>
 #include <string>
 
+#include "common.hpp"
 #include "energy/breakeven.hpp"
 #include "energy/radio_model.hpp"
-#include "stats/table.hpp"
-#include "util/options.hpp"
 #include "util/units.hpp"
 
+namespace {
+
+using namespace bcp;
+
+// The figure's seven feasible combinations.
+const std::pair<const energy::RadioEnergyModel*,
+                const energy::RadioEnergyModel*>
+    kCombos[] = {
+        {&energy::mica(), &energy::cabletron_2mbps()},
+        {&energy::mica2(), &energy::cabletron_2mbps()},
+        {&energy::mica(), &energy::lucent_2mbps()},
+        {&energy::mica2(), &energy::lucent_2mbps()},
+        {&energy::mica(), &energy::lucent_11mbps()},
+        {&energy::mica2(), &energy::lucent_11mbps()},
+        {&energy::micaz(), &energy::lucent_11mbps()},
+    };
+
+double breakeven_kb(const energy::RadioEnergyModel& low,
+                    const energy::RadioEnergyModel& high, double idle) {
+  auto cfg = energy::DualRadioAnalysis::standard(low, high).config();
+  cfg.idle_time = idle;
+  const auto s = energy::DualRadioAnalysis(cfg).break_even_bits();
+  return s ? util::to_kilobytes(*s)
+           : std::numeric_limits<double>::infinity();
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  using namespace bcp;
+  using namespace bcp::benchharness;
   util::Options opt("bench_fig02_breakeven_vs_idle",
                     "Figure 2: s* (KB) vs idle time (s)");
-  opt.add_int("points", 17, "sample points on the log axis");
+  opt.add_int("points", 17, "sample points on the log axis")
+      .add_int("jobs", 0, "sweep worker threads (0 = all hardware cores)");
   if (!opt.parse(argc, argv)) return 1;
   const int points = static_cast<int>(opt.get_int("points"));
 
-  // The figure's seven feasible combinations.
-  const std::pair<const energy::RadioEnergyModel*,
-                  const energy::RadioEnergyModel*>
-      combos[] = {
-          {&energy::mica(), &energy::cabletron_2mbps()},
-          {&energy::mica2(), &energy::cabletron_2mbps()},
-          {&energy::mica(), &energy::lucent_2mbps()},
-          {&energy::mica2(), &energy::lucent_2mbps()},
-          {&energy::mica(), &energy::lucent_11mbps()},
-          {&energy::mica2(), &energy::lucent_11mbps()},
-          {&energy::micaz(), &energy::lucent_11mbps()},
-      };
+  std::vector<double> idle_axis;
+  for (int i = 0; i < points; ++i)
+    idle_axis.push_back(
+        0.001 * std::pow(10000.0, static_cast<double>(i) / (points - 1)));
 
-  stats::TextTable t;
-  {
-    std::vector<std::string> header{"idle_s"};
-    for (const auto& [low, high] : combos)
-      header.push_back(high->name + "-" + low->name);
-    t.add_row(std::move(header));
-  }
-  for (int i = 0; i < points; ++i) {
-    const double idle =
-        0.001 * std::pow(10000.0, static_cast<double>(i) / (points - 1));
-    std::vector<std::string> row{stats::TextTable::num(idle, 3)};
-    for (const auto& [low, high] : combos) {
-      auto cfg = energy::DualRadioAnalysis::standard(*low, *high).config();
-      cfg.idle_time = idle;
-      const auto s = energy::DualRadioAnalysis(cfg).break_even_bits();
-      row.push_back(s ? stats::TextTable::num(util::to_kilobytes(*s), 4)
-                      : std::string("inf"));
-    }
-    t.add_row(std::move(row));
-  }
-  stats::print_titled("Figure 2 — break-even data size (KB) vs idle time",
-                      t);
+  app::SweepGrid grid;
+  grid.axis("idle_s", idle_axis);
+  const app::SweepFn fn = [](const app::SweepJob& job) {
+    const double idle = job.point.get("idle_s");
+    stats::ResultSink::Metrics metrics;
+    for (const auto& [low, high] : kCombos)
+      metrics.emplace_back(high->name + "-" + low->name + "_KB",
+                           breakeven_kb(*low, *high, idle));
+    return metrics;
+  };
+
+  app::SweepOptions sweep;
+  sweep.threads = static_cast<int>(opt.get_int("jobs"));
+  run_grid_bench("fig02_breakeven_vs_idle",
+                 "Figure 2 — break-even data size (KB) vs idle time", grid,
+                 fn, sweep);
 
   // The paper's 1-second checkpoint.
   double lo = 1e18, hi = 0;
-  for (const auto& [low, high] : combos) {
-    auto cfg = energy::DualRadioAnalysis::standard(*low, *high).config();
-    cfg.idle_time = 1.0;
-    const auto s = energy::DualRadioAnalysis(cfg).break_even_bits();
-    if (!s) continue;
-    lo = std::min(lo, util::to_kilobytes(*s));
-    hi = std::max(hi, util::to_kilobytes(*s));
+  for (const auto& [low, high] : kCombos) {
+    const double kb = breakeven_kb(*low, *high, 1.0);
+    if (!std::isfinite(kb)) continue;
+    lo = std::min(lo, kb);
+    hi = std::max(hi, kb);
   }
   std::printf("Check: s* range at 1 s idle = %.0f-%.0f KB (paper: 66-480 KB)\n",
               lo, hi);

@@ -4,45 +4,60 @@
 // Paper claims: s* decreases with hops (0.15-0.75 KB at 5 hops for
 // Mica-class pairs); the Micaz combinations become feasible at 3-4 hops.
 #include <cstdio>
+#include <limits>
 #include <string>
 
+#include "common.hpp"
 #include "energy/breakeven.hpp"
 #include "energy/radio_model.hpp"
-#include "stats/table.hpp"
 #include "util/units.hpp"
 
-int main() {
-  using namespace bcp;
-  const std::pair<const energy::RadioEnergyModel*,
-                  const energy::RadioEnergyModel*>
-      combos[] = {
-          {&energy::mica(), &energy::cabletron_2mbps()},
-          {&energy::mica2(), &energy::cabletron_2mbps()},
-          {&energy::micaz(), &energy::cabletron_2mbps()},
-          {&energy::mica(), &energy::lucent_2mbps()},
-          {&energy::mica2(), &energy::lucent_2mbps()},
-          {&energy::micaz(), &energy::lucent_2mbps()},
-      };
+namespace {
 
-  stats::TextTable t;
-  {
-    std::vector<std::string> header{"hops"};
-    for (const auto& [low, high] : combos)
-      header.push_back(high->name + "-" + low->name);
-    t.add_row(std::move(header));
-  }
-  for (int fp = 1; fp <= 6; ++fp) {
-    std::vector<std::string> row{std::to_string(fp)};
-    for (const auto& [low, high] : combos) {
+using namespace bcp;
+
+const std::pair<const energy::RadioEnergyModel*,
+                const energy::RadioEnergyModel*>
+    kCombos[] = {
+        {&energy::mica(), &energy::cabletron_2mbps()},
+        {&energy::mica2(), &energy::cabletron_2mbps()},
+        {&energy::micaz(), &energy::cabletron_2mbps()},
+        {&energy::mica(), &energy::lucent_2mbps()},
+        {&energy::mica2(), &energy::lucent_2mbps()},
+        {&energy::micaz(), &energy::lucent_2mbps()},
+    };
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace bcp::benchharness;
+  util::Options opt("bench_fig03_breakeven_vs_hops",
+                    "Figure 3: s* (KB) vs forward progress (hops)");
+  opt.add_int("jobs", 0, "sweep worker threads (0 = all hardware cores)");
+  if (!opt.parse(argc, argv)) return 1;
+
+  app::SweepGrid grid;
+  grid.axis_ints("hops", {1, 2, 3, 4, 5, 6});
+  const app::SweepFn fn = [](const app::SweepJob& job) {
+    const int fp = job.point.get_int("hops");
+    stats::ResultSink::Metrics metrics;
+    for (const auto& [low, high] : kCombos) {
       const auto a = energy::DualRadioAnalysis::standard(*low, *high);
       const auto s = a.break_even_bits_multihop(fp);
-      row.push_back(s ? stats::TextTable::num(util::to_kilobytes(*s), 4)
-                      : std::string("inf"));
+      metrics.emplace_back(
+          high->name + "-" + low->name + "_KB",
+          s ? util::to_kilobytes(*s)
+            : std::numeric_limits<double>::infinity());
     }
-    t.add_row(std::move(row));
-  }
-  stats::print_titled(
-      "Figure 3 — break-even data size (KB) vs forward progress (hops)", t);
+    return metrics;
+  };
+
+  app::SweepOptions sweep;
+  sweep.threads = static_cast<int>(opt.get_int("jobs"));
+  run_grid_bench(
+      "fig03_breakeven_vs_hops",
+      "Figure 3 — break-even data size (KB) vs forward progress (hops)",
+      grid, fn, sweep);
 
   for (const auto* high :
        {&energy::cabletron_2mbps(), &energy::lucent_2mbps()}) {

@@ -7,34 +7,51 @@
 // more.
 #include <cstdio>
 
+#include "common.hpp"
 #include "energy/breakeven.hpp"
 #include "energy/radio_model.hpp"
-#include "stats/table.hpp"
 #include "util/units.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bcp;
+  using namespace bcp::benchharness;
+  util::Options opt("bench_fig04_savings_vs_burst",
+                    "Figure 4: savings fraction vs burst size");
+  opt.add_int("jobs", 0, "sweep worker threads (0 = all hardware cores)");
+  if (!opt.parse(argc, argv)) return 1;
+
+  app::SweepGrid grid;
+  grid.axis_ints("packets", {1, 2, 3, 5, 7, 10, 15, 20, 30, 50, 70, 100,
+                             150, 200, 300, 500, 700, 1000});
+  const app::SweepFn fn = [](const app::SweepJob& job) {
+    const int n = job.point.get_int("packets");
+    const auto cab = energy::DualRadioAnalysis::standard(
+        energy::micaz(), energy::cabletron_2mbps());
+    const auto lu2 = energy::DualRadioAnalysis::standard(
+        energy::micaz(), energy::lucent_2mbps());
+    const auto lu11 = energy::DualRadioAnalysis::standard(
+        energy::micaz(), energy::lucent_11mbps());
+    return stats::ResultSink::Metrics{
+        {"Cabletron", cab.burst_savings_fraction(n, 0.0)},
+        {"Lucent2", lu2.burst_savings_fraction(n, 0.0)},
+        {"Lucent11", lu11.burst_savings_fraction(n, 0.0)},
+        {"Cabletron-Idle", cab.burst_savings_fraction(n, 0.1)},
+        {"Lucent2-Idle", lu2.burst_savings_fraction(n, 0.1)},
+        {"Lucent11-Idle", lu11.burst_savings_fraction(n, 0.1)},
+    };
+  };
+
+  app::SweepOptions sweep;
+  sweep.threads = static_cast<int>(opt.get_int("jobs"));
+  run_grid_bench(
+      "fig04_savings_vs_burst",
+      "Figure 4 — fraction of energy savings vs burst size (packets)", grid,
+      fn, sweep);
+
   const auto cab = energy::DualRadioAnalysis::standard(
       energy::micaz(), energy::cabletron_2mbps());
-  const auto lu2 = energy::DualRadioAnalysis::standard(
-      energy::micaz(), energy::lucent_2mbps());
   const auto lu11 = energy::DualRadioAnalysis::standard(
       energy::micaz(), energy::lucent_11mbps());
-
-  stats::TextTable t;
-  t.add_row({"packets", "Cabletron", "Lucent2", "Lucent11",
-             "Cabletron-Idle", "Lucent2-Idle", "Lucent11-Idle"});
-  for (const int n : {1, 2, 3, 5, 7, 10, 15, 20, 30, 50, 70, 100, 150, 200,
-                      300, 500, 700, 1000}) {
-    const auto f = [&](const energy::DualRadioAnalysis& a, double idle) {
-      return stats::TextTable::num(a.burst_savings_fraction(n, idle), 4);
-    };
-    t.add_row({std::to_string(n), f(cab, 0.0), f(lu2, 0.0), f(lu11, 0.0),
-               f(cab, 0.1), f(lu2, 0.1), f(lu11, 0.1)});
-  }
-  stats::print_titled(
-      "Figure 4 — fraction of energy savings vs burst size (packets)", t);
-
   std::printf(
       "Check: savings at n=10 as share of n=1000 asymptote: "
       "Cabletron %.0f%%, Lucent11-Idle %.0f%% (paper: 'majority by n=10')\n",

@@ -21,7 +21,8 @@ int main(int argc, char** argv) {
       Column{"Sensor", app::EvalModel::kSensor, 0, Metric::kGoodput});
   columns.push_back(
       Column{"802.11", app::EvalModel::kWifi, 0, Metric::kGoodput});
-  print_sender_sweep("Figure 5 — SH: goodput vs number of senders",
+  print_sender_sweep("fig05_sh_goodput",
+                     "Figure 5 — SH: goodput vs number of senders",
                      /*multi_hop=*/false, opt, columns, /*rate_bps=*/0);
   return 0;
 }

@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
   columns.push_back(Column{"Sensor-header", app::EvalModel::kSensor, 0,
                            Metric::kNormalizedEnergySensorHeader});
   print_sender_sweep(
+      "fig06_sh_energy",
       "Figure 6 — SH: normalized energy (J/Kbit) vs number of senders",
       /*multi_hop=*/false, opt, columns, /*rate_bps=*/0);
   return 0;

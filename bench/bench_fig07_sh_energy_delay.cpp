@@ -14,6 +14,7 @@ int main(int argc, char** argv) {
                          "Figure 7: SH energy vs delay (0.2 Kbps)", &opt))
     return 1;
   print_energy_delay(
+      "fig07_sh_energy_delay",
       "Figure 7 — SH: normalized energy (J/Kbit) vs average delay (s), "
       "0.2 Kbps senders; rows grouped per figure line",
       /*multi_hop=*/false, opt, /*rate_bps=*/200.0);

@@ -20,7 +20,8 @@ int main(int argc, char** argv) {
       Column{"Sensor", app::EvalModel::kSensor, 0, Metric::kGoodput});
   columns.push_back(
       Column{"802.11", app::EvalModel::kWifi, 0, Metric::kGoodput});
-  print_sender_sweep("Figure 8 — MH: goodput vs number of senders (2 Kbps)",
+  print_sender_sweep("fig08_mh_goodput",
+                     "Figure 8 — MH: goodput vs number of senders (2 Kbps)",
                      /*multi_hop=*/true, opt, columns, /*rate_bps=*/0);
   return 0;
 }

@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
   columns.push_back(Column{"Sensor-header", app::EvalModel::kSensor, 0,
                            Metric::kNormalizedEnergySensorHeader});
   print_sender_sweep(
+      "fig09_mh_energy",
       "Figure 9 — MH: normalized energy (J/Kbit) vs number of senders "
       "(2 Kbps)",
       /*multi_hop=*/true, opt, columns, /*rate_bps=*/0);

@@ -15,10 +15,12 @@ int main(int argc, char** argv) {
                          "Figure 10: MH energy vs delay", &opt))
     return 1;
   print_energy_delay(
+      "fig10a_mh_energy_delay",
       "Figure 10a — MH: normalized energy (J/Kbit) vs average delay (s), "
       "0.2 Kbps senders",
       /*multi_hop=*/true, opt, /*rate_bps=*/200.0);
   print_energy_delay(
+      "fig10b_mh_energy_delay",
       "Figure 10b — MH: normalized energy (J/Kbit) vs average delay (s), "
       "2 Kbps senders",
       /*multi_hop=*/true, opt, /*rate_bps=*/2000.0);

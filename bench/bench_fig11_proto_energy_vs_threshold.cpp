@@ -8,42 +8,59 @@
 // force an extra (mostly empty) 802.11 frame, the sawtooth in the figure.
 #include <cstdio>
 
+#include "common.hpp"
 #include "emul/prototype.hpp"
-#include "stats/table.hpp"
-#include "util/options.hpp"
 #include "util/units.hpp"
 
 int main(int argc, char** argv) {
   using namespace bcp;
+  using namespace bcp::benchharness;
   util::Options opt("bench_fig11_proto_energy_vs_threshold",
                     "Figure 11: prototype energy/packet vs threshold");
   opt.add_int("messages", 500, "messages per run (paper: 500)")
       .add_int("step", 250, "threshold step in bytes")
-      .add_double("interval", 0.2, "message generation interval (s)");
+      .add_double("interval", 0.2, "message generation interval (s)")
+      .add_int("jobs", 0, "sweep worker threads (0 = all hardware cores)");
   if (!opt.parse(argc, argv)) return 1;
+  const int messages = static_cast<int>(opt.get_int("messages"));
+  const double interval = opt.get_double("interval");
 
-  stats::TextTable t;
-  t.add_row({"threshold_B", "dual_uJ_per_pkt", "sensor_uJ_per_pkt",
-             "wakeups", "frames"});
-  double crossover = -1;
+  std::vector<int> thresholds;
   for (int bytes = 500; bytes <= 5000;
-       bytes += static_cast<int>(opt.get_int("step"))) {
+       bytes += static_cast<int>(opt.get_int("step")))
+    thresholds.push_back(bytes);
+
+  app::SweepGrid grid;
+  grid.axis_ints("threshold_B", thresholds);
+  const app::SweepFn fn = [messages, interval](const app::SweepJob& job) {
     emul::PrototypeConfig cfg;
-    cfg.threshold_bits = util::bytes(bytes);
-    cfg.message_count = static_cast<int>(opt.get_int("messages"));
-    cfg.message_interval = opt.get_double("interval");
+    cfg.threshold_bits = util::bytes(job.point.get_int("threshold_B"));
+    cfg.message_count = messages;
+    cfg.message_interval = interval;
     const auto r = emul::run_prototype(cfg);
-    if (crossover < 0 &&
-        r.dual_energy_per_packet < r.sensor_energy_per_packet)
-      crossover = bytes;
-    t.add_row({std::to_string(bytes),
-               stats::TextTable::num(r.dual_energy_per_packet * 1e6, 4),
-               stats::TextTable::num(r.sensor_energy_per_packet * 1e6, 4),
-               std::to_string(r.wifi_wakeups),
-               std::to_string(r.bulk_frames)});
+    return stats::ResultSink::Metrics{
+        {"dual_uJ_per_pkt", r.dual_energy_per_packet * 1e6},
+        {"sensor_uJ_per_pkt", r.sensor_energy_per_packet * 1e6},
+        {"wakeups", static_cast<double>(r.wifi_wakeups)},
+        {"frames", static_cast<double>(r.bulk_frames)},
+    };
+  };
+
+  app::SweepOptions sweep;
+  sweep.threads = static_cast<int>(opt.get_int("jobs"));
+  const stats::ResultSink sink = run_grid_bench(
+      "fig11_proto_energy_vs_threshold",
+      "Figure 11 — prototype: energy per packet (uJ) vs threshold (B)",
+      grid, fn, sweep);
+
+  double crossover = -1;
+  for (std::size_t i = 0; i < thresholds.size(); ++i) {
+    if (sink.metric(i, "dual_uJ_per_pkt").mean() <
+        sink.metric(i, "sensor_uJ_per_pkt").mean()) {
+      crossover = thresholds[i];
+      break;
+    }
   }
-  stats::print_titled(
-      "Figure 11 — prototype: energy per packet (uJ) vs threshold (B)", t);
   std::printf(
       "Check: dual drops below the sensor line at ~%.0f B (paper: slightly "
       "above 1 KB).\nNote: the run is deterministic (isolated loss-free "

@@ -6,37 +6,49 @@
 // thresholds), then flattens — past a region, more delay buys little.
 #include <cstdio>
 
+#include "common.hpp"
 #include "emul/prototype.hpp"
-#include "stats/table.hpp"
-#include "util/options.hpp"
 #include "util/units.hpp"
 
 int main(int argc, char** argv) {
   using namespace bcp;
+  using namespace bcp::benchharness;
   util::Options opt("bench_fig12_proto_energy_vs_delay",
                     "Figure 12: prototype energy/packet vs delay/packet");
   opt.add_int("messages", 500, "messages per run (paper: 500)")
       .add_int("step", 250, "threshold step in bytes")
-      .add_double("interval", 0.2, "message generation interval (s)");
+      .add_double("interval", 0.2, "message generation interval (s)")
+      .add_int("jobs", 0, "sweep worker threads (0 = all hardware cores)");
   if (!opt.parse(argc, argv)) return 1;
+  const int messages = static_cast<int>(opt.get_int("messages"));
+  const double interval = opt.get_double("interval");
 
-  stats::TextTable t;
-  t.add_row({"threshold_B", "delay_ms_per_pkt", "dual_uJ_per_pkt"});
+  std::vector<int> thresholds;
   for (int bytes = 500; bytes <= 5000;
-       bytes += static_cast<int>(opt.get_int("step"))) {
+       bytes += static_cast<int>(opt.get_int("step")))
+    thresholds.push_back(bytes);
+
+  app::SweepGrid grid;
+  grid.axis_ints("threshold_B", thresholds);
+  const app::SweepFn fn = [messages, interval](const app::SweepJob& job) {
     emul::PrototypeConfig cfg;
-    cfg.threshold_bits = util::bytes(bytes);
-    cfg.message_count = static_cast<int>(opt.get_int("messages"));
-    cfg.message_interval = opt.get_double("interval");
+    cfg.threshold_bits = util::bytes(job.point.get_int("threshold_B"));
+    cfg.message_count = messages;
+    cfg.message_interval = interval;
     const auto r = emul::run_prototype(cfg);
-    t.add_row({std::to_string(bytes),
-               stats::TextTable::num(r.mean_delay_per_packet * 1e3, 5),
-               stats::TextTable::num(r.dual_energy_per_packet * 1e6, 4)});
-  }
-  stats::print_titled(
+    return stats::ResultSink::Metrics{
+        {"delay_ms_per_pkt", r.mean_delay_per_packet * 1e3},
+        {"dual_uJ_per_pkt", r.dual_energy_per_packet * 1e6},
+    };
+  };
+
+  app::SweepOptions sweep;
+  sweep.threads = static_cast<int>(opt.get_int("jobs"));
+  run_grid_bench(
+      "fig12_proto_energy_vs_delay",
       "Figure 12 — prototype: energy per packet (uJ) vs delay per packet "
       "(ms)",
-      t);
+      grid, fn, sweep);
   std::printf(
       "Expected shape: steep energy drop at small delays, then a flat "
       "tail (diminishing returns, matching Fig. 7's simulation result).\n");

@@ -4,151 +4,98 @@
 //
 // Runs the MH grid workload (10 senders, 0.2 Kbps) on:
 //   * a pure 802.11 network sleep-cycled at duty 100%/10%/2% (idealized,
-//     cost-free synchronization — a best case for sleep cycling), and
-//   * the dual-radio network with BCP (burst 500),
+//     cost-free synchronization — a best case for sleep cycling; the
+//     registry's "mh/wifi-duty" variant), and
+//   * the dual-radio network with BCP (burst 500; "mh/dual"),
 // and prints delivery, delay, per-node power and the J/Kbit metric.
 //
 // Expected: even at 2% duty the sleep-cycled 802.11 radio burns orders of
 // magnitude more than BCP (waking 36 radios every period costs idle +
 // wake-up energy regardless of traffic), while BCP pays only per burst.
 #include <cstdio>
-#include <memory>
+#include <string>
 #include <vector>
 
-#include "app/duty_cycle.hpp"
-#include "app/scenario.hpp"
-#include "app/workload.hpp"
-#include "energy/radio_model.hpp"
-#include "net/routing.hpp"
-#include "net/topology.hpp"
-#include "phy/channel.hpp"
-#include "sim/simulator.hpp"
-#include "stats/table.hpp"
+#include "common.hpp"
 #include "util/options.hpp"
-#include "util/rng.hpp"
 
 namespace {
 
-using namespace bcp;
-
-struct Row {
+struct Cell {
   std::string label;
-  double goodput;
-  double delay;
-  double j_per_kbit;
-  double node_power_mw;
+  std::string variant;
+  double duty;  // only for wifi-duty
 };
-
-Row run_sleep_cycled(double duty, int senders, double duration,
-                     std::uint64_t seed) {
-  sim::Simulator simulator;
-  const auto topo = net::GridTopology::paper_grid();
-  phy::Channel channel(simulator, topo.positions(), 300.0, {0.0},
-                       util::substream(seed, 2, 0x484348u));
-  const net::RoutingTable routes{
-      net::ConnectivityGraph(topo.positions(), 300.0)};
-
-  std::int64_t delivered = 0, generated = 0;
-  double delay_sum = 0;
-  app::DeliverySink sink;
-  sink.delivered = [&](const net::DataPacket& p) {
-    ++delivered;
-    delay_sum += simulator.now() - p.created_at;
-  };
-  sink.dropped = [](const net::DataPacket&, const char*) {};
-
-  app::DutyCycledWifiNode::Schedule schedule;
-  schedule.period = 1.0;
-  schedule.duty = duty;
-  std::vector<std::unique_ptr<app::DutyCycledWifiNode>> nodes;
-  for (net::NodeId id = 0; id < topo.node_count(); ++id)
-    nodes.push_back(std::make_unique<app::DutyCycledWifiNode>(
-        simulator, channel, routes, id, topo.sink(),
-        energy::cabletron_2mbps(), schedule, seed, &sink));
-
-  std::vector<std::unique_ptr<app::CbrWorkload>> workloads;
-  for (int i = 0; i < senders; ++i) {
-    const net::NodeId s = static_cast<net::NodeId>(35 - i);
-    workloads.push_back(std::make_unique<app::CbrWorkload>(
-        simulator, s, topo.sink(), util::bytes(32), 200.0,
-        util::substream(seed, static_cast<std::uint64_t>(s), 0x574Bu),
-        [&nodes, s, &generated](net::DataPacket p) {
-          ++generated;
-          nodes[static_cast<std::size_t>(s)]->send(p);
-        }));
-    workloads.back()->start();
-  }
-  simulator.run_until(duration);
-
-  double energy = 0;
-  for (const auto& n : nodes) {
-    n->radio().meter().finalize(duration);
-    energy += n->radio().meter().charged_total(
-        energy::ChargingPolicy::full());
-  }
-  Row row;
-  char label[64];
-  std::snprintf(label, sizeof label, "802.11 sleep-cycled %.0f%%",
-                duty * 100);
-  row.label = label;
-  row.goodput = generated ? static_cast<double>(delivered) /
-                                static_cast<double>(generated)
-                          : 0;
-  row.delay = delivered ? delay_sum / static_cast<double>(delivered) : 0;
-  const double kbits = static_cast<double>(delivered) * 256 / 1000.0;
-  row.j_per_kbit = kbits > 0 ? energy / kbits : 0;
-  row.node_power_mw = energy / 36.0 / duration * 1e3;
-  return row;
-}
-
-Row run_dual(int senders, double duration, std::uint64_t seed) {
-  auto cfg = app::ScenarioConfig::multi_hop(app::EvalModel::kDualRadio,
-                                            senders, 500);
-  cfg.rate_bps = 200.0;
-  cfg.duration = duration;
-  cfg.seed = seed;
-  const auto m = app::run_scenario(cfg);
-  Row row;
-  row.label = "Dual-radio BCP (burst 500)";
-  row.goodput = m.goodput;
-  row.delay = m.mean_delay;
-  row.j_per_kbit = m.normalized_energy;
-  row.node_power_mw = (m.sensor_energy.ideal() + m.wifi_energy.full()) /
-                      36.0 / duration * 1e3;
-  return row;
-}
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  using namespace bcp;
+  using namespace bcp::benchharness;
   util::Options opt("bench_motivation_sleep_cycling",
                     "sleep-cycled 802.11 vs BCP (the §1 motivation)");
   opt.add_int("senders", 10, "sender count")
       .add_double("duration", 2000.0, "simulated seconds")
-      .add_int("seed", 1, "seed");
+      .add_int("seed", 1, "seed")
+      .add_int("runs", 1, "replications per configuration")
+      .add_int("jobs", 0, "sweep worker threads (0 = all hardware cores)");
   if (!opt.parse(argc, argv)) return 1;
   const int senders = static_cast<int>(opt.get_int("senders"));
   const double duration = opt.get_double("duration");
-  const auto seed = static_cast<std::uint64_t>(opt.get_int("seed"));
+
+  const std::vector<Cell> cells = {
+      {"802.11 sleep-cycled 100%", "mh/wifi-duty", 1.0},
+      {"802.11 sleep-cycled 10%", "mh/wifi-duty", 0.10},
+      {"802.11 sleep-cycled 2%", "mh/wifi-duty", 0.02},
+      {"Dual-radio BCP (burst 500)", "mh/dual", 0},
+  };
+
+  app::SweepGrid grid;
+  grid.axis_ints("cell", {0, 1, 2, 3});
+  const app::SweepFn fn = [&cells, senders,
+                           duration](const app::SweepJob& job) {
+    const Cell& cell =
+        cells[static_cast<std::size_t>(job.point.get_int("cell"))];
+    const app::SweepPoint scenario_point(
+        job.point.index(), {{"senders", static_cast<double>(senders)},
+                            {"burst", 500},
+                            {"rate_bps", 200.0},
+                            {"duration", duration},
+                            {"duty", cell.duty}});
+    auto cfg =
+        app::ScenarioRegistry::builtin().make(cell.variant, scenario_point);
+    cfg.seed = job.seed;
+    return app::standard_metrics(app::run_scenario(cfg));
+  };
+
+  app::SweepOptions sweep;
+  sweep.replications = static_cast<int>(opt.get_int("runs"));
+  sweep.base_seed = static_cast<std::uint64_t>(opt.get_int("seed"));
+  sweep.threads = static_cast<int>(opt.get_int("jobs"));
+  const app::SweepRunner runner(sweep);
+  stats::ResultSink sink = runner.run(grid, fn);
+  for (std::size_t i = 0; i < cells.size(); ++i)
+    sink.set_label(i, cells[i].label);
 
   stats::TextTable t;
   t.add_row({"configuration", "goodput", "delay_s", "J_per_Kbit",
              "mW_per_node"});
-  for (const double duty : {1.0, 0.10, 0.02})
-    if (const Row r = run_sleep_cycled(duty, senders, duration, seed); true)
-      t.add_row({r.label, stats::TextTable::num(r.goodput, 3),
-                 stats::TextTable::num(r.delay, 3),
-                 stats::TextTable::num(r.j_per_kbit, 3),
-                 stats::TextTable::num(r.node_power_mw, 3)});
-  const Row dual = run_dual(senders, duration, seed);
-  t.add_row({dual.label, stats::TextTable::num(dual.goodput, 3),
-             stats::TextTable::num(dual.delay, 3),
-             stats::TextTable::num(dual.j_per_kbit, 3),
-             stats::TextTable::num(dual.node_power_mw, 3)});
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const double energy = sink.metric(i, "sensor_energy_ideal_J").mean() +
+                          sink.metric(i, "wifi_energy_full_J").mean();
+    t.add_row({cells[i].label,
+               stats::TextTable::num(sink.metric(i, "goodput").mean(), 3),
+               stats::TextTable::num(sink.metric(i, "mean_delay_s").mean(),
+                                     3),
+               stats::TextTable::num(
+                   sink.metric(i, "normalized_energy").mean(), 3),
+               stats::TextTable::num(energy / 36.0 / duration * 1e3, 3)});
+  }
   stats::print_titled(
       "Motivation (§1) — sleep-cycled 802.11 vs dual-radio BCP, MH grid, "
       "0.2 Kbps",
       t);
+  export_json("motivation_sleep_cycling", sink);
   std::printf(
       "Expected: per-node power of sleep-cycled 802.11 scales with duty\n"
       "(idle+wake-up dominate regardless of traffic); BCP pays per burst\n"

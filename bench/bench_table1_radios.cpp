@@ -1,56 +1,88 @@
 // Table 1 — "Energy Characteristics (mW, mJ)" — plus derived per-bit
 // costs and the pairwise break-even matrix the rest of the paper builds on.
 #include <cstdio>
+#include <limits>
+#include <string>
 
+#include "common.hpp"
 #include "energy/breakeven.hpp"
 #include "energy/radio_model.hpp"
-#include "stats/table.hpp"
 #include "util/units.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bcp;
+  using namespace bcp::benchharness;
+  util::Options opt("bench_table1_radios",
+                    "Table 1: radio energy characteristics + break-evens");
+  opt.add_int("jobs", 0, "sweep worker threads (0 = all hardware cores)");
+  if (!opt.parse(argc, argv)) return 1;
+  app::SweepOptions sweep;
+  sweep.threads = static_cast<int>(opt.get_int("jobs"));
+
   std::printf(
       "Reproduction of Table 1 (ICDCS'08 'Improving Energy Conservation "
       "Using Bulk\nTransmission over High-Power Radios in Sensor "
       "Networks').\n\n");
 
-  stats::TextTable t;
-  t.add_row({"Radio", "Rate", "Ptx(mW)", "Prx(mW)", "Pi(mW)", "Ewakeup(mJ)",
-             "Range(m)", "E/bit(uJ)"});
-  for (const auto& r : energy::radio_catalog()) {
-    const double per_bit_uj = (r.p_tx + r.p_rx) / r.rate * 1e6;
-    t.add_row({r.name,
-               r.rate >= 1e6 ? stats::TextTable::num(r.rate / 1e6) + "Mbps"
-                             : stats::TextTable::num(r.rate / 1e3) + "Kbps",
-               stats::TextTable::num(r.p_tx * 1e3),
-               stats::TextTable::num(r.p_rx * 1e3),
-               stats::TextTable::num(r.p_idle * 1e3),
-               r.e_wakeup > 0 ? stats::TextTable::num(r.e_wakeup * 1e3)
-                              : std::string("-"),
-               stats::TextTable::num(r.range),
-               stats::TextTable::num(per_bit_uj, 3)});
+  const auto& catalog = energy::radio_catalog();
+  {
+    app::SweepGrid grid;
+    std::vector<int> radio_ids;
+    for (std::size_t i = 0; i < catalog.size(); ++i)
+      radio_ids.push_back(static_cast<int>(i));
+    grid.axis_ints("radio", radio_ids);
+    const app::SweepFn fn = [&catalog](const app::SweepJob& job) {
+      const auto& r = catalog[static_cast<std::size_t>(
+          job.point.get_int("radio"))];
+      return stats::ResultSink::Metrics{
+          {"rate_bps", r.rate},
+          {"Ptx_mW", r.p_tx * 1e3},
+          {"Prx_mW", r.p_rx * 1e3},
+          {"Pidle_mW", r.p_idle * 1e3},
+          {"Ewakeup_mJ", r.e_wakeup * 1e3},
+          {"range_m", r.range},
+          {"E_per_bit_uJ", (r.p_tx + r.p_rx) / r.rate * 1e6},
+      };
+    };
+    const app::SweepRunner runner(sweep);
+    stats::ResultSink sink = runner.run(grid, fn);
+    for (std::size_t i = 0; i < catalog.size(); ++i)
+      sink.set_label(i, catalog[i].name);
+    stats::print_titled("Table 1 — radio energy characteristics",
+                        sink.to_table());
+    export_json("table1_radios", sink);
   }
-  stats::print_titled("Table 1 — radio energy characteristics", t);
 
-  stats::TextTable be;
-  be.add_row({"low \\ high", "Cabletron", "Lucent-2Mbps", "Lucent-11Mbps"});
-  for (const auto* low :
-       {&energy::mica(), &energy::mica2(), &energy::micaz()}) {
-    std::vector<std::string> row{low->name};
-    for (const auto* high : {&energy::cabletron_2mbps(),
-                             &energy::lucent_2mbps(),
-                             &energy::lucent_11mbps()}) {
-      const auto a = energy::DualRadioAnalysis::standard(*low, *high);
+  {
+    const std::vector<const energy::RadioEnergyModel*> lows{
+        &energy::mica(), &energy::mica2(), &energy::micaz()};
+    const std::vector<const energy::RadioEnergyModel*> highs{
+        &energy::cabletron_2mbps(), &energy::lucent_2mbps(),
+        &energy::lucent_11mbps()};
+    app::SweepGrid grid;
+    grid.axis_ints("low", {0, 1, 2}).axis_ints("high", {0, 1, 2});
+    const app::SweepFn fn = [&lows, &highs](const app::SweepJob& job) {
+      const auto a = energy::DualRadioAnalysis::standard(
+          *lows[static_cast<std::size_t>(job.point.get_int("low"))],
+          *highs[static_cast<std::size_t>(job.point.get_int("high"))]);
       const auto s = a.break_even_bits();
-      row.push_back(s ? stats::TextTable::num(util::to_kilobytes(*s), 3) +
-                            "KB"
-                      : std::string("infeasible"));
-    }
-    be.add_row(std::move(row));
+      return stats::ResultSink::Metrics{
+          {"s_star_KB", s ? util::to_kilobytes(*s)
+                          : std::numeric_limits<double>::infinity()},
+      };
+    };
+    const app::SweepRunner runner(sweep);
+    stats::ResultSink sink = runner.run(grid, fn);
+    for (std::size_t li = 0; li < lows.size(); ++li)
+      for (std::size_t hi = 0; hi < highs.size(); ++hi)
+        sink.set_label(grid.index_of({li, hi}),
+                       highs[hi]->name + "-" + lows[li]->name);
+    stats::print_titled(
+        "Derived: single-hop break-even size s* per radio pair (idle = 0)",
+        sink.to_table());
+    export_json("table1_breakeven", sink);
   }
-  stats::print_titled(
-      "Derived: single-hop break-even size s* per radio pair (idle = 0)",
-      be);
+
   std::printf(
       "Expected (paper): s* below 1 KB for feasible pairs; Cabletron and\n"
       "Lucent-2Mbps are infeasible with Micaz (worse energy-per-bit).\n");

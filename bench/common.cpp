@@ -1,7 +1,6 @@
 #include "common.hpp"
 
 #include <cstdio>
-#include <map>
 #include <utility>
 
 #include "util/assert.hpp"
@@ -14,34 +13,45 @@ bool parse_sim_options(int argc, const char* const* argv, const char* name,
   opt.add_int("runs", out->runs, "replications per data point")
       .add_double("duration", out->duration, "simulated seconds per run")
       .add_int("seed", 1, "base RNG seed")
+      .add_int("jobs", 0, "sweep worker threads (0 = all hardware cores)")
       .add_flag("full", "paper scale: 20 runs, sender counts 5,10,...,35");
   if (!opt.parse(argc, argv)) return false;
   out->runs = static_cast<int>(opt.get_int("runs"));
   out->duration = opt.get_double("duration");
   out->seed = static_cast<std::uint64_t>(opt.get_int("seed"));
+  out->jobs = static_cast<int>(opt.get_int("jobs"));
   if (opt.flag("full")) {
     out->runs = 20;
     out->senders = {5, 10, 15, 20, 25, 30, 35};
   }
   BCP_REQUIRE(out->runs >= 1);
   BCP_REQUIRE(out->duration > 0);
+  BCP_REQUIRE(out->jobs >= 0);
   return true;
 }
 
-double metric_of(const app::RunMetrics& m, Metric metric) {
+app::SweepOptions sweep_options(const SimOptions& opt) {
+  app::SweepOptions so;
+  so.replications = opt.runs;
+  so.base_seed = opt.seed;
+  so.threads = opt.jobs;
+  return so;
+}
+
+const char* metric_name(Metric metric) {
   switch (metric) {
     case Metric::kGoodput:
-      return m.goodput;
+      return "goodput";
     case Metric::kNormalizedEnergy:
-      return m.normalized_energy;
+      return "normalized_energy";
     case Metric::kNormalizedEnergySensorIdeal:
-      return m.normalized_energy_sensor_ideal;
+      return "normalized_energy_sensor_ideal";
     case Metric::kNormalizedEnergySensorHeader:
-      return m.normalized_energy_sensor_header;
+      return "normalized_energy_sensor_header";
     case Metric::kDelay:
-      return m.mean_delay;
+      return "mean_delay_s";
   }
-  return 0;
+  return "?";
 }
 
 std::vector<Column> dual_columns(const std::vector<int>& bursts,
@@ -53,91 +63,176 @@ std::vector<Column> dual_columns(const std::vector<int>& bursts,
   return cols;
 }
 
-app::ScenarioConfig make_config(bool multi_hop, app::EvalModel model,
-                                int senders, int burst,
-                                const SimOptions& opt, double rate_bps) {
-  // Burst size is meaningless for the single-radio models (their columns
-  // pass 0); any positive value satisfies the scenario contract.
-  if (model != app::EvalModel::kDualRadio && burst <= 0) burst = 1;
-  app::ScenarioConfig cfg =
-      multi_hop ? app::ScenarioConfig::multi_hop(model, senders, burst)
-                : app::ScenarioConfig::single_hop(model, senders, burst);
-  cfg.duration = opt.duration;
-  cfg.seed = opt.seed;
-  if (rate_bps > 0) cfg.rate_bps = rate_bps;
-  return cfg;
+void export_json(const std::string& bench_name,
+                 const stats::ResultSink& sink) {
+  const std::string path = "BENCH_" + bench_name + ".json";
+  if (sink.write_json(bench_name, path))
+    std::printf("[json] %s\n", path.c_str());
+}
+
+stats::ResultSink run_grid_bench(const std::string& bench_name,
+                                 const std::string& title,
+                                 const app::SweepGrid& grid,
+                                 const app::SweepFn& fn,
+                                 const app::SweepOptions& options) {
+  const app::SweepRunner runner(options);
+  stats::ResultSink sink = runner.run(grid, fn);
+  stats::print_titled(title, sink.to_table());
+  export_json(bench_name, sink);
+  return sink;
 }
 
 namespace {
 
-/// Cache key: one simulated configuration (metric choice is free).
-using CellKey = std::pair<int, int>;  // (model as int, burst)
+/// Registry name of one figure column's scenario.
+std::string variant_name(bool multi_hop, app::EvalModel model) {
+  const std::string prefix = multi_hop ? "mh/" : "sh/";
+  switch (model) {
+    case app::EvalModel::kSensor:
+      return prefix + "sensor";
+    case app::EvalModel::kWifi:
+      return prefix + "wifi";
+    case app::EvalModel::kWifiDutyCycled:
+      // The wifi-duty builders require a "duty" axis the figure grids
+      // don't carry; sweep it directly (see bench_motivation_sleep_cycling)
+      // instead of through a sender-sweep column.
+      BCP_REQUIRE_MSG(false,
+                      "kWifiDutyCycled is not supported as a figure column");
+      break;
+    case app::EvalModel::kDualRadio:
+      return prefix + "dual";
+  }
+  return prefix + "?";
+}
 
-std::vector<app::RunMetrics> run_cell(bool multi_hop, app::EvalModel model,
-                                      int senders, int burst,
-                                      const SimOptions& opt,
-                                      double rate_bps) {
-  return app::run_replications(
-      make_config(multi_hop, model, senders, burst, opt, rate_bps),
-      opt.runs);
+/// A distinct simulated configuration; columns reading different metrics
+/// off the same (model, burst) share one cell.
+struct Cell {
+  std::string variant;
+  int burst;  // 0 for the single-radio models
+};
+
+/// SweepFn for a figure grid with axes ("cell", "senders"): decodes the
+/// cell, synthesizes the registry point, runs the scenario.
+app::SweepFn cell_sweep_fn(std::vector<Cell> cells, double rate_bps,
+                           double duration) {
+  return [cells = std::move(cells), rate_bps,
+          duration](const app::SweepJob& job) {
+    const auto ci = static_cast<std::size_t>(job.point.get_int("cell"));
+    BCP_REQUIRE(ci < cells.size());
+    const Cell& cell = cells[ci];
+    const app::SweepPoint scenario_point(
+        job.point.index(),
+        {{"senders", job.point.get("senders")},
+         {"burst", static_cast<double>(cell.burst > 0 ? cell.burst : 1)},
+         {"rate_bps", rate_bps},
+         {"duration", duration}});
+    app::ScenarioConfig cfg =
+        app::ScenarioRegistry::builtin().make(cell.variant, scenario_point);
+    cfg.seed = job.seed;
+    return app::standard_metrics(app::run_scenario(cfg));
+  };
 }
 
 }  // namespace
 
-void print_sender_sweep(const std::string& title, bool multi_hop,
+void print_sender_sweep(const std::string& bench_name,
+                        const std::string& title, bool multi_hop,
                         const SimOptions& opt,
-                        const std::vector<Column>& columns, double rate_bps) {
+                        const std::vector<Column>& columns,
+                        double rate_bps) {
+  // Distinct cells in column order; remember each column's cell index.
+  std::vector<Cell> cells;
+  std::vector<std::size_t> column_cell(columns.size());
+  for (std::size_t c = 0; c < columns.size(); ++c) {
+    const Cell cell{
+        variant_name(multi_hop, columns[c].model),
+        columns[c].model == app::EvalModel::kDualRadio ? columns[c].burst
+                                                       : 0};
+    std::size_t ci = 0;
+    while (ci < cells.size() && (cells[ci].variant != cell.variant ||
+                                 cells[ci].burst != cell.burst))
+      ++ci;
+    if (ci == cells.size()) cells.push_back(cell);
+    column_cell[c] = ci;
+  }
+
+  app::SweepGrid grid;
+  std::vector<int> cell_ids(cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i)
+    cell_ids[i] = static_cast<int>(i);
+  grid.axis_ints("cell", cell_ids).axis_ints("senders", opt.senders);
+
+  const app::SweepRunner runner(sweep_options(opt));
+  stats::ResultSink sink =
+      runner.run(grid, cell_sweep_fn(cells, rate_bps, opt.duration));
+
+  for (std::size_t ci = 0; ci < cells.size(); ++ci)
+    for (std::size_t si = 0; si < opt.senders.size(); ++si) {
+      std::string label = cells[ci].variant;
+      if (cells[ci].burst > 0)
+        label += "-" + std::to_string(cells[ci].burst);
+      sink.set_label(grid.index_of({ci, si}), label);
+    }
+
+  // Pivot to the paper's shape: rows = sender counts, one column per spec.
   stats::TextTable table;
   std::vector<std::string> header{"senders"};
   for (const auto& c : columns) header.push_back(c.label);
   table.add_row(std::move(header));
-
-  for (const int senders : opt.senders) {
-    // One simulation batch per distinct (model, burst), shared by every
-    // column that reads a different metric from it.
-    std::map<CellKey, std::vector<app::RunMetrics>> cache;
-    std::vector<std::string> row{std::to_string(senders)};
-    for (const auto& c : columns) {
-      const CellKey key{static_cast<int>(c.model),
-                        c.model == app::EvalModel::kDualRadio ? c.burst : 0};
-      auto it = cache.find(key);
-      if (it == cache.end()) {
-        it = cache
-                 .emplace(key, run_cell(multi_hop, c.model, senders, c.burst,
-                                        opt, rate_bps))
-                 .first;
-      }
-      stats::Summary s;
-      for (const auto& m : it->second) s.add(metric_of(m, c.metric));
+  for (std::size_t si = 0; si < opt.senders.size(); ++si) {
+    std::vector<std::string> row{std::to_string(opt.senders[si])};
+    for (std::size_t c = 0; c < columns.size(); ++c) {
+      const stats::Summary& s =
+          sink.metric(grid.index_of({column_cell[c], si}),
+                      metric_name(columns[c].metric));
       row.push_back(stats::TextTable::num_ci(s.mean(), s.ci_half_width()));
     }
     table.add_row(std::move(row));
-    std::fflush(stdout);
   }
   stats::print_titled(title, table);
+  export_json(bench_name, sink);
 }
 
-void print_energy_delay(const std::string& title, bool multi_hop,
+void print_energy_delay(const std::string& bench_name,
+                        const std::string& title, bool multi_hop,
                         const SimOptions& opt, double rate_bps) {
+  app::SweepGrid grid;
+  grid.axis_ints("senders", opt.senders).axis_ints("bursts", opt.bursts);
+
+  const std::string variant = multi_hop ? "mh/dual" : "sh/dual";
+  const double duration = opt.duration;
+  const app::SweepFn fn = [variant, rate_bps,
+                           duration](const app::SweepJob& job) {
+    const app::SweepPoint scenario_point(
+        job.point.index(), {{"senders", job.point.get("senders")},
+                            {"burst", job.point.get("bursts")},
+                            {"rate_bps", rate_bps},
+                            {"duration", duration}});
+    app::ScenarioConfig cfg =
+        app::ScenarioRegistry::builtin().make(variant, scenario_point);
+    cfg.seed = job.seed;
+    return app::standard_metrics(app::run_scenario(cfg));
+  };
+
+  const app::SweepRunner runner(sweep_options(opt));
+  stats::ResultSink sink = runner.run(grid, fn);
+
   stats::TextTable table;
   table.add_row({"senders", "burst", "delay_s", "energy_J_per_Kbit"});
-  for (const int senders : opt.senders) {
-    for (const int burst : opt.bursts) {
-      const auto runs = run_cell(multi_hop, app::EvalModel::kDualRadio,
-                                 senders, burst, opt, rate_bps);
-      stats::Summary delay, energy;
-      for (const auto& m : runs) {
-        delay.add(m.mean_delay);
-        energy.add(m.normalized_energy);
-      }
-      table.add_row({std::to_string(senders), std::to_string(burst),
-                     stats::TextTable::num_ci(delay.mean(),
-                                              delay.ci_half_width()),
-                     stats::TextTable::num_ci(energy.mean(),
-                                              energy.ci_half_width())});
+  for (std::size_t si = 0; si < opt.senders.size(); ++si)
+    for (std::size_t bi = 0; bi < opt.bursts.size(); ++bi) {
+      const std::size_t idx = grid.index_of({si, bi});
+      const stats::Summary& delay = sink.metric(idx, "mean_delay_s");
+      const stats::Summary& energy = sink.metric(idx, "normalized_energy");
+      table.add_row(
+          {std::to_string(opt.senders[si]), std::to_string(opt.bursts[bi]),
+           stats::TextTable::num_ci(delay.mean(), delay.ci_half_width()),
+           stats::TextTable::num_ci(energy.mean(),
+                                    energy.ci_half_width())});
     }
-  }
   stats::print_titled(title, table);
+  export_json(bench_name, sink);
 }
 
 }  // namespace bcp::benchharness

@@ -1,18 +1,27 @@
-// Shared plumbing for the figure-reproduction harnesses: CLI conventions,
-// the (model, burst) -> run cache, and the two table shapes used by the
-// §4.1 figures (metric-vs-senders and energy-vs-delay).
+// Shared plumbing for the figure-reproduction harnesses, built on the
+// parallel sweep engine (app/sweep.hpp): CLI conventions, the declarative
+// column specs for the two §4.1 figure shapes (metric-vs-senders and
+// energy-vs-delay), and the table + BENCH_*.json export every driver
+// shares.
 //
-// Conventions shared by every bench binary:
+// Conventions shared by every simulation bench binary:
 //   --runs N       replications per point (default 2; paper used 20)
 //   --duration S   simulated seconds (default 5000, as in the paper)
 //   --full         paper-scale: 20 runs, sender counts 5,10,...,35
 //   --seed S       base seed
+//   --jobs N       sweep worker threads (default 0 = all hardware cores)
+//
+// Every driver writes its aggregate results to BENCH_<name>.json in the
+// working directory (see stats/result_sink.hpp for the format).
 #pragma once
 
 #include <string>
 #include <vector>
 
 #include "app/scenario.hpp"
+#include "app/scenario_registry.hpp"
+#include "app/sweep.hpp"
+#include "stats/result_sink.hpp"
 #include "stats/summary.hpp"
 #include "stats/table.hpp"
 #include "util/options.hpp"
@@ -25,12 +34,15 @@ struct SimOptions {
   int runs = 2;
   double duration = 5000.0;
   std::uint64_t seed = 1;
+  int jobs = 0;  ///< sweep threads; 0 = hardware concurrency
 };
 
 /// Parses the standard bench flags; returns false if the process should
 /// exit (help/parse error).
 bool parse_sim_options(int argc, const char* const* argv, const char* name,
                        const char* summary, SimOptions* out);
+
+app::SweepOptions sweep_options(const SimOptions& opt);
 
 enum class Metric {
   kGoodput,
@@ -40,7 +52,8 @@ enum class Metric {
   kDelay,
 };
 
-double metric_of(const app::RunMetrics& m, Metric metric);
+/// The metric's name in standard_metrics / BENCH_*.json.
+const char* metric_name(Metric metric);
 
 /// One column of a metric-vs-senders figure.
 struct Column {
@@ -54,22 +67,32 @@ struct Column {
 std::vector<Column> dual_columns(const std::vector<int>& bursts,
                                  Metric metric);
 
-/// Builds the scenario for one cell. `multi_hop` picks the §4.1.1/§4.1.2
-/// preset; `rate_bps` overrides the preset rate when > 0.
-app::ScenarioConfig make_config(bool multi_hop, app::EvalModel model,
-                                int senders, int burst,
-                                const SimOptions& opt, double rate_bps);
-
-/// Runs every (model, burst) needed by `columns` across opt.senders and
-/// prints the figure table (rows = sender counts, cells = mean+-95% CI).
-void print_sender_sweep(const std::string& title, bool multi_hop,
+/// Runs the columns' distinct (model, burst) cells x opt.senders as ONE
+/// sweep grid, prints the figure table (rows = sender counts, cells =
+/// mean±95% CI) and writes BENCH_<bench_name>.json.
+void print_sender_sweep(const std::string& bench_name,
+                        const std::string& title, bool multi_hop,
                         const SimOptions& opt,
                         const std::vector<Column>& columns, double rate_bps);
 
-/// Figs. 7/10: for each (senders, burst) cell of the dual-radio model,
-/// prints mean delay vs normalized energy (one row per cell, grouped by
-/// sender count — each group is one line of the paper's figure).
-void print_energy_delay(const std::string& title, bool multi_hop,
+/// Figs. 7/10: sweeps the (senders x burst) grid of the dual-radio model
+/// and prints mean delay vs normalized energy (one row per cell, grouped
+/// by sender count); writes BENCH_<bench_name>.json.
+void print_energy_delay(const std::string& bench_name,
+                        const std::string& title, bool multi_hop,
                         const SimOptions& opt, double rate_bps);
+
+/// Generic driver for the analytic/prototype figures: runs `grid` through
+/// a SweepRunner, prints the aggregate table under `title`, and writes
+/// BENCH_<bench_name>.json. Returns the sink for follow-up checks.
+stats::ResultSink run_grid_bench(const std::string& bench_name,
+                                 const std::string& title,
+                                 const app::SweepGrid& grid,
+                                 const app::SweepFn& fn,
+                                 const app::SweepOptions& options);
+
+/// Writes sink JSON to BENCH_<bench_name>.json (cwd) and prints the path.
+void export_json(const std::string& bench_name,
+                 const stats::ResultSink& sink);
 
 }  // namespace bcp::benchharness

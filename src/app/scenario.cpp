@@ -5,6 +5,7 @@
 #include <memory>
 #include <optional>
 
+#include "app/duty_cycle.hpp"
 #include "app/nodes.hpp"
 #include "app/workload.hpp"
 #include "mac/mac_params.hpp"
@@ -19,9 +20,10 @@ namespace bcp::app {
 
 const char* to_string(EvalModel m) {
   switch (m) {
-    case EvalModel::kSensor:    return "Sensor";
-    case EvalModel::kWifi:      return "802.11";
-    case EvalModel::kDualRadio: return "DualRadio";
+    case EvalModel::kSensor:         return "Sensor";
+    case EvalModel::kWifi:           return "802.11";
+    case EvalModel::kWifiDutyCycled: return "802.11-DutyCycled";
+    case EvalModel::kDualRadio:      return "DualRadio";
   }
   return "?";
 }
@@ -107,7 +109,8 @@ RunMetrics run_scenario(const ScenarioConfig& config) {
       ++m.dropped_no_route;
   };
 
-  const bool needs_low = config.model != EvalModel::kWifi;
+  const bool needs_low = config.model == EvalModel::kSensor ||
+                         config.model == EvalModel::kDualRadio;
   const bool needs_high = config.model != EvalModel::kSensor;
 
   std::optional<phy::Channel> low_channel;
@@ -137,6 +140,7 @@ RunMetrics run_scenario(const ScenarioConfig& config) {
 
   std::vector<std::unique_ptr<ForwardingNode>> fwd_nodes;
   std::vector<std::unique_ptr<DualRadioNode>> dual_nodes;
+  std::vector<std::unique_ptr<DutyCycledWifiNode>> duty_nodes;
   switch (config.model) {
     case EvalModel::kSensor:
       for (net::NodeId id = 0; id < n; ++id)
@@ -152,6 +156,19 @@ RunMetrics run_scenario(const ScenarioConfig& config) {
             config.wifi_radio, phy::OverhearMode::kFull, mac::dcf_mac_params(),
             config.seed, &delivery));
       break;
+    case EvalModel::kWifiDutyCycled: {
+      BCP_REQUIRE_MSG(config.duty_cycle > 0 && config.duty_cycle <= 1.0,
+                      "duty cycle must be in (0, 1]");
+      BCP_REQUIRE_MSG(config.duty_period > 0, "duty period must be positive");
+      DutyCycledWifiNode::Schedule schedule;
+      schedule.period = config.duty_period;
+      schedule.duty = config.duty_cycle;
+      for (net::NodeId id = 0; id < n; ++id)
+        duty_nodes.push_back(std::make_unique<DutyCycledWifiNode>(
+            simulator, *high_channel, *high_routes, id, config.sink,
+            config.wifi_radio, schedule, config.seed, &delivery));
+      break;
+    }
     case EvalModel::kDualRadio:
       for (net::NodeId id = 0; id < n; ++id)
         dual_nodes.push_back(std::make_unique<DualRadioNode>(
@@ -178,6 +195,8 @@ RunMetrics run_scenario(const ScenarioConfig& config) {
     auto emit = [&, sender](net::DataPacket p) {
       if (config.model == EvalModel::kDualRadio)
         dual_nodes[static_cast<std::size_t>(sender)]->send(p);
+      else if (config.model == EvalModel::kWifiDutyCycled)
+        duty_nodes[static_cast<std::size_t>(sender)]->send(p);
       else
         fwd_nodes[static_cast<std::size_t>(sender)]->send(p);
     };
@@ -212,6 +231,19 @@ RunMetrics run_scenario(const ScenarioConfig& config) {
     m.mac_tx_attempts += node->mac().stats().tx_attempts;
     m.mac_tx_failed += node->mac().stats().tx_failed;
   }
+  for (const auto& node : duty_nodes) {
+    energy::EnergyMeter& meter = node->radio().meter();
+    meter.finalize(end);
+    accumulate(m.wifi_energy, meter);
+    m.mac_tx_attempts += node->mac().stats().tx_attempts;
+    m.mac_tx_failed += node->mac().stats().tx_failed;
+    m.wifi_wakeup_transitions += meter.wakeup_count();
+    using energy::EnergyCategory;
+    m.wifi_on_seconds += meter.duration(EnergyCategory::kIdle) +
+                         meter.duration(EnergyCategory::kRx) +
+                         meter.duration(EnergyCategory::kOverhear) +
+                         meter.duration(EnergyCategory::kTx);
+  }
   for (const auto& node : dual_nodes) {
     node->sensor_radio().meter().finalize(end);
     node->wifi_radio().meter().finalize(end);
@@ -245,6 +277,7 @@ RunMetrics run_scenario(const ScenarioConfig& config) {
       m.normalized_energy = m.normalized_energy_sensor_ideal;
       break;
     case EvalModel::kWifi:
+    case EvalModel::kWifiDutyCycled:
       m.normalized_energy = per_kbit(m.wifi_energy.full(), delivered_bits);
       break;
     case EvalModel::kDualRadio:

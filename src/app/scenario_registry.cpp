@@ -1,0 +1,198 @@
+#include "app/scenario_registry.hpp"
+
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace bcp::app {
+
+void ScenarioRegistry::add(std::string name, std::string description,
+                           Builder builder) {
+  BCP_REQUIRE(builder != nullptr);
+  BCP_REQUIRE_MSG(!contains(name), "duplicate scenario variant: " + name);
+  variants_.push_back(
+      Variant{std::move(name), std::move(description), std::move(builder)});
+}
+
+const ScenarioRegistry::Variant* ScenarioRegistry::find(
+    const std::string& name) const {
+  for (const auto& v : variants_)
+    if (v.name == name) return &v;
+  return nullptr;
+}
+
+bool ScenarioRegistry::contains(const std::string& name) const {
+  return find(name) != nullptr;
+}
+
+ScenarioConfig ScenarioRegistry::make(const std::string& name,
+                                      const SweepPoint& point) const {
+  const Variant* v = find(name);
+  BCP_REQUIRE_MSG(v != nullptr, "unknown scenario variant: " + name);
+  return v->build(point);
+}
+
+const std::string& ScenarioRegistry::description(
+    const std::string& name) const {
+  const Variant* v = find(name);
+  BCP_REQUIRE_MSG(v != nullptr, "unknown scenario variant: " + name);
+  return v->description;
+}
+
+std::vector<std::string> ScenarioRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(variants_.size());
+  for (const auto& v : variants_) out.push_back(v.name);
+  return out;
+}
+
+namespace {
+
+/// Shared axis handling for every built-in variant.
+ScenarioConfig base_config(bool multi_hop, EvalModel model,
+                           const SweepPoint& p) {
+  const int senders = p.get_int("senders");
+  const int burst = static_cast<int>(p.get_or("burst", 500));
+  ScenarioConfig cfg =
+      multi_hop
+          ? ScenarioConfig::multi_hop(model, senders,
+                                      model == EvalModel::kDualRadio ? burst
+                                                                    : 1)
+          : ScenarioConfig::single_hop(model, senders,
+                                       model == EvalModel::kDualRadio ? burst
+                                                                      : 1);
+  const double rate = p.get_or("rate_bps", 0);
+  if (rate > 0) cfg.rate_bps = rate;
+  cfg.duration = p.get_or("duration", cfg.duration);
+  cfg.frame_loss_prob = p.get_or("loss", 0.0);
+  return cfg;
+}
+
+ScenarioRegistry make_builtin() {
+  ScenarioRegistry r;
+  struct Preset {
+    const char* prefix;
+    bool multi_hop;
+  };
+  for (const Preset preset : {Preset{"sh", false}, Preset{"mh", true}}) {
+    const bool mh = preset.multi_hop;
+    const std::string px = preset.prefix;
+    const char* kind = mh ? "multi-hop (§4.1.2)" : "single-hop (§4.1.1)";
+    r.add(px + "/sensor",
+          std::string("pure sensor network, ") + kind,
+          [mh](const SweepPoint& p) {
+            return base_config(mh, EvalModel::kSensor, p);
+          });
+    r.add(px + "/wifi",
+          std::string("pure always-on 802.11 network, ") + kind,
+          [mh](const SweepPoint& p) {
+            return base_config(mh, EvalModel::kWifi, p);
+          });
+    r.add(px + "/dual",
+          std::string("dual-radio BCP, ") + kind,
+          [mh](const SweepPoint& p) {
+            return base_config(mh, EvalModel::kDualRadio, p);
+          });
+    r.add(px + "/wifi-duty",
+          std::string("sleep-cycled 802.11 strawman (§1), ") + kind +
+              "; axes: duty (required), duty_period_s",
+          [mh](const SweepPoint& p) {
+            ScenarioConfig cfg =
+                base_config(mh, EvalModel::kWifiDutyCycled, p);
+            cfg.duty_cycle = p.get("duty");
+            cfg.duty_period = p.get_or("duty_period_s", 1.0);
+            return cfg;
+          });
+  }
+  // §5 delay-constrained buffering policies (the open-question ablation).
+  r.add("mh/dual-flush-high",
+        "dual-radio BCP, deadline flushes a sub-threshold burst over the "
+        "802.11 radio; axes: deadline_s",
+        [](const SweepPoint& p) {
+          ScenarioConfig cfg = base_config(true, EvalModel::kDualRadio, p);
+          cfg.bcp.delay_policy = core::DelayPolicy::kFlushHigh;
+          cfg.bcp.max_buffering_delay = p.get_or("deadline_s", 60.0);
+          return cfg;
+        });
+  r.add("mh/dual-fallback-low",
+        "dual-radio BCP, deadline falls expired packets back to the sensor "
+        "radio; axes: deadline_s",
+        [](const SweepPoint& p) {
+          ScenarioConfig cfg = base_config(true, EvalModel::kDualRadio, p);
+          cfg.bcp.delay_policy = core::DelayPolicy::kFallbackLow;
+          cfg.bcp.max_buffering_delay = p.get_or("deadline_s", 60.0);
+          return cfg;
+        });
+  // §3 route optimization via shortcut learning.
+  r.add("mh/dual-shortcuts",
+        "dual-radio BCP with shortcut learning enabled",
+        [](const SweepPoint& p) {
+          ScenarioConfig cfg = base_config(true, EvalModel::kDualRadio, p);
+          cfg.bcp.enable_shortcuts = true;
+          return cfg;
+        });
+  // Alternative high-power radio pairings for the single-hop case.
+  r.add("sh/dual-lucent2",
+        "dual-radio BCP with the Lucent 2 Mbps card",
+        [](const SweepPoint& p) {
+          ScenarioConfig cfg = base_config(false, EvalModel::kDualRadio, p);
+          cfg.wifi_radio = energy::lucent_2mbps();
+          return cfg;
+        });
+  r.add("sh/dual-cabletron",
+        "dual-radio BCP with the Cabletron 2 Mbps card",
+        [](const SweepPoint& p) {
+          ScenarioConfig cfg = base_config(false, EvalModel::kDualRadio, p);
+          cfg.wifi_radio = energy::cabletron_2mbps();
+          return cfg;
+        });
+  return r;
+}
+
+}  // namespace
+
+const ScenarioRegistry& ScenarioRegistry::builtin() {
+  static const ScenarioRegistry registry = make_builtin();
+  return registry;
+}
+
+stats::ResultSink::Metrics standard_metrics(const RunMetrics& m) {
+  return {
+      {"goodput", m.goodput},
+      {"normalized_energy", m.normalized_energy},
+      {"normalized_energy_sensor_ideal", m.normalized_energy_sensor_ideal},
+      {"normalized_energy_sensor_header", m.normalized_energy_sensor_header},
+      {"mean_delay_s", m.mean_delay},
+      {"generated", static_cast<double>(m.generated)},
+      {"delivered", static_cast<double>(m.delivered)},
+      {"dropped_buffer", static_cast<double>(m.dropped_buffer)},
+      {"dropped_queue", static_cast<double>(m.dropped_queue)},
+      {"dropped_mac", static_cast<double>(m.dropped_mac)},
+      {"mac_tx_attempts", static_cast<double>(m.mac_tx_attempts)},
+      {"mac_tx_failed", static_cast<double>(m.mac_tx_failed)},
+      {"bcp_wakeups", static_cast<double>(m.bcp_wakeups)},
+      {"wifi_wakeup_transitions",
+       static_cast<double>(m.wifi_wakeup_transitions)},
+      {"wifi_on_seconds", m.wifi_on_seconds},
+      {"sensor_energy_ideal_J", m.sensor_energy.ideal()},
+      {"wifi_energy_full_J", m.wifi_energy.full()},
+  };
+}
+
+SweepFn scenario_sweep_fn(const ScenarioRegistry& registry,
+                          std::vector<std::string> variants) {
+  BCP_REQUIRE(!variants.empty());
+  for (const auto& v : variants)
+    BCP_REQUIRE_MSG(registry.contains(v), "unknown scenario variant: " + v);
+  // Copy the registry into the closure: the returned SweepFn routinely
+  // outlives caller-built registries.
+  return [registry, variants = std::move(variants)](const SweepJob& job) {
+    const auto idx = static_cast<std::size_t>(job.point.get_int("variant"));
+    BCP_REQUIRE(idx < variants.size());
+    ScenarioConfig cfg = registry.make(variants[idx], job.point);
+    cfg.seed = job.seed;
+    return standard_metrics(run_scenario(cfg));
+  };
+}
+
+}  // namespace bcp::app

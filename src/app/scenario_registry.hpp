@@ -1,0 +1,77 @@
+// Named scenario construction for the sweep engine.
+//
+// A ScenarioRegistry maps a variant name ("mh/dual", "sh/sensor",
+// "mh/wifi-duty", ...) to a builder that turns one SweepPoint into a full
+// ScenarioConfig. Bench drivers and tests then describe a figure as
+// "these variants x these axes" instead of hand-rolling construction
+// loops, and new workload variants become one registration instead of a
+// new driver.
+//
+// The built-in catalog covers the paper's §4.1 evaluation matrix. Common
+// axes read by every builder (all optional unless noted):
+//
+//   senders     — CBR sender count (required by all variants)
+//   burst       — α·s* in 32 B packets (dual-radio variants; default 500)
+//   rate_bps    — per-sender offered load; <= 0 keeps the preset rate
+//   duration    — simulated seconds (default 5000, as in the paper)
+//   loss        — extra Bernoulli frame-loss probability (default 0)
+//
+// Variant-specific axes are documented per variant in the catalog
+// (scenario_registry.cpp): "duty" / "duty_period_s" for the sleep-cycled
+// 802.11 strawman, "deadline_s" for the delay-policy variants.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "app/scenario.hpp"
+#include "app/sweep.hpp"
+
+namespace bcp::app {
+
+class ScenarioRegistry {
+ public:
+  using Builder = std::function<ScenarioConfig(const SweepPoint&)>;
+
+  /// Registers a variant; names must be unique.
+  void add(std::string name, std::string description, Builder builder);
+
+  bool contains(const std::string& name) const;
+
+  /// Builds the named variant's config from one grid point; throws on an
+  /// unknown name.
+  ScenarioConfig make(const std::string& name, const SweepPoint& point) const;
+
+  const std::string& description(const std::string& name) const;
+
+  /// Registered names in registration order.
+  std::vector<std::string> names() const;
+
+  /// The built-in §4.1 catalog (single-hop/multi-hop x evaluation model,
+  /// plus duty-cycled 802.11, delay-policy and radio-pair variants).
+  static const ScenarioRegistry& builtin();
+
+ private:
+  struct Variant {
+    std::string name;
+    std::string description;
+    Builder build;
+  };
+  const Variant* find(const std::string& name) const;
+
+  std::vector<Variant> variants_;
+};
+
+/// The canonical RunMetrics -> named-metric mapping every scenario sweep
+/// reports (goodput, normalized energies, delay, traffic and protocol
+/// counters). Metric names are part of the BENCH_*.json format.
+stats::ResultSink::Metrics standard_metrics(const RunMetrics& m);
+
+/// A SweepFn that reads the integer axis "variant" as an index into
+/// `variants`, builds that variant's config from the point (overriding the
+/// seed with the job's), runs the scenario, and reports standard_metrics.
+SweepFn scenario_sweep_fn(const ScenarioRegistry& registry,
+                          std::vector<std::string> variants);
+
+}  // namespace bcp::app

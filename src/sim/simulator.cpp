@@ -6,12 +6,43 @@
 
 namespace bcp::sim {
 
+void Simulator::place(Event&& ev, std::size_t i) {
+  slot_of_[ev.id] = i;
+  heap_[i] = std::move(ev);
+}
+
+void Simulator::sift_up(std::size_t i) {
+  Event ev = std::move(heap_[i]);
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!earlier(ev, heap_[parent])) break;
+    place(std::move(heap_[parent]), i);
+    i = parent;
+  }
+  place(std::move(ev), i);
+}
+
+void Simulator::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  Event ev = std::move(heap_[i]);
+  for (;;) {
+    std::size_t child = 2 * i + 1;
+    if (child >= n) break;
+    if (child + 1 < n && earlier(heap_[child + 1], heap_[child])) ++child;
+    if (!earlier(heap_[child], ev)) break;
+    place(std::move(heap_[child]), i);
+    i = child;
+  }
+  place(std::move(ev), i);
+}
+
 Simulator::EventHandle Simulator::schedule_at(TimePoint t, Callback cb) {
   BCP_REQUIRE_MSG(t >= now_, "cannot schedule into the past");
   BCP_REQUIRE(cb != nullptr);
   const std::uint64_t id = next_id_++;
-  queue_.push(Event{t, next_seq_++, id, std::move(cb)});
-  pending_ids_.insert(id);
+  heap_.push_back(Event{t, next_seq_++, id, std::move(cb)});
+  slot_of_[id] = heap_.size() - 1;
+  sift_up(heap_.size() - 1);
   return EventHandle{id};
 }
 
@@ -23,38 +54,56 @@ Simulator::EventHandle Simulator::schedule_in(util::Seconds delay,
 
 bool Simulator::cancel(EventHandle h) {
   if (!h.valid()) return false;
-  if (pending_ids_.erase(h.id) == 0) return false;
-  cancelled_.insert(h.id);  // lazily skipped when popped
+  const auto it = slot_of_.find(h.id);
+  if (it == slot_of_.end()) return false;
+  const std::size_t i = it->second;
+  slot_of_.erase(it);
+  const std::size_t last = heap_.size() - 1;
+  if (i != last) {
+    Event moved = std::move(heap_[last]);
+    heap_.pop_back();
+    const bool goes_up = earlier(moved, heap_[i]);
+    place(std::move(moved), i);
+    if (goes_up)
+      sift_up(i);
+    else
+      sift_down(i);
+  } else {
+    heap_.pop_back();
+  }
   return true;
 }
 
 bool Simulator::is_pending(EventHandle h) const {
-  return h.valid() && pending_ids_.count(h.id) != 0;
+  return h.valid() && slot_of_.count(h.id) != 0;
 }
 
 void Simulator::dispatch_one() {
-  Event ev = queue_.top();
-  queue_.pop();
-  if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
-    cancelled_.erase(it);
-    return;
+  Event ev = std::move(heap_.front());
+  slot_of_.erase(ev.id);
+  const std::size_t last = heap_.size() - 1;
+  if (last > 0) {
+    place(std::move(heap_[last]), 0);
+    heap_.pop_back();
+    sift_down(0);
+  } else {
+    heap_.pop_back();
   }
   BCP_ENSURE(ev.time >= now_);
   now_ = ev.time;
-  pending_ids_.erase(ev.id);
   ++processed_;
   ev.cb();
 }
 
 void Simulator::run() {
   stopped_ = false;
-  while (!queue_.empty() && !stopped_) dispatch_one();
+  while (!heap_.empty() && !stopped_) dispatch_one();
 }
 
 void Simulator::run_until(TimePoint end) {
   BCP_REQUIRE(end >= now_);
   stopped_ = false;
-  while (!queue_.empty() && !stopped_ && queue_.top().time <= end)
+  while (!heap_.empty() && !stopped_ && heap_.front().time <= end)
     dispatch_one();
   if (!stopped_) now_ = end;
 }

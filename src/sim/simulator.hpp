@@ -2,19 +2,22 @@
 //
 // Events are (time, callback) pairs processed in non-decreasing time order;
 // events scheduled for the same instant run in FIFO order (a sequence number
-// breaks ties), which keeps runs deterministic. Cancellation is lazy: a
-// cancelled event stays in the heap and is skipped when popped.
+// breaks ties), which keeps runs deterministic. The queue is an *indexed*
+// binary heap: a side table maps event ids to heap slots, so cancellation
+// removes the event immediately (O(log n)) instead of leaving a tombstone to
+// skip at pop time. Cancel-heavy protocol code (MAC retries, BCP timeouts
+// that almost always get cancelled) no longer grows the heap with dead
+// entries, which keeps per-event overhead flat across large sweeps.
 //
 // The whole library is single-threaded by design (Core Guidelines CP.1 —
 // assume your code will run in a multi-threaded program only where you say
-// so); simulations parallelize across *runs* in the bench harnesses, each
-// with its own Simulator.
+// so); simulations parallelize across *runs* in the sweep engine
+// (app/sweep.hpp), each worker with its own Simulator.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_set>
+#include <unordered_map>
 #include <vector>
 
 #include "util/units.hpp"
@@ -43,8 +46,9 @@ class Simulator {
   /// Schedules `cb` after `delay` (>= 0) seconds.
   EventHandle schedule_in(util::Seconds delay, Callback cb);
 
-  /// Cancels a pending event. Returns true if it was pending (and is now
-  /// guaranteed not to fire); false if already fired, cancelled, or invalid.
+  /// Cancels a pending event, removing it from the queue immediately.
+  /// Returns true if it was pending (and is now guaranteed not to fire);
+  /// false if already fired, cancelled, or invalid.
   bool cancel(EventHandle h);
 
   /// True if the event has neither fired nor been cancelled.
@@ -60,11 +64,11 @@ class Simulator {
   /// Makes run()/run_until() return after the current callback completes.
   void stop() { stopped_ = true; }
 
-  /// Number of callbacks executed so far (skipped cancellations excluded).
+  /// Number of callbacks executed so far (cancelled events excluded).
   std::uint64_t processed_count() const { return processed_; }
 
   /// Number of live (scheduled, not cancelled, not fired) events.
-  std::size_t pending_count() const { return pending_ids_.size(); }
+  std::size_t pending_count() const { return heap_.size(); }
 
  private:
   struct Event {
@@ -73,14 +77,20 @@ class Simulator {
     std::uint64_t id;
     Callback cb;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
-  };
 
-  /// Pops and runs the earliest live event. Pre: queue has a live event.
+  /// (time, seq) ordering: true if `a` fires strictly before `b`.
+  static bool earlier(const Event& a, const Event& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+
+  // Indexed-heap plumbing. `slot_of_` tracks each live event's position in
+  // `heap_` so erase-by-id is a swap with the last element plus one sift.
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+  void place(Event&& ev, std::size_t i);  ///< writes heap_[i], updates slot_of_
+
+  /// Pops and runs the earliest event. Pre: queue is non-empty.
   void dispatch_one();
 
   TimePoint now_ = 0.0;
@@ -88,9 +98,8 @@ class Simulator {
   std::uint64_t next_id_ = 1;
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::unordered_set<std::uint64_t> pending_ids_;  // live events
-  std::unordered_set<std::uint64_t> cancelled_;    // awaiting lazy skip
+  std::vector<Event> heap_;
+  std::unordered_map<std::uint64_t, std::size_t> slot_of_;  // id -> heap slot
 };
 
 /// Restartable one-shot timer bound to a Simulator. `start` reschedules

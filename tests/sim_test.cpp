@@ -1,6 +1,9 @@
 // Unit tests: discrete-event simulator (ordering, cancellation, timers).
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <random>
+#include <utility>
 #include <vector>
 
 #include "sim/simulator.hpp"
@@ -150,6 +153,97 @@ TEST(Simulator, ProcessedCountSkipsCancelled) {
   s.cancel(h);
   s.run();
   EXPECT_EQ(s.processed_count(), 1u);
+}
+
+TEST(Simulator, CancelRemovesFromQueueImmediately) {
+  Simulator s;
+  const auto h1 = s.schedule_at(1.0, [] {});
+  const auto h2 = s.schedule_at(2.0, [] {});
+  EXPECT_EQ(s.pending_count(), 2u);
+  EXPECT_TRUE(s.cancel(h1));
+  // The indexed heap erases on cancel — no tombstone left behind.
+  EXPECT_EQ(s.pending_count(), 1u);
+  EXPECT_TRUE(s.is_pending(h2));
+  s.run();
+  EXPECT_EQ(s.pending_count(), 0u);
+}
+
+TEST(Simulator, CancelHeadOfQueuePreservesOrdering) {
+  Simulator s;
+  std::vector<int> order;
+  const auto head = s.schedule_at(1.0, [&] { order.push_back(1); });
+  s.schedule_at(2.0, [&] { order.push_back(2); });
+  s.schedule_at(3.0, [&] { order.push_back(3); });
+  s.cancel(head);
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{2, 3}));
+}
+
+TEST(Simulator, CancelFromWithinCallback) {
+  Simulator s;
+  bool fired = false;
+  const auto victim = s.schedule_at(5.0, [&] { fired = true; });
+  s.schedule_at(1.0, [&] { EXPECT_TRUE(s.cancel(victim)); });
+  s.run();
+  EXPECT_FALSE(fired);
+  EXPECT_DOUBLE_EQ(s.now(), 1.0);
+}
+
+TEST(Simulator, CancelInterleavedWithScheduling) {
+  // Randomized stress against a reference model: every event either fires
+  // exactly once in (time, FIFO) order or was cancelled and never fires.
+  Simulator s;
+  std::mt19937_64 rng(7);
+  std::vector<Simulator::EventHandle> handles;
+  std::vector<int> fired(4000, 0);
+  std::vector<bool> cancelled(4000, false);
+  for (int i = 0; i < 4000; ++i) {
+    const double t = static_cast<double>(rng() % 997) / 7.0;
+    handles.push_back(s.schedule_at(t, [&fired, i] { ++fired[static_cast<std::size_t>(i)]; }));
+    if (i % 3 == 0) {
+      const auto victim = static_cast<std::size_t>(rng() % handles.size());
+      if (s.cancel(handles[victim])) cancelled[victim] = true;
+    }
+  }
+  s.schedule_at(1e9, [] {});  // sentinel keeping the run alive to the end
+  const std::size_t live = s.pending_count();
+  s.run();
+  std::uint64_t expected_fires = 0;
+  for (int i = 0; i < 4000; ++i) {
+    EXPECT_EQ(fired[static_cast<std::size_t>(i)],
+              cancelled[static_cast<std::size_t>(i)] ? 0 : 1);
+    if (!cancelled[static_cast<std::size_t>(i)]) ++expected_fires;
+  }
+  EXPECT_EQ(s.processed_count(), expected_fires + 1);  // + sentinel
+  EXPECT_EQ(live, expected_fires + 1);
+}
+
+TEST(Simulator, CancelHeavyChurnKeepsHeapConsistent) {
+  // Schedule/cancel/dispatch churn with many equal timestamps, verifying
+  // (time, seq) order end to end.
+  Simulator s;
+  std::vector<std::pair<double, int>> fired;
+  std::vector<Simulator::EventHandle> handles;
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 40; ++i) {
+      const double t = static_cast<double>((round * 40 + i) % 13);
+      const int tag = round * 40 + i;
+      handles.push_back(
+          s.schedule_at(t, [&fired, t, tag, &s] {
+            EXPECT_DOUBLE_EQ(s.now(), t);
+            fired.emplace_back(t, tag);
+          }));
+    }
+    for (std::size_t i = round; i < handles.size(); i += 7)
+      s.cancel(handles[i]);
+  }
+  s.run();
+  for (std::size_t i = 1; i < fired.size(); ++i) {
+    EXPECT_LE(fired[i - 1].first, fired[i].first);
+    if (fired[i - 1].first == fired[i].first) {
+      EXPECT_LT(fired[i - 1].second, fired[i].second);  // FIFO within a time
+    }
+  }
 }
 
 TEST(Simulator, ManyEventsStressOrdering) {
