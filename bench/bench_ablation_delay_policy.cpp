@@ -99,6 +99,19 @@ int main(int argc, char** argv) {
   }
   stats::print_titled(
       "Ablation — delay-constrained buffering (MH, 0.2 Kbps, burst 500)", t);
+  {
+    const app::SweepPoint meta_point(
+        0, {{"senders", static_cast<double>(senders)},
+            {"burst", static_cast<double>(burst)},
+            {"rate_bps", 200.0},
+            {"duration", duration},
+            {"deadline_s", 0.0}});
+    set_scenario_meta(
+        sink,
+        app::ScenarioRegistry::builtin().make(cells.front().variant,
+                                              meta_point),
+        sweep.base_seed);
+  }
   export_json("ablation_delay_policy", sink);
   std::printf(
       "Reading: Unbounded = best energy, worst delay. FlushHigh buys the\n"

@@ -3,10 +3,14 @@
 // solving, RNG, MAC-level frame exchange, and a full small scenario.
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+
 #include "app/scenario.hpp"
 #include "core/bulk_buffer.hpp"
 #include "energy/breakeven.hpp"
 #include "energy/radio_model.hpp"
+#include "net/routing.hpp"
+#include "net/topology.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
 #include "util/units.hpp"
@@ -72,6 +76,56 @@ void BM_Xoshiro(benchmark::State& state) {
   benchmark::DoNotOptimize(acc);
 }
 BENCHMARK(BM_Xoshiro);
+
+// ---- Topology-layer builds (the large-network scale path) ---------------
+// All three must scale ~linearly in node count for bounded-density
+// placements; a 100× blow-up between the 1k and 10k args flags an O(n²)
+// regression (10× nodes should cost ~10×).
+
+/// Paper-density uniform-random placement: area chosen so the 40 m disc
+/// graph keeps a constant mean degree (~12) at any n.
+bcp::net::TopologySpec scale_spec(int n) {
+  bcp::net::TopologySpec spec;
+  spec.kind = bcp::net::TopologyKind::kUniformRandom;
+  spec.nodes = n;
+  spec.area = std::sqrt(n * 3.14159265358979323846 * 40.0 * 40.0 / 12.0);
+  spec.seed = 7;
+  return spec;
+}
+
+void BM_TopologyBuild(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  const auto spec = scale_spec(n);
+  for (auto _ : state) {
+    const net::Topology topo = spec.build();
+    benchmark::DoNotOptimize(topo.positions.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_TopologyBuild)->Arg(1000)->Arg(10000);
+
+void BM_ConnectivityGraphBuild(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  const net::Topology topo = scale_spec(n).build();
+  for (auto _ : state) {
+    const net::ConnectivityGraph graph(topo.positions, 40.0);
+    benchmark::DoNotOptimize(graph.node_count());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ConnectivityGraphBuild)->Arg(1000)->Arg(10000);
+
+void BM_ConvergecastRoutingBuild(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  const net::Topology topo = scale_spec(n).build();
+  const net::ConnectivityGraph graph(topo.positions, 40.0);
+  for (auto _ : state) {
+    const net::ConvergecastRouting routes(graph, topo.sink);
+    benchmark::DoNotOptimize(routes.node_count());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ConvergecastRoutingBuild)->Arg(1000)->Arg(10000);
 
 void BM_ScenarioDualRadioShort(benchmark::State& state) {
   for (auto _ : state) {

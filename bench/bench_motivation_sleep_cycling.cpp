@@ -95,6 +95,19 @@ int main(int argc, char** argv) {
       "Motivation (§1) — sleep-cycled 802.11 vs dual-radio BCP, MH grid, "
       "0.2 Kbps",
       t);
+  {
+    const app::SweepPoint meta_point(
+        0, {{"senders", static_cast<double>(senders)},
+            {"burst", 500},
+            {"rate_bps", 200.0},
+            {"duration", duration},
+            {"duty", cells.front().duty}});
+    set_scenario_meta(
+        sink,
+        app::ScenarioRegistry::builtin().make(cells.front().variant,
+                                              meta_point),
+        sweep.base_seed);
+  }
   export_json("motivation_sleep_cycling", sink);
   std::printf(
       "Expected: per-node power of sleep-cycled 802.11 scales with duty\n"

@@ -70,6 +70,15 @@ void export_json(const std::string& bench_name,
     std::printf("[json] %s\n", path.c_str());
 }
 
+void set_scenario_meta(stats::ResultSink& sink,
+                       const app::ScenarioConfig& config,
+                       std::uint64_t base_seed) {
+  sink.set_meta("topology", net::to_string(config.topology.kind));
+  sink.set_meta("node_count",
+                static_cast<double>(config.topology.node_count()));
+  sink.set_meta("seed", static_cast<double>(base_seed));
+}
+
 stats::ResultSink run_grid_bench(const std::string& bench_name,
                                  const std::string& title,
                                  const app::SweepGrid& grid,
@@ -191,6 +200,18 @@ void print_sender_sweep(const std::string& bench_name,
     table.add_row(std::move(row));
   }
   stats::print_titled(title, table);
+  // Rebuild one cell's config (no simulation) to read the placement the
+  // whole figure ran on.
+  const app::SweepPoint meta_point(
+      0, {{"senders", static_cast<double>(opt.senders.front())},
+          {"burst", static_cast<double>(
+               cells.front().burst > 0 ? cells.front().burst : 1)},
+          {"rate_bps", rate_bps},
+          {"duration", opt.duration}});
+  set_scenario_meta(sink,
+                    app::ScenarioRegistry::builtin().make(
+                        cells.front().variant, meta_point),
+                    opt.seed);
   export_json(bench_name, sink);
 }
 
@@ -232,6 +253,14 @@ void print_energy_delay(const std::string& bench_name,
                                     energy.ci_half_width())});
     }
   stats::print_titled(title, table);
+  const app::SweepPoint meta_point(
+      0, {{"senders", static_cast<double>(opt.senders.front())},
+          {"burst", static_cast<double>(opt.bursts.front())},
+          {"rate_bps", rate_bps},
+          {"duration", duration}});
+  set_scenario_meta(
+      sink, app::ScenarioRegistry::builtin().make(variant, meta_point),
+      opt.seed);
   export_json(bench_name, sink);
 }
 

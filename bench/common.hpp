@@ -95,4 +95,10 @@ stats::ResultSink run_grid_bench(const std::string& bench_name,
 void export_json(const std::string& bench_name,
                  const stats::ResultSink& sink);
 
+/// Stamps the run-level scenario metadata every simulation bench exports:
+/// topology (generator token), node_count, and the sweep's base seed.
+void set_scenario_meta(stats::ResultSink& sink,
+                       const app::ScenarioConfig& config,
+                       std::uint64_t base_seed);
+
 }  // namespace bcp::benchharness

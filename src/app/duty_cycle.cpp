@@ -8,7 +8,7 @@ namespace bcp::app {
 
 DutyCycledWifiNode::DutyCycledWifiNode(
     sim::Simulator& sim, phy::Channel& channel,
-    const net::RoutingTable& routes, net::NodeId self, net::NodeId sink,
+    const net::Router& routes, net::NodeId self, net::NodeId sink,
     const energy::RadioEnergyModel& radio_model, Schedule schedule,
     std::uint64_t seed, DeliverySink* delivery)
     : sim_(sim),

@@ -33,7 +33,7 @@ class DutyCycledWifiNode {
   };
 
   DutyCycledWifiNode(sim::Simulator& sim, phy::Channel& channel,
-                     const net::RoutingTable& routes, net::NodeId self,
+                     const net::Router& routes, net::NodeId self,
                      net::NodeId sink,
                      const energy::RadioEnergyModel& radio_model,
                      Schedule schedule, std::uint64_t seed,
@@ -56,7 +56,7 @@ class DutyCycledWifiNode {
   void forward(const net::Message& msg);
 
   sim::Simulator& sim_;
-  const net::RoutingTable& routes_;
+  const net::Router& routes_;
   net::NodeId self_;
   net::NodeId sink_;
   Schedule schedule_;

@@ -11,7 +11,7 @@ namespace bcp::app {
 // ---------------------------------------------------------- ForwardingNode
 
 ForwardingNode::ForwardingNode(sim::Simulator& sim, phy::Channel& channel,
-                               const net::RoutingTable& routes,
+                               const net::Router& routes,
                                net::NodeId self, net::NodeId sink,
                                const energy::RadioEnergyModel& radio_model,
                                phy::OverhearMode overhear,
@@ -66,12 +66,13 @@ void ForwardingNode::on_rx(const net::Message& msg, net::NodeId /*from*/) {
 
 DualRadioNode::DualRadioNode(
     sim::Simulator& sim, phy::Channel& low_channel, phy::Channel& high_channel,
-    const net::RoutingTable& low_routes, const net::RoutingTable& high_routes,
+    const net::Router& low_routes, const net::Router& high_routes,
     net::NodeId self, const energy::RadioEnergyModel& sensor_model,
     const energy::RadioEnergyModel& wifi_model,
     const core::BcpConfig& bcp_config, phy::OverhearMode wifi_overhear,
     std::uint64_t seed, DeliverySink* delivery)
     : sim_(sim),
+      high_channel_(high_channel),
       low_routes_(low_routes),
       high_routes_(high_routes),
       self_(self),
@@ -188,7 +189,10 @@ net::NodeId DualRadioNode::high_next_hop(net::NodeId dest) const {
 }
 
 bool DualRadioNode::high_link_exists(net::NodeId peer) const {
-  return high_routes_.hops(self_, peer) == 1;
+  // Disc-model adjacency — exactly "one high-radio hop away", but
+  // answerable in O(1) without an all-pairs table (the convergecast
+  // routing scenarios use cannot rank arbitrary peers).
+  return high_channel_.in_range(self_, peer);
 }
 
 void DualRadioNode::deliver(const net::DataPacket& packet) {

@@ -34,7 +34,7 @@ struct DeliverySink {
 class ForwardingNode {
  public:
   ForwardingNode(sim::Simulator& sim, phy::Channel& channel,
-                 const net::RoutingTable& routes, net::NodeId self,
+                 const net::Router& routes, net::NodeId self,
                  net::NodeId sink, const energy::RadioEnergyModel& radio_model,
                  phy::OverhearMode overhear, mac::MacParams mac_params,
                  std::uint64_t seed, DeliverySink* delivery);
@@ -53,7 +53,7 @@ class ForwardingNode {
   void on_rx(const net::Message& msg, net::NodeId from);
 
   sim::Simulator& sim_;
-  const net::RoutingTable& routes_;
+  const net::Router& routes_;
   net::NodeId self_;
   net::NodeId sink_;
   DeliverySink* delivery_;
@@ -66,8 +66,8 @@ class ForwardingNode {
 class DualRadioNode final : public core::BcpHost {
  public:
   DualRadioNode(sim::Simulator& sim, phy::Channel& low_channel,
-                phy::Channel& high_channel, const net::RoutingTable& low_routes,
-                const net::RoutingTable& high_routes, net::NodeId self,
+                phy::Channel& high_channel, const net::Router& low_routes,
+                const net::Router& high_routes, net::NodeId self,
                 const energy::RadioEnergyModel& sensor_model,
                 const energy::RadioEnergyModel& wifi_model,
                 const core::BcpConfig& bcp_config,
@@ -112,8 +112,9 @@ class DualRadioNode final : public core::BcpHost {
   void try_power_off();
 
   sim::Simulator& sim_;
-  const net::RoutingTable& low_routes_;
-  const net::RoutingTable& high_routes_;
+  const phy::Channel& high_channel_;
+  const net::Router& low_routes_;
+  const net::Router& high_routes_;
   net::NodeId self_;
   DeliverySink* delivery_;
   std::unique_ptr<phy::Radio> low_radio_;

@@ -74,15 +74,39 @@ double per_kbit(util::Joules e, util::Bits delivered_bits) {
 
 }  // namespace
 
+namespace {
+
+/// Builds one radio graph's routes, rejecting placements where any node
+/// is cut off from the sink — a silent kInvalidNode route at runtime
+/// would just bleed packets as "no-route" drops.
+std::unique_ptr<net::Router> build_routes(
+    const net::ConnectivityGraph& graph, net::NodeId sink, bool all_pairs,
+    const char* radio_name) {
+  const std::vector<net::NodeId> stranded =
+      net::unreachable_from(graph, sink);
+  BCP_REQUIRE_MSG(stranded.empty(),
+                  std::string(radio_name) +
+                      "-radio topology is disconnected: " +
+                      std::to_string(stranded.size()) +
+                      " node(s) cannot reach sink " + std::to_string(sink) +
+                      ": " + net::format_node_list(stranded));
+  if (all_pairs)
+    return std::make_unique<net::RoutingTable>(graph);
+  return std::make_unique<net::ConvergecastRouting>(graph, sink);
+}
+
+}  // namespace
+
 RunMetrics run_scenario(const ScenarioConfig& config) {
-  BCP_REQUIRE(config.grid_side >= 2);
+  BCP_REQUIRE(config.topology.node_count() >= 2);
   BCP_REQUIRE(config.duration > 0);
   BCP_REQUIRE(config.rate_bps > 0);
   BCP_REQUIRE(config.packet_bits > 0);
   BCP_REQUIRE(config.burst_packets > 0);
 
   sim::Simulator simulator;
-  const net::GridTopology topo(config.grid_side, config.area, config.sink);
+  const net::Topology topo = config.topology.build();
+  const net::NodeId sink = topo.sink;
   const int n = topo.node_count();
   BCP_REQUIRE_MSG(config.n_senders >= 1 && config.n_senders <= n - 1,
                   "sender count must be in [1, nodes-1]");
@@ -113,26 +137,30 @@ RunMetrics run_scenario(const ScenarioConfig& config) {
                          config.model == EvalModel::kDualRadio;
   const bool needs_high = config.model != EvalModel::kSensor;
 
+  const bool all_pairs =
+      config.routing == RoutingMode::kAllPairs ||
+      (config.routing == RoutingMode::kAuto && n <= kAllPairsNodeLimit);
+
   std::optional<phy::Channel> low_channel;
   std::optional<phy::Channel> high_channel;
-  std::optional<net::RoutingTable> low_routes;
-  std::optional<net::RoutingTable> high_routes;
+  std::unique_ptr<net::Router> low_routes;
+  std::unique_ptr<net::Router> high_routes;
   if (needs_low) {
-    low_channel.emplace(simulator, topo.positions(),
+    low_channel.emplace(simulator, topo.positions,
                         config.sensor_radio.range,
                         phy::Channel::Params{config.frame_loss_prob},
                         util::substream(config.seed, 1, 0x4C4348u));
-    low_routes.emplace(
-        net::ConnectivityGraph(topo.positions(), config.sensor_radio.range));
-    BCP_REQUIRE_MSG(low_routes->mean_hops_to(config.sink) > 0,
-                    "sensor network disconnected");
+    low_routes = build_routes(
+        net::ConnectivityGraph(topo.positions, config.sensor_radio.range),
+        sink, all_pairs, "sensor");
   }
   if (needs_high) {
-    high_channel.emplace(simulator, topo.positions(), wifi_range,
+    high_channel.emplace(simulator, topo.positions, wifi_range,
                          phy::Channel::Params{config.frame_loss_prob},
                          util::substream(config.seed, 2, 0x484348u));
-    high_routes.emplace(
-        net::ConnectivityGraph(topo.positions(), wifi_range));
+    high_routes = build_routes(
+        net::ConnectivityGraph(topo.positions, wifi_range), sink,
+        all_pairs, "wifi");
   }
 
   core::BcpConfig bcp = config.bcp;
@@ -145,14 +173,14 @@ RunMetrics run_scenario(const ScenarioConfig& config) {
     case EvalModel::kSensor:
       for (net::NodeId id = 0; id < n; ++id)
         fwd_nodes.push_back(std::make_unique<ForwardingNode>(
-            simulator, *low_channel, *low_routes, id, config.sink,
+            simulator, *low_channel, *low_routes, id, sink,
             config.sensor_radio, phy::OverhearMode::kHeaderOnly,
             mac::sensor_mac_params(), config.seed, &delivery));
       break;
     case EvalModel::kWifi:
       for (net::NodeId id = 0; id < n; ++id)
         fwd_nodes.push_back(std::make_unique<ForwardingNode>(
-            simulator, *high_channel, *high_routes, id, config.sink,
+            simulator, *high_channel, *high_routes, id, sink,
             config.wifi_radio, phy::OverhearMode::kFull, mac::dcf_mac_params(),
             config.seed, &delivery));
       break;
@@ -165,7 +193,7 @@ RunMetrics run_scenario(const ScenarioConfig& config) {
       schedule.duty = config.duty_cycle;
       for (net::NodeId id = 0; id < n; ++id)
         duty_nodes.push_back(std::make_unique<DutyCycledWifiNode>(
-            simulator, *high_channel, *high_routes, id, config.sink,
+            simulator, *high_channel, *high_routes, id, sink,
             config.wifi_radio, schedule, config.seed, &delivery));
       break;
     }
@@ -183,7 +211,7 @@ RunMetrics run_scenario(const ScenarioConfig& config) {
   // Pick the senders: a seed-determined subset of the non-sink nodes.
   std::vector<net::NodeId> candidates;
   for (net::NodeId id = 0; id < n; ++id)
-    if (id != config.sink) candidates.push_back(id);
+    if (id != sink) candidates.push_back(id);
   util::Xoshiro256 pick_rng(util::substream(config.seed, 3, 0x53454Eu));
   for (std::size_t i = candidates.size(); i > 1; --i)
     std::swap(candidates[i - 1], candidates[pick_rng.uniform_int(i)]);
@@ -201,7 +229,7 @@ RunMetrics run_scenario(const ScenarioConfig& config) {
         fwd_nodes[static_cast<std::size_t>(sender)]->send(p);
     };
     workloads.push_back(std::make_unique<CbrWorkload>(
-        simulator, sender, config.sink, config.packet_bits, config.rate_bps,
+        simulator, sender, sink, config.packet_bits, config.rate_bps,
         util::substream(config.seed, static_cast<std::uint64_t>(sender),
                         0x574Bu),
         std::move(emit)));

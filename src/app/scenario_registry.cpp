@@ -1,5 +1,6 @@
 #include "app/scenario_registry.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "util/assert.hpp"
@@ -68,6 +69,29 @@ ScenarioConfig base_config(bool multi_hop, EvalModel model,
   return cfg;
 }
 
+/// Shared placement-axis handling for the non-grid variants: builds the
+/// base config, then swaps in a generated topology. The placement seed is
+/// advanced to the first sink-connected one under the tightest radio
+/// range the model routes over, so every registered point is runnable.
+ScenarioConfig placed_config(bool multi_hop, EvalModel model,
+                             net::TopologyKind kind, const SweepPoint& p) {
+  ScenarioConfig cfg = base_config(multi_hop, model, p);
+  net::TopologySpec spec;
+  spec.kind = kind;
+  spec.nodes = static_cast<int>(p.get_or("nodes", 36));
+  spec.area = p.get_or("area", 200.0);
+  spec.seed = static_cast<std::uint64_t>(p.get_or("topo_seed", 1));
+  const util::Metres wifi_range = cfg.wifi_range_override > 0
+                                      ? cfg.wifi_range_override
+                                      : cfg.wifi_radio.range;
+  const util::Metres required_range =
+      model == EvalModel::kWifi || model == EvalModel::kWifiDutyCycled
+          ? wifi_range
+          : std::min(cfg.sensor_radio.range, wifi_range);
+  cfg.topology = net::first_connected(spec, required_range);
+  return cfg;
+}
+
 ScenarioRegistry make_builtin() {
   ScenarioRegistry r;
   struct Preset {
@@ -103,6 +127,40 @@ ScenarioRegistry make_builtin() {
             cfg.duty_period = p.get_or("duty_period_s", 1.0);
             return cfg;
           });
+  }
+  // Generated-placement variants of the sh/mh × model matrix. Placement
+  // axes (all optional): nodes (default 36), area (square side / corridor
+  // length, default 200 m), topo_seed (default 1; auto-advanced to a
+  // sink-connected placement).
+  struct Placement {
+    const char* token;
+    net::TopologyKind kind;
+  };
+  for (const Placement placement :
+       {Placement{"rand", net::TopologyKind::kUniformRandom},
+        Placement{"cluster", net::TopologyKind::kGaussianClusters},
+        Placement{"line", net::TopologyKind::kLineCorridor}}) {
+    for (const Preset preset : {Preset{"sh", false}, Preset{"mh", true}}) {
+      const bool mh = preset.multi_hop;
+      const net::TopologyKind kind = placement.kind;
+      const std::string px =
+          std::string(preset.prefix) + "-" + placement.token;
+      const std::string kind_desc =
+          std::string(" on a ") + net::to_string(kind) +
+          " placement; axes: nodes, area, topo_seed";
+      r.add(px + "/sensor", "pure sensor network" + kind_desc,
+            [mh, kind](const SweepPoint& p) {
+              return placed_config(mh, EvalModel::kSensor, kind, p);
+            });
+      r.add(px + "/wifi", "pure always-on 802.11 network" + kind_desc,
+            [mh, kind](const SweepPoint& p) {
+              return placed_config(mh, EvalModel::kWifi, kind, p);
+            });
+      r.add(px + "/dual", "dual-radio BCP" + kind_desc,
+            [mh, kind](const SweepPoint& p) {
+              return placed_config(mh, EvalModel::kDualRadio, kind, p);
+            });
+    }
   }
   // §5 delay-constrained buffering policies (the open-question ablation).
   r.add("mh/dual-flush-high",

@@ -7,14 +7,17 @@
 // loops, and new workload variants become one registration instead of a
 // new driver.
 //
-// The built-in catalog covers the paper's §4.1 evaluation matrix. Common
-// axes read by every builder (all optional unless noted):
+// The built-in catalog covers the paper's §4.1 evaluation matrix on the
+// grid plus generated-placement variants of the sh/mh × model matrix
+// ("sh-rand/dual", "mh-line/sensor", ...). Common axes read by every
+// builder (all optional unless noted):
 //
 //   senders     — CBR sender count (required by all variants)
 //   burst       — α·s* in 32 B packets (dual-radio variants; default 500)
 //   rate_bps    — per-sender offered load; <= 0 keeps the preset rate
 //   duration    — simulated seconds (default 5000, as in the paper)
 //   loss        — extra Bernoulli frame-loss probability (default 0)
+//   nodes/area/topo_seed — placement axes of the generated variants
 //
 // Variant-specific axes are documented per variant in the catalog
 // (scenario_registry.cpp): "duty" / "duty_period_s" for the sleep-cycled

@@ -277,13 +277,18 @@ PrototypeResult run_prototype(const PrototypeConfig& config) {
   const util::Seconds gen_end =
       config.message_interval * (config.message_count + 1);
   auto pump = std::make_shared<std::function<void(int)>>();
-  *pump = [&, pump](int remaining) {
+  // The stored function must not own itself (shared_ptr cycle — the local
+  // `pump` strong reference already outlives sim.run()).
+  *pump = [&, weak = std::weak_ptr<std::function<void(int)>>(pump)](
+              int remaining) {
     if (remaining <= 0) return;
     if (sender.agent().buffer().total_bits() == 0 &&
         sender.agent().radio_hold_count() == 0)
       return;
     sender.agent().flush_all();
-    sim.schedule_in(1.0, [pump, remaining] { (*pump)(remaining - 1); });
+    sim.schedule_in(1.0, [weak, remaining] {
+      if (const auto self = weak.lock()) (*self)(remaining - 1);
+    });
   };
   sim.schedule_at(gen_end, [pump] { (*pump)(10000); });
 

@@ -7,6 +7,52 @@
 
 namespace bcp::net {
 
+namespace {
+
+/// BFS hop counts from `root` over the graph (-1 where unreachable).
+std::vector<int> bfs_distances(const ConnectivityGraph& graph, NodeId root) {
+  std::vector<int> dist(static_cast<std::size_t>(graph.node_count()), -1);
+  std::deque<NodeId> queue;
+  dist[static_cast<std::size_t>(root)] = 0;
+  queue.push_back(root);
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop_front();
+    for (const NodeId v : graph.neighbors(u)) {
+      if (dist[static_cast<std::size_t>(v)] < 0) {
+        dist[static_cast<std::size_t>(v)] =
+            dist[static_cast<std::size_t>(u)] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return dist;
+}
+
+/// The deterministic parent choice both providers share: among `from`'s
+/// neighbours one hop closer to `to`, the one geometrically closest to
+/// `to`, then the lowest id.
+NodeId best_parent(const ConnectivityGraph& graph,
+                   const std::vector<int>& dist, NodeId from, NodeId to) {
+  const int d = dist[static_cast<std::size_t>(from)];
+  NodeId best = kInvalidNode;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (const NodeId v : graph.neighbors(from)) {
+    if (dist[static_cast<std::size_t>(v)] != d - 1) continue;
+    const double dv = distance(graph.position(v), graph.position(to));
+    if (best == kInvalidNode || dv < best_dist ||
+        (dv == best_dist && v < best)) {
+      best = v;
+      best_dist = dv;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+// ------------------------------------------------------- RoutingTable --
+
 RoutingTable::RoutingTable(const ConnectivityGraph& graph)
     : n_(graph.node_count()),
       next_hop_(static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_),
@@ -15,21 +61,7 @@ RoutingTable::RoutingTable(const ConnectivityGraph& graph)
   // One BFS per destination, relaxing parents with the deterministic
   // (hops, distance-to-destination, id) preference order.
   for (NodeId to = 0; to < n_; ++to) {
-    std::vector<int> dist(static_cast<std::size_t>(n_), -1);
-    std::deque<NodeId> queue;
-    dist[static_cast<std::size_t>(to)] = 0;
-    queue.push_back(to);
-    while (!queue.empty()) {
-      const NodeId u = queue.front();
-      queue.pop_front();
-      for (const NodeId v : graph.neighbors(u)) {
-        if (dist[static_cast<std::size_t>(v)] < 0) {
-          dist[static_cast<std::size_t>(v)] =
-              dist[static_cast<std::size_t>(u)] + 1;
-          queue.push_back(v);
-        }
-      }
-    }
+    const std::vector<int> dist = bfs_distances(graph, to);
     for (NodeId from = 0; from < n_; ++from) {
       const int d = dist[static_cast<std::size_t>(from)];
       hops_[static_cast<std::size_t>(index(from, to))] = d;
@@ -38,18 +70,7 @@ RoutingTable::RoutingTable(const ConnectivityGraph& graph)
         continue;
       }
       if (d < 0) continue;  // unreachable
-      // The next hop is the best neighbour one step closer to `to`.
-      NodeId best = kInvalidNode;
-      double best_dist = std::numeric_limits<double>::infinity();
-      for (const NodeId v : graph.neighbors(from)) {
-        if (dist[static_cast<std::size_t>(v)] != d - 1) continue;
-        const double dv = distance(graph.position(v), graph.position(to));
-        if (best == kInvalidNode || dv < best_dist ||
-            (dv == best_dist && v < best)) {
-          best = v;
-          best_dist = dv;
-        }
-      }
+      const NodeId best = best_parent(graph, dist, from, to);
       BCP_ENSURE(best != kInvalidNode);
       next_hop_[static_cast<std::size_t>(index(from, to))] = best;
     }
@@ -82,6 +103,166 @@ double RoutingTable::mean_hops_to(NodeId to) const {
   }
   BCP_REQUIRE_MSG(count > 0, "destination unreachable from every node");
   return sum / count;
+}
+
+// ------------------------------------------------ ConvergecastRouting --
+
+ConvergecastRouting::ConvergecastRouting(const ConnectivityGraph& graph,
+                                         NodeId sink)
+    : sink_(sink) {
+  BCP_REQUIRE(sink >= 0 && sink < graph.node_count());
+  const int n = graph.node_count();
+  depth_ = bfs_distances(graph, sink);
+  parent_.assign(static_cast<std::size_t>(n), kInvalidNode);
+  parent_[static_cast<std::size_t>(sink)] = sink;
+  for (NodeId from = 0; from < n; ++from) {
+    if (from == sink || depth_[static_cast<std::size_t>(from)] < 0)
+      continue;
+    const NodeId best = best_parent(graph, depth_, from, sink);
+    BCP_ENSURE(best != kInvalidNode);
+    parent_[static_cast<std::size_t>(from)] = best;
+  }
+
+  // Group children by parent (CSR layout; ascending node order keeps each
+  // group id-sorted, and the DFS below then visits them in that order, so
+  // a group is also tin-sorted — the binary search in child_toward relies
+  // on both).
+  std::vector<int> counts(static_cast<std::size_t>(n) + 1, 0);
+  for (NodeId v = 0; v < n; ++v)
+    if (v != sink && parent_[static_cast<std::size_t>(v)] != kInvalidNode)
+      ++counts[static_cast<std::size_t>(
+          parent_[static_cast<std::size_t>(v)])];
+  children_begin_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (int i = 0; i < n; ++i)
+    children_begin_[static_cast<std::size_t>(i) + 1] =
+        children_begin_[static_cast<std::size_t>(i)] +
+        counts[static_cast<std::size_t>(i)];
+  children_.resize(
+      static_cast<std::size_t>(children_begin_[static_cast<std::size_t>(n)]),
+      kInvalidNode);
+  std::vector<int> fill(children_begin_.begin(), children_begin_.end() - 1);
+  for (NodeId v = 0; v < n; ++v)
+    if (v != sink && parent_[static_cast<std::size_t>(v)] != kInvalidNode)
+      children_[static_cast<std::size_t>(fill[static_cast<std::size_t>(
+          parent_[static_cast<std::size_t>(v)])]++)] = v;
+
+  // Iterative DFS from the sink for the Euler-tour brackets.
+  tin_.assign(static_cast<std::size_t>(n), -1);
+  tout_.assign(static_cast<std::size_t>(n), -1);
+  int clock = 0;
+  // Stack of (node, next-child offset).
+  std::vector<std::pair<NodeId, int>> stack;
+  stack.emplace_back(sink, children_begin_[static_cast<std::size_t>(sink)]);
+  tin_[static_cast<std::size_t>(sink)] = clock++;
+  while (!stack.empty()) {
+    auto& [u, next] = stack.back();
+    if (next < children_begin_[static_cast<std::size_t>(u) + 1]) {
+      const NodeId c = children_[static_cast<std::size_t>(next++)];
+      tin_[static_cast<std::size_t>(c)] = clock++;
+      stack.emplace_back(c, children_begin_[static_cast<std::size_t>(c)]);
+    } else {
+      tout_[static_cast<std::size_t>(u)] = clock++;
+      stack.pop_back();
+    }
+  }
+}
+
+bool ConvergecastRouting::in_subtree(NodeId root, NodeId node) const {
+  return tin_[static_cast<std::size_t>(root)] <=
+             tin_[static_cast<std::size_t>(node)] &&
+         tout_[static_cast<std::size_t>(node)] <=
+             tout_[static_cast<std::size_t>(root)];
+}
+
+NodeId ConvergecastRouting::child_toward(NodeId from,
+                                         NodeId descendant) const {
+  // Children intervals partition from's interval; find the last child
+  // whose tin is <= tin[descendant].
+  const int lo = children_begin_[static_cast<std::size_t>(from)];
+  const int hi = children_begin_[static_cast<std::size_t>(from) + 1];
+  const int target = tin_[static_cast<std::size_t>(descendant)];
+  int a = lo;
+  int b = hi;
+  while (b - a > 1) {
+    const int mid = a + (b - a) / 2;
+    if (tin_[static_cast<std::size_t>(
+            children_[static_cast<std::size_t>(mid)])] <= target)
+      a = mid;
+    else
+      b = mid;
+  }
+  const NodeId c = children_[static_cast<std::size_t>(a)];
+  BCP_ENSURE(in_subtree(c, descendant));
+  return c;
+}
+
+NodeId ConvergecastRouting::parent(NodeId from) const {
+  BCP_REQUIRE(from >= 0 && from < node_count());
+  return parent_[static_cast<std::size_t>(from)];
+}
+
+int ConvergecastRouting::depth(NodeId from) const {
+  BCP_REQUIRE(from >= 0 && from < node_count());
+  return depth_[static_cast<std::size_t>(from)];
+}
+
+double ConvergecastRouting::mean_depth() const {
+  double sum = 0;
+  int count = 0;
+  for (NodeId from = 0; from < node_count(); ++from) {
+    if (from == sink_) continue;
+    const int d = depth_[static_cast<std::size_t>(from)];
+    if (d < 0) continue;
+    sum += d;
+    ++count;
+  }
+  BCP_REQUIRE_MSG(count > 0, "sink unreachable from every node");
+  return sum / count;
+}
+
+std::vector<NodeId> ConvergecastRouting::stranded() const {
+  std::vector<NodeId> out;
+  for (NodeId from = 0; from < node_count(); ++from)
+    if (from != sink_ && depth_[static_cast<std::size_t>(from)] < 0)
+      out.push_back(from);
+  return out;
+}
+
+NodeId ConvergecastRouting::next_hop(NodeId from, NodeId to) const {
+  BCP_REQUIRE(from >= 0 && from < node_count());
+  BCP_REQUIRE(to >= 0 && to < node_count());
+  if (from == to) return from;
+  if (depth_[static_cast<std::size_t>(from)] < 0 ||
+      depth_[static_cast<std::size_t>(to)] < 0)
+    return kInvalidNode;  // one endpoint is outside the sink's component
+  if (in_subtree(from, to)) return child_toward(from, to);
+  return parent_[static_cast<std::size_t>(from)];
+}
+
+int ConvergecastRouting::hops(NodeId from, NodeId to) const {
+  BCP_REQUIRE(from >= 0 && from < node_count());
+  BCP_REQUIRE(to >= 0 && to < node_count());
+  if (from == to) return 0;
+  if (depth_[static_cast<std::size_t>(from)] < 0 ||
+      depth_[static_cast<std::size_t>(to)] < 0)
+    return -1;
+  // Tree distance via the nearest common ancestor (climb pointers; depth
+  // is bounded by the network diameter).
+  NodeId a = from;
+  NodeId b = to;
+  while (depth_[static_cast<std::size_t>(a)] >
+         depth_[static_cast<std::size_t>(b)])
+    a = parent_[static_cast<std::size_t>(a)];
+  while (depth_[static_cast<std::size_t>(b)] >
+         depth_[static_cast<std::size_t>(a)])
+    b = parent_[static_cast<std::size_t>(b)];
+  while (a != b) {
+    a = parent_[static_cast<std::size_t>(a)];
+    b = parent_[static_cast<std::size_t>(b)];
+  }
+  return depth_[static_cast<std::size_t>(from)] +
+         depth_[static_cast<std::size_t>(to)] -
+         2 * depth_[static_cast<std::size_t>(a)];
 }
 
 }  // namespace bcp::net

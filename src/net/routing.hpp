@@ -1,11 +1,22 @@
 // Static shortest-path routing over one radio's connectivity graph.
 //
 // §4.1: "To decouple the routing effects on performance, two separate trees
-// that go over sensor and IEEE 802.11 radios are built." RoutingTable is an
-// all-pairs BFS next-hop table (36 nodes, so all-pairs is trivial); the
-// convergecast tree the paper describes is the slice next_hop(·, sink).
-// Ties are broken deterministically: among equal-hop parents prefer the one
-// geometrically closer to the destination, then the lower node id.
+// that go over sensor and IEEE 802.11 radios are built." Two providers sit
+// behind the `Router` interface the node assemblies consume:
+//
+//   RoutingTable       — dense all-pairs BFS next-hop/hop tables (n×n
+//                        memory, one BFS per destination). Fine for the
+//                        36-node paper grid and the small-n tests; O(n²)
+//                        memory rules it out at scale.
+//   ConvergecastRouting — the sink-rooted tree the paper actually
+//                        describes: a single BFS from the sink, O(n + e)
+//                        time and O(n) memory. Scenarios route every data
+//                        packet to the sink, so this is what they use.
+//
+// Both break shortest-path ties identically: among equal-hop parents
+// prefer the one geometrically closer to the destination, then the lower
+// node id — so ConvergecastRouting is exactly the next_hop(·, sink) slice
+// of RoutingTable, a property the tests assert.
 #pragma once
 
 #include <vector>
@@ -14,23 +25,34 @@
 
 namespace bcp::net {
 
-class RoutingTable {
+/// Next-hop provider interface the node assemblies route through.
+class Router {
  public:
-  explicit RoutingTable(const ConnectivityGraph& graph);
+  virtual ~Router() = default;
 
   /// First hop on a shortest path from `from` toward `to`.
   /// Returns `to` itself when adjacent, `from` when from == to, and
   /// kInvalidNode when unreachable.
-  NodeId next_hop(NodeId from, NodeId to) const;
+  virtual NodeId next_hop(NodeId from, NodeId to) const = 0;
 
   /// Shortest-path hop count; 0 when from == to, -1 when unreachable.
-  int hops(NodeId from, NodeId to) const;
+  virtual int hops(NodeId from, NodeId to) const = 0;
+
+  virtual int node_count() const = 0;
 
   bool reachable(NodeId from, NodeId to) const {
     return hops(from, to) >= 0;
   }
+};
 
-  int node_count() const { return n_; }
+/// Dense all-pairs shortest-path tables.
+class RoutingTable final : public Router {
+ public:
+  explicit RoutingTable(const ConnectivityGraph& graph);
+
+  NodeId next_hop(NodeId from, NodeId to) const override;
+  int hops(NodeId from, NodeId to) const override;
+  int node_count() const override { return n_; }
 
   /// Mean hop count from every node (other than `to`) that can reach `to` —
   /// the "forward progress" statistic of §2.2.
@@ -42,6 +64,59 @@ class RoutingTable {
   int n_;
   std::vector<NodeId> next_hop_;  // n*n, row = from, col = to
   std::vector<int> hops_;         // n*n
+};
+
+/// Sink-rooted shortest-path tree: one BFS from the sink, parent and
+/// depth per node, O(n + e) construction and O(n) memory.
+///
+/// Routing toward the sink follows the shortest-path tree exactly (the
+/// RoutingTable slice). Other destinations — the BCP control plane sends
+/// wake-up acks *away* from the sink — are routed along tree paths: up
+/// to the nearest common ancestor, then down (an Euler-tour subtree test
+/// plus a binary search over each node's children picks the downward
+/// branch in O(log degree)). Tree paths to non-sink destinations may be
+/// longer than graph-shortest paths; convergecast traffic never is.
+class ConvergecastRouting final : public Router {
+ public:
+  ConvergecastRouting(const ConnectivityGraph& graph, NodeId sink);
+
+  NodeId sink() const { return sink_; }
+
+  /// Next hop toward the sink (kInvalidNode when stranded; sink maps to
+  /// itself).
+  NodeId parent(NodeId from) const;
+
+  /// Hops to the sink; -1 when stranded, 0 at the sink.
+  int depth(NodeId from) const;
+
+  /// Mean depth over all nodes (other than the sink) that reach it;
+  /// requires at least one.
+  double mean_depth() const;
+
+  /// Nodes (other than the sink) with no path to it, ascending.
+  std::vector<NodeId> stranded() const;
+
+  // Router. next_hop/hops measure along tree paths; both endpoints must
+  // be in the sink's component (else kInvalidNode / -1).
+  NodeId next_hop(NodeId from, NodeId to) const override;
+  int hops(NodeId from, NodeId to) const override;
+  int node_count() const override {
+    return static_cast<int>(parent_.size());
+  }
+
+ private:
+  bool in_subtree(NodeId root, NodeId node) const;
+  NodeId child_toward(NodeId from, NodeId descendant) const;
+
+  NodeId sink_;
+  std::vector<NodeId> parent_;
+  std::vector<int> depth_;
+  // Euler-tour order: tin/tout bracket each node's subtree; children are
+  // stored contiguously, sorted by tin.
+  std::vector<int> tin_;
+  std::vector<int> tout_;
+  std::vector<NodeId> children_;       // all children, grouped by parent
+  std::vector<int> children_begin_;    // n+1 offsets into children_
 };
 
 }  // namespace bcp::net

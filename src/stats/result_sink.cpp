@@ -90,6 +90,24 @@ void ResultSink::add(std::size_t point_index, const Params& params,
   }
 }
 
+void ResultSink::set_meta_entry(MetaEntry entry) {
+  for (auto& e : meta_) {
+    if (e.key == entry.key) {
+      e = std::move(entry);
+      return;
+    }
+  }
+  meta_.push_back(std::move(entry));
+}
+
+void ResultSink::set_meta(const std::string& key, std::string value) {
+  set_meta_entry(MetaEntry{key, std::move(value), /*quoted=*/true});
+}
+
+void ResultSink::set_meta(const std::string& key, double value) {
+  set_meta_entry(MetaEntry{key, json_number(value), /*quoted=*/false});
+}
+
 void ResultSink::set_label(std::size_t point_index, std::string label) {
   PointAgg* agg = find(point_index);
   BCP_REQUIRE_MSG(agg != nullptr, "unknown grid point");
@@ -153,6 +171,21 @@ std::string ResultSink::to_json(const std::string& bench_name) const {
   std::string out;
   out += "{\n  \"bench\": ";
   append_quoted(out, bench_name);
+  if (!meta_.empty()) {
+    out += ",\n  \"meta\": {";
+    bool first = true;
+    for (const auto& e : meta_) {
+      if (!first) out += ", ";
+      first = false;
+      append_quoted(out, e.key);
+      out += ": ";
+      if (e.quoted)
+        append_quoted(out, e.value);
+      else
+        out += e.value;
+    }
+    out += "}";
+  }
   out += ",\n  \"points\": [";
   bool first_point = true;
   for (const auto& p : points_) {

@@ -11,6 +11,7 @@
 //
 //   {
 //     "bench": "<name>",
+//     "meta": {"topology": "grid", "node_count": 36, "seed": 1, ...},
 //     "points": [
 //       {"params": {"senders": 5, ...},
 //        "metrics": {"goodput": {"mean": ..., "ci95": ..., "stddev": ...,
@@ -18,6 +19,11 @@
 //       ...
 //     ]
 //   }
+//
+// "meta" carries run-level scenario metadata (set_meta); the scenario
+// benches record at least topology, node_count and seed there. The key is
+// omitted entirely when no metadata was set, so metadata-free exports are
+// byte-identical to the historical format.
 //
 // Rows must be added in deterministic order (the SweepRunner feeds them in
 // job order after the parallel phase); given that, both exports are
@@ -54,6 +60,23 @@ class ResultSink {
   /// point must have been added already.
   void set_label(std::size_t point_index, std::string label);
 
+  /// One run-level metadata entry; `quoted` distinguishes string values
+  /// from numbers in the export.
+  struct MetaEntry {
+    std::string key;
+    std::string value;
+    bool quoted = true;
+  };
+
+  /// Records one run-level metadata entry, emitted under "meta" in the
+  /// JSON in insertion order (numbers unquoted, strings quoted). Setting
+  /// an existing key overwrites its value.
+  void set_meta(const std::string& key, std::string value);
+  void set_meta(const std::string& key, double value);
+
+  /// Metadata entries in insertion order.
+  const std::vector<MetaEntry>& meta() const { return meta_; }
+
   /// Distinct grid points seen so far.
   std::size_t point_count() const { return points_.size(); }
 
@@ -83,8 +106,10 @@ class ResultSink {
 
   PointAgg* find(std::size_t point_index);
   const PointAgg* find(std::size_t point_index) const;
+  void set_meta_entry(MetaEntry entry);
 
   std::vector<PointAgg> points_;  // in first-seen order
+  std::vector<MetaEntry> meta_;   // in insertion order
 };
 
 }  // namespace bcp::stats

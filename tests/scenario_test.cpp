@@ -162,6 +162,82 @@ TEST(Scenario, ReplicationsVarySeedsAndCount) {
   EXPECT_NE(runs[0].delivered, runs[1].delivered);
 }
 
+TEST(Scenario, RejectsDisconnectedTopologyNamingStrandedNodes) {
+  // 10 nodes over a 5 km square are nowhere near 40 m-connected.
+  auto cfg = quick(EvalModel::kSensor, 3, 100);
+  cfg.topology.kind = net::TopologyKind::kUniformRandom;
+  cfg.topology.nodes = 10;
+  cfg.topology.area = 5000.0;
+  try {
+    run_scenario(cfg);
+    FAIL() << "disconnected topology was not rejected";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("disconnected"), std::string::npos) << what;
+    EXPECT_NE(what.find("cannot reach sink"), std::string::npos) << what;
+    // The stranded-node list is spelled out.
+    EXPECT_NE(what.find("["), std::string::npos) << what;
+  }
+}
+
+TEST(Scenario, EveryPacketReachesSinkOnConnectedRandomTopology) {
+  // The satellite property: under kSensor on a connected random
+  // placement, light CBR traffic is delivered completely — nothing is
+  // dropped anywhere in the stack, and only packets still in flight at
+  // the horizon may be missing.
+  auto cfg = quick(EvalModel::kSensor, 3, 100, 200.0, 400.0);
+  cfg.topology.kind = net::TopologyKind::kUniformRandom;
+  cfg.topology.nodes = 30;
+  cfg.topology.area = 160.0;
+  cfg.topology = net::first_connected(cfg.topology, cfg.sensor_radio.range);
+  const auto m = run_scenario(cfg);
+  ASSERT_GT(m.generated, 100);
+  EXPECT_EQ(m.dropped_buffer, 0);
+  EXPECT_EQ(m.dropped_queue, 0);
+  EXPECT_EQ(m.dropped_mac, 0);
+  EXPECT_EQ(m.dropped_no_route, 0);
+  // Allow only the in-flight tail at the simulation horizon.
+  EXPECT_GE(m.delivered, m.generated - 2 * cfg.n_senders);
+}
+
+TEST(Scenario, GeneratedTopologiesRunAllModels) {
+  for (const auto kind :
+       {net::TopologyKind::kUniformRandom, net::TopologyKind::kLineCorridor,
+        net::TopologyKind::kRing}) {
+    auto cfg = quick(EvalModel::kDualRadio, 3, 50, 2000.0, 120.0);
+    cfg.topology.kind = kind;
+    cfg.topology.nodes = 24;
+    cfg.topology.area = 150.0;
+    cfg.topology =
+        net::first_connected(cfg.topology, cfg.sensor_radio.range);
+    const auto m = run_scenario(cfg);
+    EXPECT_GT(m.generated, 0) << net::to_string(kind);
+    EXPECT_GT(m.delivered, 0) << net::to_string(kind);
+  }
+}
+
+TEST(Scenario, ConvergecastModeStaysCloseToAllPairsOnTheGrid) {
+  // The tree router must behave like the dense table for convergecast
+  // traffic; only the multi-hop control acks may take different (tree)
+  // paths, so aggregate delivery stays in the same regime.
+  auto cfg = quick(EvalModel::kDualRadio, 4, 100);
+  cfg.routing = RoutingMode::kAllPairs;
+  const auto table = run_scenario(cfg);
+  cfg.routing = RoutingMode::kConvergecast;
+  const auto tree = run_scenario(cfg);
+  ASSERT_GT(table.delivered, 0);
+  ASSERT_GT(tree.delivered, 0);
+  EXPECT_GT(tree.goodput, 0.7 * table.goodput);
+  // Sensor-only traffic routes identically (pure convergecast): exact.
+  auto scfg = quick(EvalModel::kSensor, 4, 100);
+  scfg.routing = RoutingMode::kAllPairs;
+  const auto s_table = run_scenario(scfg);
+  scfg.routing = RoutingMode::kConvergecast;
+  const auto s_tree = run_scenario(scfg);
+  EXPECT_EQ(s_table.delivered, s_tree.delivered);
+  EXPECT_DOUBLE_EQ(s_table.normalized_energy, s_tree.normalized_energy);
+}
+
 TEST(Scenario, InvalidConfigsThrow) {
   auto cfg = quick(EvalModel::kSensor, 3, 100);
   cfg.n_senders = 0;

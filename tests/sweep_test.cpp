@@ -226,6 +226,48 @@ TEST(ScenarioRegistry, BuiltinCoversTheEvaluationMatrix) {
                std::invalid_argument);
 }
 
+TEST(ScenarioRegistry, PlacementVariantsBuildConnectedTopologies) {
+  const ScenarioRegistry& r = ScenarioRegistry::builtin();
+  for (const char* placement : {"rand", "cluster", "line"})
+    for (const char* hops : {"sh", "mh"})
+      for (const char* model : {"sensor", "wifi", "dual"}) {
+        const std::string name = std::string(hops) + "-" + placement + "/" +
+                                 model;
+        ASSERT_TRUE(r.contains(name)) << name;
+        const ScenarioConfig cfg = r.make(name, SweepPoint(0, {{"senders", 5}}));
+        EXPECT_NE(cfg.topology.kind, net::TopologyKind::kGrid) << name;
+        EXPECT_EQ(cfg.topology.node_count(), 36) << name;
+      }
+  // Placement axes are honoured.
+  const ScenarioConfig cfg = r.make(
+      "sh-line/dual",
+      SweepPoint(0, {{"senders", 5}, {"nodes", 20}, {"topo_seed", 3}}));
+  EXPECT_EQ(cfg.topology.kind, net::TopologyKind::kLineCorridor);
+  EXPECT_EQ(cfg.topology.node_count(), 20);
+  // The line is connected by construction, so the seed is untouched.
+  EXPECT_EQ(cfg.topology.seed, 3u);
+}
+
+TEST(ResultSinkMeta, EmittedInJsonWhenSet) {
+  stats::ResultSink sink;
+  sink.add(0, {{"x", 1}}, {{"m", 2.0}});
+  // No meta: no "meta" key (the historical byte-identical format).
+  EXPECT_EQ(sink.to_json("plain").find("\"meta\""), std::string::npos);
+  sink.set_meta("topology", "grid");
+  sink.set_meta("node_count", 36.0);
+  sink.set_meta("seed", 1.0);
+  const std::string json = sink.to_json("demo");
+  EXPECT_NE(json.find("\"meta\": {\"topology\": \"grid\", "
+                      "\"node_count\": 36, \"seed\": 1}"),
+            std::string::npos)
+      << json;
+  // Overwrite keeps insertion order and the latest value.
+  sink.set_meta("topology", "rand");
+  EXPECT_NE(sink.to_json("demo").find("\"topology\": \"rand\", "
+                                      "\"node_count\": 36"),
+            std::string::npos);
+}
+
 TEST(ScenarioRegistry, BuildersReadPointParams) {
   const ScenarioRegistry& r = ScenarioRegistry::builtin();
   const SweepPoint p(0, {{"senders", 15},

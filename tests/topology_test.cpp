@@ -1,0 +1,270 @@
+// Unit + property tests for the topology subsystem: generator
+// determinism, spatial-hash neighbour discovery vs the brute-force
+// pairwise reference, component/stranded reporting, convergecast routing
+// vs the all-pairs table, and tree point-to-point routing.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "net/routing.hpp"
+#include "net/topology.hpp"
+
+namespace bcp::net {
+namespace {
+
+std::vector<Topology> all_generated(std::uint64_t seed) {
+  return {Topology::grid(6, 200.0, 0),
+          Topology::uniform_random(40, 200.0, seed),
+          Topology::gaussian_clusters(40, 200.0, 4, 25.0, seed),
+          Topology::line_corridor(40, 200.0, 20.0, seed),
+          Topology::ring(40, 100.0)};
+}
+
+TEST(TopologyGenerators, SameSeedIsByteIdentical) {
+  const auto a = all_generated(42);
+  const auto b = all_generated(42);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t t = 0; t < a.size(); ++t) {
+    SCOPED_TRACE(a[t].name);
+    ASSERT_EQ(a[t].node_count(), b[t].node_count());
+    EXPECT_EQ(a[t].sink, b[t].sink);
+    for (int i = 0; i < a[t].node_count(); ++i) {
+      // Bit-exact, not approximately equal.
+      EXPECT_EQ(a[t].position(i).x, b[t].position(i).x);
+      EXPECT_EQ(a[t].position(i).y, b[t].position(i).y);
+    }
+  }
+}
+
+TEST(TopologyGenerators, DifferentSeedsDiffer) {
+  const auto a = Topology::uniform_random(40, 200.0, 1);
+  const auto b = Topology::uniform_random(40, 200.0, 2);
+  bool any_differ = false;
+  for (int i = 0; i < 40; ++i)
+    any_differ |= a.position(i).x != b.position(i).x;
+  EXPECT_TRUE(any_differ);
+}
+
+TEST(TopologyGenerators, GridMatchesLegacyGridTopology) {
+  const auto legacy = GridTopology::paper_grid();
+  const auto t = Topology::grid(6, 200.0, 0);
+  ASSERT_EQ(t.node_count(), legacy.node_count());
+  for (int i = 0; i < t.node_count(); ++i) {
+    EXPECT_EQ(t.position(i).x, legacy.position(i).x);
+    EXPECT_EQ(t.position(i).y, legacy.position(i).y);
+  }
+}
+
+TEST(TopologyGenerators, GeometryInvariants) {
+  // Every generator stays within its bounding box and owns node 0 as sink.
+  for (const auto& t : all_generated(7)) {
+    SCOPED_TRACE(t.name);
+    EXPECT_EQ(t.sink, 0);
+    for (int i = 0; i < t.node_count(); ++i) {
+      EXPECT_GE(t.position(i).x, 0.0);
+      EXPECT_GE(t.position(i).y, 0.0);
+    }
+  }
+  // Ring: all nodes exactly on the circle.
+  const auto ring = Topology::ring(24, 100.0);
+  for (int i = 0; i < 24; ++i) {
+    const double r = distance(ring.position(i), Position{100.0, 100.0});
+    EXPECT_NEAR(r, 100.0, 1e-9);
+  }
+  // Line corridor: lattice x positions, jitter only across the width.
+  const auto line = Topology::line_corridor(21, 200.0, 20.0, 3);
+  for (int i = 0; i < 21; ++i) {
+    EXPECT_DOUBLE_EQ(line.position(i).x, i * 10.0);
+    EXPECT_LE(line.position(i).y, 20.0);
+  }
+  // Clusters: clamped into the square, sink on the first centre.
+  const auto cluster = Topology::gaussian_clusters(50, 200.0, 4, 25.0, 9);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_LE(cluster.position(i).x, 200.0);
+    EXPECT_LE(cluster.position(i).y, 200.0);
+  }
+}
+
+TEST(TopologySpec, BuildDispatchesAndCounts) {
+  TopologySpec spec;
+  EXPECT_EQ(spec.node_count(), 36);  // default: the paper grid
+  EXPECT_EQ(spec.build().name, "grid");
+  EXPECT_EQ(spec.build().node_count(), 36);
+
+  spec.kind = TopologyKind::kUniformRandom;
+  spec.nodes = 50;
+  EXPECT_EQ(spec.node_count(), 50);
+  EXPECT_EQ(spec.build().name, "rand");
+  EXPECT_EQ(spec.build().node_count(), 50);
+
+  for (const auto kind :
+       {TopologyKind::kGaussianClusters, TopologyKind::kLineCorridor,
+        TopologyKind::kRing}) {
+    spec.kind = kind;
+    EXPECT_EQ(spec.build().name, to_string(kind));
+    EXPECT_EQ(spec.build().node_count(), 50);
+  }
+}
+
+TEST(SpatialHash, NeighborsMatchBruteForceOnRandomPlacements) {
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull, 4ull, 5ull}) {
+    for (const double range : {15.0, 40.0, 75.0, 300.0}) {
+      const auto t = Topology::uniform_random(120, 200.0, seed);
+      const ConnectivityGraph g(t.positions, range);
+      SCOPED_TRACE("seed " + std::to_string(seed) + " range " +
+                   std::to_string(range));
+      for (NodeId a = 0; a < t.node_count(); ++a) {
+        // Brute-force reference: ascending pairwise scan.
+        std::vector<NodeId> expect;
+        for (NodeId b = 0; b < t.node_count(); ++b)
+          if (b != a && distance(t.position(a), t.position(b)) <= range)
+            expect.push_back(b);
+        ASSERT_EQ(g.neighbors(a), expect) << "node " << a;
+      }
+    }
+  }
+}
+
+TEST(SpatialHash, HandlesCoincidentAndNegativeFreePositions) {
+  // Duplicate positions are mutual neighbours at distance 0.
+  const std::vector<Position> pos{{10, 10}, {10, 10}, {100, 100}};
+  const ConnectivityGraph g(pos, 5.0);
+  EXPECT_EQ(g.neighbors(0), std::vector<NodeId>{1});
+  EXPECT_EQ(g.neighbors(1), std::vector<NodeId>{0});
+  EXPECT_TRUE(g.neighbors(2).empty());
+}
+
+TEST(Components, LabelsAndUnreachable) {
+  // Two clusters 1000 m apart plus one isolated node.
+  const std::vector<Position> pos{{0, 0},    {10, 0},   {1000, 0},
+                                  {1010, 0}, {5000, 5000}};
+  const ConnectivityGraph g(pos, 50.0);
+  const std::vector<int> label = connected_components(g);
+  EXPECT_EQ(label, (std::vector<int>{0, 0, 1, 1, 2}));
+  EXPECT_EQ(unreachable_from(g, 0), (std::vector<NodeId>{2, 3, 4}));
+  EXPECT_EQ(unreachable_from(g, 2), (std::vector<NodeId>{0, 1, 4}));
+  const auto t = Topology::grid(4, 90.0, 0);
+  EXPECT_TRUE(
+      unreachable_from(ConnectivityGraph(t.positions, 30.0), 0).empty());
+}
+
+TEST(Components, FormatNodeListTruncates) {
+  EXPECT_EQ(format_node_list({}), "[]");
+  EXPECT_EQ(format_node_list({3, 17}), "[3, 17]");
+  EXPECT_EQ(format_node_list({1, 2, 3, 4}, 2), "[1, 2, ... (2 more)]");
+}
+
+TEST(Convergecast, MatchesAllPairsSliceOnPaperGrid) {
+  const auto t = Topology::grid(6, 200.0, 0);
+  const ConnectivityGraph g(t.positions, 40.0);
+  const RoutingTable table(g);
+  const ConvergecastRouting tree(g, t.sink);
+  for (NodeId from = 0; from < t.node_count(); ++from) {
+    EXPECT_EQ(tree.parent(from), table.next_hop(from, t.sink)) << from;
+    EXPECT_EQ(tree.depth(from), table.hops(from, t.sink)) << from;
+    EXPECT_EQ(tree.next_hop(from, t.sink), table.next_hop(from, t.sink));
+  }
+  EXPECT_DOUBLE_EQ(tree.mean_depth(), table.mean_hops_to(t.sink));
+  EXPECT_TRUE(tree.stranded().empty());
+}
+
+TEST(Convergecast, MatchesAllPairsSliceOnRandomPlacements) {
+  for (const std::uint64_t seed : {11ull, 12ull, 13ull}) {
+    const auto t = Topology::uniform_random(80, 200.0, seed);
+    const ConnectivityGraph g(t.positions, 60.0);
+    const RoutingTable table(g);
+    const ConvergecastRouting tree(g, t.sink);
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    for (NodeId from = 0; from < t.node_count(); ++from) {
+      EXPECT_EQ(tree.parent(from), table.next_hop(from, t.sink)) << from;
+      EXPECT_EQ(tree.depth(from), table.hops(from, t.sink)) << from;
+    }
+  }
+}
+
+TEST(Convergecast, ReportsStrandedNodes) {
+  const std::vector<Position> pos{{0, 0}, {10, 0}, {1000, 0}, {1010, 0}};
+  const ConvergecastRouting tree{ConnectivityGraph(pos, 50.0), 0};
+  EXPECT_EQ(tree.stranded(), (std::vector<NodeId>{2, 3}));
+  EXPECT_EQ(tree.parent(2), kInvalidNode);
+  EXPECT_EQ(tree.depth(2), -1);
+  EXPECT_EQ(tree.next_hop(2, 0), kInvalidNode);
+  EXPECT_EQ(tree.hops(2, 0), -1);
+  EXPECT_EQ(tree.next_hop(0, 3), kInvalidNode);
+}
+
+TEST(Convergecast, TreeRoutesReachEveryPair) {
+  // Point-to-point routing along the tree (the BCP control plane routes
+  // wake-up acks away from the sink): following next_hop from any node
+  // must reach any other in exactly hops() steps, without loops.
+  const auto spec = first_connected(
+      [] {
+        TopologySpec s;
+        s.kind = TopologyKind::kUniformRandom;
+        s.nodes = 60;
+        s.area = 150.0;
+        return s;
+      }(),
+      40.0);
+  const auto t = spec.build();
+  const ConnectivityGraph g(t.positions, 40.0);
+  const ConvergecastRouting tree(g, t.sink);
+  ASSERT_TRUE(tree.stranded().empty());
+  for (NodeId from = 0; from < t.node_count(); ++from)
+    for (NodeId to = 0; to < t.node_count(); ++to) {
+      NodeId cur = from;
+      int steps = 0;
+      while (cur != to) {
+        const NodeId next = tree.next_hop(cur, to);
+        ASSERT_NE(next, kInvalidNode) << from << "->" << to;
+        // Every tree hop is a physical link.
+        ASSERT_TRUE(next == cur || g.connected(cur, next));
+        cur = next;
+        ASSERT_LE(++steps, t.node_count()) << "loop " << from << "->" << to;
+      }
+      EXPECT_EQ(steps, tree.hops(from, to)) << from << "->" << to;
+    }
+}
+
+TEST(Convergecast, SinkIdentityMatchesRoutingTableConventions) {
+  const auto t = Topology::grid(3, 80.0, 4);
+  const ConnectivityGraph g(t.positions, 40.0);
+  const ConvergecastRouting tree(g, 4);
+  EXPECT_EQ(tree.sink(), 4);
+  EXPECT_EQ(tree.next_hop(4, 4), 4);
+  EXPECT_EQ(tree.hops(4, 4), 0);
+  EXPECT_EQ(tree.parent(4), 4);
+  EXPECT_EQ(tree.depth(4), 0);
+}
+
+TEST(FirstConnected, DeterministicAndConnected) {
+  TopologySpec spec;
+  spec.kind = TopologyKind::kUniformRandom;
+  spec.nodes = 36;
+  spec.area = 200.0;
+  spec.seed = 1;
+  const TopologySpec a = first_connected(spec, 40.0);
+  const TopologySpec b = first_connected(spec, 40.0);
+  EXPECT_EQ(a.seed, b.seed);
+  const auto t = a.build();
+  EXPECT_TRUE(
+      unreachable_from(ConnectivityGraph(t.positions, 40.0), t.sink)
+          .empty());
+  // A spec that is already connected is returned unchanged.
+  TopologySpec grid_spec;
+  EXPECT_EQ(first_connected(grid_spec, 40.0).seed, grid_spec.seed);
+}
+
+TEST(FirstConnected, ThrowsWhenNoSeedWorks) {
+  TopologySpec spec;
+  spec.kind = TopologyKind::kUniformRandom;
+  spec.nodes = 8;
+  spec.area = 100000.0;  // 8 nodes over 100 km: never 40 m-connected
+  EXPECT_THROW(first_connected(spec, 40.0, 5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bcp::net
