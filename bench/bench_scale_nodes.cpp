@@ -87,7 +87,11 @@ int main(int argc, char** argv) {
       .add_int("jobs", 0, "sweep worker threads (0 = all hardware cores)")
       .add_double("budget-s", 0,
                   "fail (exit 2) if the whole sweep exceeds this wall "
-                  "clock; 0 disables");
+                  "clock; 0 disables")
+      .add_double("min-events-per-sec", 0,
+                  "fail (exit 2) if the largest grid point's simulation "
+                  "dispatches fewer events/sec; 0 disables (CI tripwire, "
+                  "set a generous floor)");
   if (!opt.parse(argc, argv)) return 1;
   const auto t_bench = std::chrono::steady_clock::now();
   const int max_nodes = static_cast<int>(opt.get_int("max-nodes"));
@@ -151,6 +155,8 @@ int main(int argc, char** argv) {
     double sim_ms = 0;
     double delivered = 0;
     double goodput = 0;
+    double events = 0;
+    double events_per_sec = 0;
     if (kind == net::TopologyKind::kGrid) {
       app::ScenarioConfig cfg = app::ScenarioConfig::single_hop(
           app::EvalModel::kDualRadio, std::min(senders, nodes - 1), burst);
@@ -163,6 +169,10 @@ int main(int argc, char** argv) {
       sim_ms = ms_since(t0);
       delivered = static_cast<double>(m.delivered);
       goodput = m.goodput;
+      // Hot-path throughput: dispatched simulator events per wall second
+      // (event counts are deterministic; the wall clock is this machine's).
+      events = static_cast<double>(m.events_processed);
+      if (sim_ms > 0) events_per_sec = events / (sim_ms / 1e3);
     }
 
     return stats::ResultSink::Metrics{
@@ -174,6 +184,8 @@ int main(int argc, char** argv) {
         {"sim_wall_ms", sim_ms},
         {"delivered", delivered},
         {"goodput", goodput},
+        {"events", events},
+        {"events_per_sec", events_per_sec},
     };
   };
 
@@ -192,13 +204,22 @@ int main(int argc, char** argv) {
   stats::print_titled(
       "Scale sweep — build + routing + dual-radio simulation vs node count",
       sink.to_table());
+  // The largest grid point is the headline hot-path number (and the CI
+  // tripwire): its simulation leg always runs and its event count is
+  // deterministic.
+  const std::size_t top_grid = grid.index_of({0, sizes.size() - 1});
+  const double top_events_per_sec =
+      sink.metric(top_grid, "events_per_sec").mean();
   sink.set_meta("topology", "grid+rand+cluster+line");
   sink.set_meta("node_count", static_cast<double>(sizes.back()));
   sink.set_meta("seed", static_cast<double>(seed));
+  sink.set_meta("events_per_sec", top_events_per_sec);
   export_json("scale_nodes", sink);
 
   const double elapsed_s = ms_since(t_bench) / 1e3;
   std::printf("[wall] %.1f s total\n", elapsed_s);
+  std::printf("[events/sec] %.0f at grid-%d\n", top_events_per_sec,
+              sizes.back());
   const double budget = opt.get_double("budget-s");
   if (budget > 0 && elapsed_s > budget) {
     std::fprintf(stderr,
@@ -206,6 +227,15 @@ int main(int argc, char** argv) {
                  "super-linear regression in topology/graph/routing "
                  "build or the simulation hot path\n",
                  elapsed_s, budget);
+    return 2;
+  }
+  const double floor = opt.get_double("min-events-per-sec");
+  if (floor > 0 && top_events_per_sec < floor) {
+    std::fprintf(stderr,
+                 "EVENTS/SEC FLOOR MISSED: %.0f < %.0f at grid-%d — the "
+                 "event/frame hot path regressed (allocations per event, "
+                 "payload copies, or queue churn)\n",
+                 top_events_per_sec, floor, sizes.back());
     return 2;
   }
   return 0;

@@ -16,28 +16,27 @@ DutyCycledWifiNode::DutyCycledWifiNode(
       self_(self),
       sink_(sink),
       schedule_(schedule),
-      delivery_(delivery) {
+      delivery_(delivery),
+      radio_(sim, channel, self, radio_model, phy::OverhearMode::kFull,
+             /*start_on=*/false),
+      mac_(sim, radio_, mac::dcf_mac_params(),
+           util::substream(seed, static_cast<std::uint64_t>(self),
+                           0x445459u)) {
   BCP_REQUIRE(delivery != nullptr);
   BCP_REQUIRE(schedule_.period > 0);
   BCP_REQUIRE(schedule_.duty > 0 && schedule_.duty <= 1.0);
-  radio_ = std::make_unique<phy::Radio>(sim, channel, self, radio_model,
-                                        phy::OverhearMode::kFull,
-                                        /*start_on=*/false);
-  mac_ = std::make_unique<mac::CsmaCaMac>(
-      sim, *radio_, mac::dcf_mac_params(),
-      util::substream(seed, static_cast<std::uint64_t>(self), 0x445459u));
-  mac_->set_rx_callback(
+  mac_.set_rx_callback(
       [this](const net::Message& m, net::NodeId from) { on_rx(m, from); });
-  mac_->set_tx_done_callback([this](const net::Message& m, net::NodeId,
+  mac_.set_tx_done_callback([this](const net::Message& m, net::NodeId,
                                     bool success) {
     if (!success && m.is_data())
       delivery_->dropped(std::get<net::DataPacket>(m.body), "mac-failed");
-    if (awaiting_quiesce_ && mac_->idle()) on_window_close();
+    if (awaiting_quiesce_ && mac_.idle()) on_window_close();
   });
   // The usable window begins once the radio's off->on transition finishes
   // (a PSM radio starts waking ahead of the window; equivalently, the
   // window here is wake + duty*period of usable air time).
-  radio_->callbacks().wake_complete = [this] {
+  radio_.callbacks().wake_complete = [this] {
     window_open_ = true;
     pump();
   };
@@ -62,11 +61,11 @@ void DutyCycledWifiNode::on_window_open() {
   awaiting_quiesce_ = false;
   ++window_generation_;
   const std::uint64_t generation = window_generation_;
-  radio_->power_on();  // charges the wake-up lump; wake_complete opens
+  radio_.power_on();  // charges the wake-up lump; wake_complete opens
   // A close that lands after the next window already opened is stale
   // (high duty factors make wake + usable time overrun the period; at
   // duty = 1 the radio is effectively always on).
-  sim_.schedule_in(radio_->model().t_wakeup +
+  sim_.schedule_in(radio_.model().t_wakeup +
                        schedule_.period * schedule_.duty,
                    [this, generation] {
                      if (generation == window_generation_)
@@ -77,13 +76,13 @@ void DutyCycledWifiNode::on_window_open() {
 
 void DutyCycledWifiNode::on_window_close() {
   window_open_ = false;
-  if (!mac_->idle() || radio_->state() == phy::RadioState::kTx) {
+  if (!mac_.idle() || radio_.state() == phy::RadioState::kTx) {
     // Let the in-flight exchange finish; tx_done re-checks.
     awaiting_quiesce_ = true;
     return;
   }
   awaiting_quiesce_ = false;
-  if (radio_->state() != phy::RadioState::kOff) radio_->power_off();
+  if (radio_.state() != phy::RadioState::kOff) radio_.power_off();
 }
 
 void DutyCycledWifiNode::pump() {
@@ -101,7 +100,7 @@ void DutyCycledWifiNode::forward(const net::Message& msg) {
       delivery_->dropped(std::get<net::DataPacket>(msg.body), "no-route");
     return;
   }
-  if (!mac_->enqueue(msg, next)) {
+  if (!mac_.enqueue(msg, next)) {
     if (msg.is_data())
       delivery_->dropped(std::get<net::DataPacket>(msg.body), "queue-full");
   }

@@ -13,7 +13,6 @@
 // makes the §1 claim meaningful when BCP still beats it.
 #pragma once
 
-#include <deque>
 #include <memory>
 
 #include "app/nodes.hpp"
@@ -22,6 +21,7 @@
 #include "net/routing.hpp"
 #include "phy/radio.hpp"
 #include "sim/simulator.hpp"
+#include "util/sliding_queue.hpp"
 
 namespace bcp::app {
 
@@ -43,9 +43,9 @@ class DutyCycledWifiNode {
   /// on-window.
   void send(const net::DataPacket& packet);
 
-  phy::Radio& radio() { return *radio_; }
-  const phy::Radio& radio() const { return *radio_; }
-  mac::CsmaCaMac& mac() { return *mac_; }
+  phy::Radio& radio() { return radio_; }
+  const phy::Radio& radio() const { return radio_; }
+  mac::CsmaCaMac& mac() { return mac_; }
   std::size_t queued() const { return pending_.size(); }
 
  private:
@@ -61,9 +61,9 @@ class DutyCycledWifiNode {
   net::NodeId sink_;
   Schedule schedule_;
   DeliverySink* delivery_;
-  std::unique_ptr<phy::Radio> radio_;
-  std::unique_ptr<mac::CsmaCaMac> mac_;
-  std::deque<net::Message> pending_;  ///< waiting for the next window
+  phy::Radio radio_;
+  mac::CsmaCaMac mac_;
+  util::SlidingQueue<net::Message> pending_;  ///< waiting for the next window
   bool window_open_ = false;
   bool awaiting_quiesce_ = false;  ///< window closed, MAC still draining
   std::uint64_t window_generation_ = 0;  ///< guards stale close events

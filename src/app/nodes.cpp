@@ -18,16 +18,16 @@ ForwardingNode::ForwardingNode(sim::Simulator& sim, phy::Channel& channel,
                                mac::MacParams mac_params, std::uint64_t seed,
                                DeliverySink* delivery)
     : sim_(sim), routes_(routes), self_(self), sink_(sink),
-      delivery_(delivery) {
+      delivery_(delivery),
+      radio_(sim, channel, self, radio_model, overhear, /*start_on=*/true),
+      mac_(sim, radio_, mac_params,
+           util::substream(seed, static_cast<std::uint64_t>(self),
+                           0x4D4143u)) {
   BCP_REQUIRE(delivery != nullptr);
-  radio_ = std::make_unique<phy::Radio>(sim, channel, self, radio_model,
-                                        overhear, /*start_on=*/true);
-  mac_ = std::make_unique<mac::CsmaCaMac>(
-      sim, *radio_, mac_params, util::substream(seed, static_cast<std::uint64_t>(self), 0x4D4143u));
-  mac_->set_rx_callback(
+  mac_.set_rx_callback(
       [this](const net::Message& m, net::NodeId from) { on_rx(m, from); });
-  mac_->set_tx_done_callback([this](const net::Message& m, net::NodeId,
-                                    bool success) {
+  mac_.set_tx_done_callback([this](const net::Message& m, net::NodeId,
+                                   bool success) {
     if (!success && m.is_data())
       delivery_->dropped(std::get<net::DataPacket>(m.body), "mac-failed");
   });
@@ -52,7 +52,7 @@ void ForwardingNode::forward(const net::Message& msg) {
       delivery_->dropped(std::get<net::DataPacket>(msg.body), "no-route");
     return;
   }
-  if (!mac_->enqueue(msg, next)) {
+  if (!mac_.enqueue(msg, next)) {
     if (msg.is_data())
       delivery_->dropped(std::get<net::DataPacket>(msg.body), "queue-full");
   }
@@ -76,39 +76,36 @@ DualRadioNode::DualRadioNode(
       low_routes_(low_routes),
       high_routes_(high_routes),
       self_(self),
-      delivery_(delivery) {
+      delivery_(delivery),
+      // The sensor radio is always on (§2.1: its idling is a base cost); it
+      // pays header-only overhearing so the "Sensor-header"-style charge can
+      // be read from the meter if wanted. The 802.11 radio starts off; BCP
+      // powers it per session.
+      low_radio_(sim, low_channel, self, sensor_model,
+                 phy::OverhearMode::kHeaderOnly, /*start_on=*/true),
+      high_radio_(sim, high_channel, self, wifi_model, wifi_overhear,
+                  /*start_on=*/false),
+      low_mac_(sim, low_radio_, mac::sensor_mac_params(),
+               util::substream(seed, static_cast<std::uint64_t>(self),
+                               0x4C4F57u)),
+      high_mac_(sim, high_radio_, mac::dcf_mac_params(),
+                util::substream(seed, static_cast<std::uint64_t>(self),
+                                0x484957u)),
+      agent_(*this, bcp_config) {
   BCP_REQUIRE(delivery != nullptr);
-  // The sensor radio is always on (§2.1: its idling is a base cost); it
-  // pays header-only overhearing so the "Sensor-header"-style charge can be
-  // read from the meter if wanted.
-  low_radio_ = std::make_unique<phy::Radio>(sim, low_channel, self,
-                                            sensor_model,
-                                            phy::OverhearMode::kHeaderOnly,
-                                            /*start_on=*/true);
-  // The 802.11 radio starts off; BCP powers it per session.
-  high_radio_ = std::make_unique<phy::Radio>(sim, high_channel, self,
-                                             wifi_model, wifi_overhear,
-                                             /*start_on=*/false);
-  low_mac_ = std::make_unique<mac::CsmaCaMac>(
-      sim, *low_radio_, mac::sensor_mac_params(),
-      util::substream(seed, static_cast<std::uint64_t>(self), 0x4C4F57u));
-  high_mac_ = std::make_unique<mac::CsmaCaMac>(
-      sim, *high_radio_, mac::dcf_mac_params(),
-      util::substream(seed, static_cast<std::uint64_t>(self), 0x484957u));
-  agent_ = std::make_unique<core::BcpAgent>(*this, bcp_config);
 
-  low_mac_->set_rx_callback(
+  low_mac_.set_rx_callback(
       [this](const net::Message& m, net::NodeId from) { on_low_rx(m, from); });
-  low_mac_->set_tx_done_callback([this](const net::Message& m, net::NodeId,
+  low_mac_.set_tx_done_callback([this](const net::Message& m, net::NodeId,
                                         bool success) {
     // Only data rides the low radio when the kFallbackLow delay policy is
     // active; account its link-layer losses like the forwarding models do.
     if (!success && m.is_data())
       delivery_->dropped(std::get<net::DataPacket>(m.body), "mac-failed");
   });
-  high_mac_->set_rx_callback(
+  high_mac_.set_rx_callback(
       [this](const net::Message& m, net::NodeId from) { on_high_rx(m, from); });
-  high_mac_->set_tx_done_callback(
+  high_mac_.set_tx_done_callback(
       [this](const net::Message&, net::NodeId, bool success) {
         BCP_ENSURE_MSG(!high_done_.empty(),
                        "high-radio completion without a pending send");
@@ -116,21 +113,22 @@ DualRadioNode::DualRadioNode(
         high_done_.pop_front();
         if (done) done(success);
       });
-  high_radio_->callbacks().wake_complete = [this] {
-    agent_->on_high_radio_ready();
+  high_radio_.callbacks().wake_complete = [this] {
+    agent_.on_high_radio_ready();
   };
-  high_radio_->callbacks().frame_overheard = [this](const phy::Frame& f) {
-    if (f.message.has_value() && f.message->is_bulk())
-      agent_->on_bulk_frame_overheard(std::get<net::BulkFrame>(f.message->body));
+  high_radio_.callbacks().frame_overheard = [this](const phy::Frame& f) {
+    if (f.message && f.message->is_bulk())
+      agent_.on_bulk_frame_overheard(std::get<net::BulkFrame>(f.message->body));
   };
 }
 
 void DualRadioNode::send(const net::DataPacket& packet) {
-  agent_->submit(packet);
+  agent_.submit(packet);
 }
 
 core::BcpHost::TimerId DualRadioNode::set_timer(
-    util::Seconds delay, std::function<void()> callback) {
+    util::Seconds delay, core::BcpHost::TimerCallback callback) {
+  // TimerCallback IS the simulator's callback type — no re-wrapping.
   return sim_.schedule_in(delay, std::move(callback)).id;
 }
 
@@ -138,17 +136,17 @@ void DualRadioNode::cancel_timer(TimerId id) {
   sim_.cancel(sim::Simulator::EventHandle{id});
 }
 
-void DualRadioNode::send_low(const net::Message& msg) {
-  BCP_REQUIRE(msg.dst != self_);
-  const net::NodeId next = low_routes_.next_hop(self_, msg.dst);
+void DualRadioNode::send_low(net::MessageRef msg) {
+  BCP_REQUIRE(msg->dst != self_);
+  const net::NodeId next = low_routes_.next_hop(self_, msg->dst);
   if (next == net::kInvalidNode) return;  // unreachable peer: handshake fails
-  low_mac_->enqueue(msg, next);
+  low_mac_.enqueue(std::move(msg), next);
 }
 
-void DualRadioNode::send_high(const net::Message& msg, net::NodeId peer,
-                              std::function<void(bool)> done) {
+void DualRadioNode::send_high(net::MessageRef msg, net::NodeId peer,
+                              core::BcpHost::SendDone done) {
   BCP_REQUIRE(peer != self_);
-  if (!high_mac_->enqueue(msg, peer)) {
+  if (!high_mac_.enqueue(std::move(msg), peer)) {
     // Queue full (pathological): report failure asynchronously so the
     // caller's state machine is not reentered from inside send_high.
     sim_.schedule_in(0.0, [done = std::move(done)] { done(false); });
@@ -157,18 +155,18 @@ void DualRadioNode::send_high(const net::Message& msg, net::NodeId peer,
   high_done_.push_back(std::move(done));
 }
 
-void DualRadioNode::high_radio_on() { high_radio_->power_on(); }
+void DualRadioNode::high_radio_on() { high_radio_.power_on(); }
 
 void DualRadioNode::try_power_off() {
   // Never yank the radio mid-transmission (a link ack may be going out);
   // retry just after it drains.
-  if (high_radio_->state() == phy::RadioState::kTx) {
+  if (high_radio_.state() == phy::RadioState::kTx) {
     sim_.schedule_in(0.001, [this] {
-      if (agent_->radio_hold_count() == 0) try_power_off();
+      if (agent_.radio_hold_count() == 0) try_power_off();
     });
     return;
   }
-  high_radio_->power_off();
+  high_radio_.power_off();
 }
 
 void DualRadioNode::high_radio_off() { try_power_off(); }
@@ -180,7 +178,7 @@ bool DualRadioNode::high_radio_ready() const {
   // arrives; the MAC's carrier sense absorbs that. Requiring Radio::ready()
   // here would strand the sender session waiting for a wake_complete that
   // never fires (the radio is already awake).
-  const phy::RadioState s = high_radio_->state();
+  const phy::RadioState s = high_radio_.state();
   return s != phy::RadioState::kOff && s != phy::RadioState::kWaking;
 }
 
@@ -206,19 +204,19 @@ void DualRadioNode::packet_dropped(const net::DataPacket& packet,
 
 void DualRadioNode::on_low_rx(const net::Message& msg, net::NodeId /*from*/) {
   if (msg.dst == self_) {
-    agent_->on_low_message(msg);
+    agent_.on_low_message(msg);
     return;
   }
   // Relay the control message one more low-radio hop (below BCP, §3).
   const net::NodeId next = low_routes_.next_hop(self_, msg.dst);
   if (next == net::kInvalidNode) return;
-  low_mac_->enqueue(msg, next);
+  low_mac_.enqueue(msg, next);
 }
 
 void DualRadioNode::on_high_rx(const net::Message& msg,
                                net::NodeId /*from*/) {
   if (const auto* frame = std::get_if<net::BulkFrame>(&msg.body)) {
-    agent_->on_bulk_frame(*frame);
+    agent_.on_bulk_frame(*frame);
   }
   // Anything else over the high radio is ignored: BCP only ships bulk
   // frames there.

@@ -10,10 +10,7 @@
 //   This class is the simulator's implementation of core::BcpHost.
 #pragma once
 
-#include <deque>
 #include <functional>
-#include <memory>
-#include <optional>
 
 #include "core/bcp_agent.hpp"
 #include "core/bcp_host.hpp"
@@ -21,6 +18,7 @@
 #include "net/routing.hpp"
 #include "phy/radio.hpp"
 #include "sim/simulator.hpp"
+#include "util/sliding_queue.hpp"
 
 namespace bcp::app {
 
@@ -42,10 +40,10 @@ class ForwardingNode {
   /// Entry point for locally generated packets.
   void send(const net::DataPacket& packet);
 
-  phy::Radio& radio() { return *radio_; }
-  const phy::Radio& radio() const { return *radio_; }
-  mac::CsmaCaMac& mac() { return *mac_; }
-  const mac::CsmaCaMac& mac() const { return *mac_; }
+  phy::Radio& radio() { return radio_; }
+  const phy::Radio& radio() const { return radio_; }
+  mac::CsmaCaMac& mac() { return mac_; }
+  const mac::CsmaCaMac& mac() const { return mac_; }
   net::NodeId self() const { return self_; }
 
  private:
@@ -57,8 +55,10 @@ class ForwardingNode {
   net::NodeId self_;
   net::NodeId sink_;
   DeliverySink* delivery_;
-  std::unique_ptr<phy::Radio> radio_;
-  std::unique_ptr<mac::CsmaCaMac> mac_;
+  // Direct members (not unique_ptr): a 2500-node scenario builds and tears
+  // these down per run, and the pointer hops cost more than they buy.
+  phy::Radio radio_;
+  mac::CsmaCaMac mac_;
 };
 
 /// Dual-radio node: sensor radio + CSMA MAC for control, 802.11 radio +
@@ -77,26 +77,26 @@ class DualRadioNode final : public core::BcpHost {
   /// Entry point for locally generated packets (goes through BCP).
   void send(const net::DataPacket& packet);
 
-  core::BcpAgent& agent() { return *agent_; }
-  const core::BcpAgent& agent() const { return *agent_; }
-  phy::Radio& sensor_radio() { return *low_radio_; }
-  const phy::Radio& sensor_radio() const { return *low_radio_; }
-  phy::Radio& wifi_radio() { return *high_radio_; }
-  const phy::Radio& wifi_radio() const { return *high_radio_; }
-  mac::CsmaCaMac& sensor_mac() { return *low_mac_; }
-  const mac::CsmaCaMac& sensor_mac() const { return *low_mac_; }
-  mac::CsmaCaMac& wifi_mac() { return *high_mac_; }
-  const mac::CsmaCaMac& wifi_mac() const { return *high_mac_; }
+  core::BcpAgent& agent() { return agent_; }
+  const core::BcpAgent& agent() const { return agent_; }
+  phy::Radio& sensor_radio() { return low_radio_; }
+  const phy::Radio& sensor_radio() const { return low_radio_; }
+  phy::Radio& wifi_radio() { return high_radio_; }
+  const phy::Radio& wifi_radio() const { return high_radio_; }
+  mac::CsmaCaMac& sensor_mac() { return low_mac_; }
+  const mac::CsmaCaMac& sensor_mac() const { return low_mac_; }
+  mac::CsmaCaMac& wifi_mac() { return high_mac_; }
+  const mac::CsmaCaMac& wifi_mac() const { return high_mac_; }
 
   // core::BcpHost:
   net::NodeId self() const override { return self_; }
   util::Seconds now() const override { return sim_.now(); }
   TimerId set_timer(util::Seconds delay,
-                    std::function<void()> callback) override;
+                    core::BcpHost::TimerCallback callback) override;
   void cancel_timer(TimerId id) override;
-  void send_low(const net::Message& msg) override;
-  void send_high(const net::Message& msg, net::NodeId peer,
-                 std::function<void(bool)> done) override;
+  void send_low(net::MessageRef msg) override;
+  void send_high(net::MessageRef msg, net::NodeId peer,
+                 core::BcpHost::SendDone done) override;
   void high_radio_on() override;
   void high_radio_off() override;
   bool high_radio_ready() const override;
@@ -117,14 +117,16 @@ class DualRadioNode final : public core::BcpHost {
   const net::Router& high_routes_;
   net::NodeId self_;
   DeliverySink* delivery_;
-  std::unique_ptr<phy::Radio> low_radio_;
-  std::unique_ptr<phy::Radio> high_radio_;
-  std::unique_ptr<mac::CsmaCaMac> low_mac_;
-  std::unique_ptr<mac::CsmaCaMac> high_mac_;
-  std::unique_ptr<core::BcpAgent> agent_;
+  // Direct members, constructed in declaration order (radios before MACs
+  // before the agent, which binds to *this as its BcpHost).
+  phy::Radio low_radio_;
+  phy::Radio high_radio_;
+  mac::CsmaCaMac low_mac_;
+  mac::CsmaCaMac high_mac_;
+  core::BcpAgent agent_;
   /// Completion callbacks for in-flight high-radio sends, FIFO with the
   /// MAC's single queue.
-  std::deque<std::function<void(bool)>> high_done_;
+  util::SlidingQueue<core::BcpHost::SendDone> high_done_;
 };
 
 }  // namespace bcp::app

@@ -145,22 +145,22 @@ RunMetrics run_scenario(const ScenarioConfig& config) {
   std::optional<phy::Channel> high_channel;
   std::unique_ptr<net::Router> low_routes;
   std::unique_ptr<net::Router> high_routes;
+  // Routes are built on each channel's own connectivity graph — same
+  // positions, same range, one spatial-hash build instead of two.
   if (needs_low) {
     low_channel.emplace(simulator, topo.positions,
                         config.sensor_radio.range,
                         phy::Channel::Params{config.frame_loss_prob},
                         util::substream(config.seed, 1, 0x4C4348u));
-    low_routes = build_routes(
-        net::ConnectivityGraph(topo.positions, config.sensor_radio.range),
-        sink, all_pairs, "sensor");
+    low_routes =
+        build_routes(low_channel->graph(), sink, all_pairs, "sensor");
   }
   if (needs_high) {
     high_channel.emplace(simulator, topo.positions, wifi_range,
                          phy::Channel::Params{config.frame_loss_prob},
                          util::substream(config.seed, 2, 0x484348u));
-    high_routes = build_routes(
-        net::ConnectivityGraph(topo.positions, wifi_range), sink,
-        all_pairs, "wifi");
+    high_routes =
+        build_routes(high_channel->graph(), sink, all_pairs, "wifi");
   }
 
   core::BcpConfig bcp = config.bcp;
@@ -239,6 +239,7 @@ RunMetrics run_scenario(const ScenarioConfig& config) {
   simulator.run_until(config.duration);
 
   // ---- Metrics ----
+  m.events_processed = simulator.processed_count();
   for (const auto& w : workloads) m.generated += w->generated();
   m.goodput = m.generated > 0
                   ? static_cast<double>(m.delivered) /

@@ -20,13 +20,19 @@ std::vector<net::BulkFrame> assemble_frames(
   util::Bits used = 0;
   const auto flush = [&] {
     if (!current.packets.empty()) {
+      current.cache_payload_bits();  // summed once here, O(1) ever after
       frames.push_back(std::move(current));
       current = net::BulkFrame{};
       used = 0;
     }
   };
-  for (auto& p : packets) {
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    net::DataPacket& p = packets[i];
     if (used + p.payload_bits > frame_payload_bits && used > 0) flush();
+    // One allocation per frame: bound this frame's packet count by what's
+    // left of the burst (frames are usually much smaller than that, but
+    // over-reserving a short-lived burst vector beats re-growing it).
+    if (current.packets.empty()) current.packets.reserve(packets.size() - i);
     used += p.payload_bits;
     current.packets.push_back(std::move(p));
   }
@@ -151,7 +157,7 @@ void BcpAgent::on_deadline(net::NodeId next_hop) {
         msg.src = host_.self();
         msg.dst = packet->destination;
         msg.body = *packet;
-        host_.send_low(msg);
+        host_.send_low(net::make_message(std::move(msg)));
         ++stats_.packets_sent_low;
       }
       break;
@@ -197,7 +203,7 @@ void BcpAgent::send_wakeup(SenderSession& s) {
   msg.dst = s.peer;
   msg.body = net::WakeupRequest{host_.self(), s.peer, s.handshake_id,
                                 s.offered_bits};
-  host_.send_low(msg);
+  host_.send_low(net::make_message(std::move(msg)));
   const net::NodeId peer = s.peer;
   s.ack_timer = host_.set_timer(config_.wakeup_ack_timeout,
                                 [this, peer] { on_ack_timeout(peer); });
@@ -321,15 +327,19 @@ void BcpAgent::send_next_frame(net::NodeId peer) {
     finish_sender_session(peer);
     return;
   }
-  net::Message msg;
-  msg.src = host_.self();
-  msg.dst = peer;
-  msg.body = s.frames[s.next_frame];
   ++stats_.frames_sent;
   if (observer_)
     observer_->on_frame_sent(host_.now(), peer, s.frames[s.next_frame].index,
                              s.frames[s.next_frame].total);
-  host_.send_high(msg, peer, [this, peer](bool success) {
+  net::Message msg;
+  msg.src = host_.self();
+  msg.dst = peer;
+  // Each frame ships exactly once at this layer (the MAC owns link-layer
+  // retries), so its packets move into the pooled message — the burst's
+  // payload is never deep-copied between assembly and delivery.
+  msg.body = std::move(s.frames[s.next_frame]);
+  host_.send_high(net::make_message(std::move(msg)), peer,
+                  [this, peer](bool success) {
     const auto sit = sender_sessions_.find(peer);
     if (sit == sender_sessions_.end()) return;
     if (!success) ++stats_.frames_send_failed;
@@ -410,7 +420,7 @@ void BcpAgent::send_wakeup_ack(const ReceiverSession& r) {
   msg.dst = r.peer;
   msg.body =
       net::WakeupAck{host_.self(), r.peer, r.handshake_id, r.granted_bits};
-  host_.send_low(msg);
+  host_.send_low(net::make_message(std::move(msg)));
 }
 
 void BcpAgent::on_bulk_frame(const net::BulkFrame& frame) {

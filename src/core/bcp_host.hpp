@@ -8,9 +8,10 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 
 #include "net/message.hpp"
+#include "net/message_ref.hpp"
+#include "util/inline_function.hpp"
 #include "util/units.hpp"
 
 namespace bcp::core {
@@ -20,6 +21,15 @@ class BcpHost {
   using TimerId = std::uint64_t;
   static constexpr TimerId kInvalidTimer = 0;
 
+  /// Timer callbacks are inline (no heap for captures; same type as
+  /// sim::Simulator::Callback, so simulator-backed hosts forward them
+  /// without re-wrapping).
+  using TimerCallback = util::InlineFunction<void()>;
+  /// Send completions are deliberately small (24 B captures) so a host
+  /// can capture one inside a TimerCallback-sized closure — capture ids
+  /// and `this`, not state.
+  using SendDone = util::InlineFunction<void(bool), 24>;
+
   virtual ~BcpHost() = default;
 
   /// This node's id (both radio addresses map to it; see net::DualAddressMap).
@@ -28,19 +38,19 @@ class BcpHost {
   virtual util::Seconds now() const = 0;
 
   /// One-shot timer. The callback must not fire after cancel_timer().
-  virtual TimerId set_timer(util::Seconds delay,
-                            std::function<void()> callback) = 0;
+  virtual TimerId set_timer(util::Seconds delay, TimerCallback callback) = 0;
   virtual void cancel_timer(TimerId id) = 0;
 
-  /// Sends a routed message over the low-power radio toward msg.dst
-  /// (possibly multiple hops; intermediate nodes relay below BCP).
-  virtual void send_low(const net::Message& msg) = 0;
+  /// Sends a routed message over the low-power radio toward msg->dst
+  /// (possibly multiple hops; intermediate nodes relay below BCP). The
+  /// pooled ref is shared down the MAC/PHY chain, never deep-copied.
+  virtual void send_low(net::MessageRef msg) = 0;
 
   /// Sends one message over the high-power radio to the adjacent `peer`.
   /// `done(success)` fires when the link layer acked the frame (true) or
   /// gave up (false). The high-power radio must be ready.
-  virtual void send_high(const net::Message& msg, net::NodeId peer,
-                         std::function<void(bool success)> done) = 0;
+  virtual void send_high(net::MessageRef msg, net::NodeId peer,
+                         SendDone done) = 0;
 
   /// High-power radio power management. on() is asynchronous: readiness is
   /// signalled through BcpAgent::on_high_radio_ready().

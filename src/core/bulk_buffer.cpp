@@ -27,20 +27,30 @@ std::vector<net::DataPacket> BulkBuffer::pop_up_to(net::NodeId next_hop,
   const auto it = queues_.find(next_hop);
   if (it == queues_.end()) return out;
   Queue& q = it->second;
+  // Size the result in one allocation: count the prefix that fits first
+  // (index arithmetic only), then copy it.
   util::Bits used = 0;
-  while (q.head < q.packets.size()) {
-    const net::DataPacket& p = q.packets[q.head];
-    if (used + p.payload_bits > budget_bits) break;
-    used += p.payload_bits;
-    q.bits -= p.payload_bits;
-    total_bits_ -= p.payload_bits;
-    --total_packets_;
-    out.push_back(p);
-    ++q.head;
+  std::size_t take = 0;
+  while (q.head + take < q.packets.size()) {
+    const util::Bits bits = q.packets[q.head + take].payload_bits;
+    if (used + bits > budget_bits) break;
+    used += bits;
+    ++take;
   }
-  // Compact or drop the queue once the popped prefix dominates.
+  out.reserve(take);
+  out.insert(out.end(),
+             q.packets.begin() + static_cast<std::ptrdiff_t>(q.head),
+             q.packets.begin() + static_cast<std::ptrdiff_t>(q.head + take));
+  q.head += take;
+  q.bits -= used;
+  total_bits_ -= used;
+  total_packets_ -= take;
+  // A drained queue is reset but kept: its vector's capacity (and its map
+  // node) are reused by the next burst toward this hop instead of churning
+  // the allocator every push/pop cycle.
   if (q.head == q.packets.size()) {
-    queues_.erase(it);
+    q.packets.clear();
+    q.head = 0;
   } else if (q.head > q.packets.size() / 2) {
     q.packets.erase(q.packets.begin(),
                     q.packets.begin() + static_cast<std::ptrdiff_t>(q.head));
@@ -51,24 +61,27 @@ std::vector<net::DataPacket> BulkBuffer::pop_up_to(net::NodeId next_hop,
 
 std::optional<net::DataPacket> BulkBuffer::pop_front(net::NodeId next_hop) {
   const auto it = queues_.find(next_hop);
-  if (it == queues_.end()) return std::nullopt;
+  if (it == queues_.end() || it->second.head >= it->second.packets.size())
+    return std::nullopt;
   Queue& q = it->second;
-  BCP_ENSURE(q.head < q.packets.size());
   net::DataPacket p = q.packets[q.head];
   q.bits -= p.payload_bits;
   total_bits_ -= p.payload_bits;
   --total_packets_;
   ++q.head;
-  if (q.head == q.packets.size()) queues_.erase(it);
+  if (q.head == q.packets.size()) {
+    q.packets.clear();
+    q.head = 0;
+  }
   return p;
 }
 
 std::optional<util::Seconds> BulkBuffer::oldest_created_at(
     net::NodeId next_hop) const {
   const auto it = queues_.find(next_hop);
-  if (it == queues_.end()) return std::nullopt;
+  if (it == queues_.end() || it->second.head >= it->second.packets.size())
+    return std::nullopt;
   const Queue& q = it->second;
-  BCP_ENSURE(q.head < q.packets.size());
   return q.packets[q.head].created_at;
 }
 

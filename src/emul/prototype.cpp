@@ -107,40 +107,38 @@ class EmulNode final : public core::BcpHost {
   util::Seconds now() const override { return sim_.now(); }
 
   TimerId set_timer(util::Seconds delay,
-                    std::function<void()> callback) override {
+                    core::BcpHost::TimerCallback callback) override {
     return sim_.schedule_in(delay, std::move(callback)).id;
   }
   void cancel_timer(TimerId id) override {
     sim_.cancel(sim::Simulator::EventHandle{id});
   }
 
-  void send_low(const net::Message& msg) override {
-    BCP_ENSURE(peer_ != nullptr && msg.dst == peer_->self());
-    const util::Bits bits = msg.size_bits() + config_.low_header_bits;
+  void send_low(net::MessageRef msg) override {
+    BCP_ENSURE(peer_ != nullptr && msg->dst == peer_->self());
+    const util::Bits bits = msg->size_bits() + config_.low_header_bits;
     const util::Seconds d =
         util::tx_duration(bits, config_.sensor_radio.rate);
     log_.append(sim_.now(), self_, LogEvent::kLowTxStart, bits);
     log_.append(sim_.now(), peer_->self(), LogEvent::kLowRxStart, bits);
     low_.tx_begin();
     peer_->low_.rx_begin();
-    sim_.schedule_in(d, [this, msg] {
+    sim_.schedule_in(d, [this, msg = std::move(msg)] {
       low_.tx_end();
       peer_->low_.rx_end();
       log_.append(sim_.now(), self_, LogEvent::kLowTxEnd);
       log_.append(sim_.now(), peer_->self(), LogEvent::kLowRxEnd);
-      peer_->agent().on_low_message(msg);
+      peer_->agent().on_low_message(*msg);
     });
   }
 
-  void send_high(const net::Message& msg, net::NodeId peer,
-                 std::function<void(bool)> done) override {
+  void send_high(net::MessageRef msg, net::NodeId peer,
+                 core::BcpHost::SendDone done) override {
     BCP_ENSURE(peer_ != nullptr && peer == peer_->self());
     BCP_REQUIRE_MSG(high_.ready(), "send_high before the radio is ready");
-    const util::Bits bits = msg.size_bits() + config_.high_header_bits;
+    const util::Bits bits = msg->size_bits() + config_.high_header_bits;
     const util::Seconds d_data =
         util::tx_duration(bits, config_.wifi_radio.rate);
-    const util::Seconds d_ack =
-        util::tx_duration(config_.high_ack_bits, config_.wifi_radio.rate);
     const bool peer_listening = peer_->high_.ready();
 
     log_.append(sim_.now(), self_, LogEvent::kHighTxStart, bits);
@@ -149,7 +147,7 @@ class EmulNode final : public core::BcpHost {
       log_.append(sim_.now(), peer_->self(), LogEvent::kHighRxStart, bits);
       peer_->high_.rx_begin();
     }
-    sim_.schedule_in(d_data, [this, msg, peer_listening, d_ack,
+    sim_.schedule_in(d_data, [this, msg = std::move(msg), peer_listening,
                               done = std::move(done)]() mutable {
       high_.tx_end();
       log_.append(sim_.now(), self_, LogEvent::kHighTxEnd);
@@ -159,11 +157,11 @@ class EmulNode final : public core::BcpHost {
       }
       peer_->high_.rx_end();
       log_.append(sim_.now(), peer_->self(), LogEvent::kHighRxEnd);
-      if (const auto* frame = std::get_if<net::BulkFrame>(&msg.body))
+      if (const auto* frame = std::get_if<net::BulkFrame>(&msg->body))
         peer_->agent().on_bulk_frame(*frame);
       // Link-layer ack from the peer after SIFS.
-      sim_.schedule_in(config_.high_sifs, [this, d_ack,
-                                           done = std::move(done)]() mutable {
+      sim_.schedule_in(config_.high_sifs,
+                       [this, done = std::move(done)]() mutable {
         if (!peer_->high_.ready() || !high_.ready()) {
           done(true);  // data made it; only the ack exchange is skipped
           return;
@@ -174,6 +172,8 @@ class EmulNode final : public core::BcpHost {
                     config_.high_ack_bits);
         peer_->high_.tx_begin();
         high_.rx_begin();
+        const util::Seconds d_ack =
+            util::tx_duration(config_.high_ack_bits, config_.wifi_radio.rate);
         sim_.schedule_in(d_ack, [this, done = std::move(done)]() mutable {
           peer_->high_.tx_end();
           high_.rx_end();

@@ -49,7 +49,8 @@ CsmaCaMac::CsmaCaMac(sim::Simulator& sim, phy::Radio& radio, MacParams params,
   };
 }
 
-bool CsmaCaMac::enqueue(net::Message msg, net::NodeId next_hop) {
+bool CsmaCaMac::enqueue(net::MessageRef msg, net::NodeId next_hop) {
+  BCP_REQUIRE(msg);
   BCP_REQUIRE(next_hop == net::kBroadcastNode || next_hop >= 0);
   BCP_REQUIRE(next_hop != radio_.self());
   if (queue_.size() >= params_.max_queue) {
@@ -58,6 +59,7 @@ bool CsmaCaMac::enqueue(net::Message msg, net::NodeId next_hop) {
   }
   ++stats_.enqueued;
   Outgoing out;
+  out.size_bits = msg->size_bits();  // once, not per retry
   out.msg = std::move(msg);
   out.next_hop = next_hop;
   out.cw = params_.cw_min;
@@ -103,10 +105,10 @@ phy::Frame CsmaCaMac::make_data_frame(const Outgoing& out) const {
   f.rx_node = out.next_hop;
   f.kind = phy::FrameKind::kData;
   f.mac_seq = out.seq;
-  f.payload_bits = out.msg.size_bits();
+  f.payload_bits = out.size_bits;
   f.header_bits = params_.header_bits;
   f.preamble = params_.preamble;
-  f.message = out.msg;
+  f.message = out.msg;  // shares the pooled payload
   return f;
 }
 
@@ -165,7 +167,7 @@ void CsmaCaMac::on_frame_received(const phy::Frame& frame) {
     return;
   }
   // Data frame addressed to us (or broadcast).
-  BCP_ENSURE(frame.message.has_value());
+  BCP_ENSURE(frame.message);
   const bool unicast = frame.rx_node == radio_.self();
   if (unicast) {
     pending_acks_.push_back(PendingAck{frame.tx_node, frame.mac_seq});
@@ -194,7 +196,7 @@ void CsmaCaMac::finish_head(bool success) {
     ++stats_.tx_success;
   else
     ++stats_.tx_failed;
-  if (tx_done_cb_) tx_done_cb_(done.msg, done.next_hop, success);
+  if (tx_done_cb_) tx_done_cb_(*done.msg, done.next_hop, success);
   if (!in_flight_ && !queue_.empty()) start_cycle();
 }
 
@@ -203,11 +205,11 @@ void CsmaCaMac::flush_queue() {
   ack_timer_.cancel();
   in_flight_ = false;
   awaiting_ack_ = false;
-  std::deque<Outgoing> failed;
+  util::SlidingQueue<Outgoing> failed;
   failed.swap(queue_);
   for (auto& out : failed) {
     ++stats_.tx_failed;
-    if (tx_done_cb_) tx_done_cb_(out.msg, out.next_hop, false);
+    if (tx_done_cb_) tx_done_cb_(*out.msg, out.next_hop, false);
   }
 }
 

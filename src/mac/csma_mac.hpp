@@ -20,15 +20,16 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <unordered_map>
 
 #include "mac/mac_params.hpp"
 #include "net/message.hpp"
+#include "net/message_ref.hpp"
 #include "phy/radio.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
+#include "util/sliding_queue.hpp"
 
 namespace bcp::mac {
 
@@ -61,8 +62,13 @@ class CsmaCaMac {
   CsmaCaMac& operator=(const CsmaCaMac&) = delete;
 
   /// Queues a message for `next_hop` (net::kBroadcastNode for broadcast).
-  /// Returns false (and counts a drop) when the queue is full.
-  bool enqueue(net::Message msg, net::NodeId next_hop);
+  /// Returns false (and counts a drop) when the queue is full. The ref
+  /// form is the hot path: the queue, the frame on the air and every
+  /// hearer share one pooled payload.
+  bool enqueue(net::MessageRef msg, net::NodeId next_hop);
+  bool enqueue(net::Message msg, net::NodeId next_hop) {
+    return enqueue(net::make_message(std::move(msg)), next_hop);
+  }
 
   void set_rx_callback(RxCallback cb) { rx_cb_ = std::move(cb); }
   void set_tx_done_callback(TxDoneCallback cb) { tx_done_cb_ = std::move(cb); }
@@ -79,8 +85,9 @@ class CsmaCaMac {
 
  private:
   struct Outgoing {
-    net::Message msg;
+    net::MessageRef msg;
     net::NodeId next_hop = net::kInvalidNode;
+    util::Bits size_bits = 0;  // msg->size_bits(), computed once at enqueue
     int attempts = 0;       // transmissions performed
     int cw = 0;             // current contention window
     std::uint32_t seq = 0;  // assigned at first transmission; 0 = unassigned
@@ -104,7 +111,7 @@ class CsmaCaMac {
   util::Xoshiro256 rng_;
   Stats stats_;
 
-  std::deque<Outgoing> queue_;
+  util::SlidingQueue<Outgoing> queue_;
   bool in_flight_ = false;        // head frame mid-cycle (backoff/tx/ack)
   bool awaiting_ack_ = false;
   bool tx_is_ack_ = false;        // current radio transmission is an ack
@@ -118,7 +125,7 @@ class CsmaCaMac {
     net::NodeId to;
     std::uint32_t seq;
   };
-  std::deque<PendingAck> pending_acks_;
+  util::SlidingQueue<PendingAck> pending_acks_;
   sim::Timer ack_tx_timer_;
 
   RxCallback rx_cb_;

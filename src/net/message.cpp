@@ -5,9 +5,15 @@
 namespace bcp::net {
 
 util::Bits BulkFrame::payload_bits() const {
+  if (cached_payload_bits >= 0) return cached_payload_bits;
   util::Bits total_bits = 0;
   for (const auto& p : packets) total_bits += p.payload_bits;
   return total_bits;
+}
+
+void BulkFrame::cache_payload_bits() {
+  cached_payload_bits = -1;  // force a fresh sum
+  cached_payload_bits = payload_bits();
 }
 
 util::Bits control_body_bits() { return util::bytes(16); }

@@ -65,8 +65,16 @@ struct BulkFrame {
   std::uint16_t index = 0;  ///< 0-based frame index within the burst
   std::uint16_t total = 0;  ///< number of frames in the burst
   std::vector<DataPacket> packets;
+  /// Sum of packets' payload_bits, stamped once at assembly
+  /// (cache_payload_bits) so the MAC/energy hot paths don't re-sum the
+  /// burst on every size query; < 0 means not cached (hand-built frames).
+  util::Bits cached_payload_bits = -1;
 
   util::Bits payload_bits() const;
+
+  /// Computes and stores the payload size. Call after the packet set is
+  /// final — the cache is NOT invalidated by later mutation.
+  void cache_payload_bits();
 };
 
 using MessageBody =

@@ -1,0 +1,71 @@
+#include "net/message_ref.hpp"
+
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace bcp::net {
+
+void MessageRef::reset() {
+  if (node_ == nullptr) return;
+  detail::MessageNode* node = node_;
+  node_ = nullptr;
+  BCP_ENSURE(node->refs > 0);
+  if (--node->refs == 0) node->pool->release(node);
+}
+
+MessagePool& MessagePool::local() {
+  thread_local MessagePool pool;
+  return pool;
+}
+
+MessagePool::~MessagePool() {
+  // All handles must be gone before their pool: scenario objects are
+  // destroyed before thread exit, so this only trips on misuse (a ref
+  // stashed in a static, or moved across threads).
+  BCP_ENSURE_MSG(outstanding_ == 0,
+                 "MessageRef outlived its thread's MessagePool");
+  while (chunks_ != nullptr) {
+    Chunk* next = chunks_->next;
+    delete chunks_;
+    chunks_ = next;
+  }
+}
+
+void MessagePool::grow() {
+  Chunk* chunk = new Chunk;
+  chunk->next = chunks_;
+  chunks_ = chunk;
+  for (std::size_t i = 0; i < kChunkNodes; ++i) {
+    detail::MessageNode& node = chunk->nodes[i];
+    node.pool = this;
+    node.next_free = free_;
+    free_ = &node;
+  }
+  pooled_ += kChunkNodes;
+}
+
+MessageRef MessagePool::make(Message&& msg) {
+  if (free_ == nullptr) grow();
+  detail::MessageNode* node = free_;
+  free_ = node->next_free;
+  node->next_free = nullptr;
+  --pooled_;
+  ++outstanding_;
+  // Move-assign over whatever body the node last carried; a reused
+  // BulkFrame body is destroyed here and the caller's moved-in state
+  // (including its packets vector) takes its place without a deep copy.
+  node->msg = std::move(msg);
+  node->refs = 1;
+  return MessageRef(node);
+}
+
+void MessagePool::release(detail::MessageNode* node) {
+  BCP_ENSURE(outstanding_ > 0);
+  --outstanding_;
+  ++pooled_;
+  node->next_free = free_;
+  free_ = node;
+}
+
+}  // namespace bcp::net

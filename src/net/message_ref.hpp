@@ -1,0 +1,131 @@
+// Shared-immutable message payloads for the frame hot path.
+//
+// A transmitted message is observed in many places at once — the MAC's
+// queue head, the Frame on the air, the Channel's in-flight transmission
+// record, and every hearer's rx callbacks. Passing net::Message by value
+// through that chain deep-copies BulkFrame::packets (a heap vector of up
+// to thousands of DataPackets) four to five times per transmission.
+//
+// MessageRef makes the payload shared-immutable instead: the message is
+// moved ONCE into a pooled node and every hop of the chain copies an
+// 8-byte ref-counted handle. Nodes come from a thread-local MessagePool
+// free list (arena chunks, never returned to the OS mid-run), so in
+// steady state creating and releasing a message allocates nothing — the
+// same fixed-cost-amortization argument the paper makes for bulk radio
+// transfers, applied to allocator traffic.
+//
+// Single-threaded by design (like the rest of the simulator; CP.1): the
+// refcount is a plain integer and a MessageRef must never cross threads.
+// The sweep engine is compatible — each worker thread runs whole
+// scenarios, so every ref lives and dies on its owning thread's pool.
+#pragma once
+
+#include <cstdint>
+
+#include "net/message.hpp"
+
+namespace bcp::net {
+
+class MessagePool;
+
+namespace detail {
+struct MessageNode {
+  Message msg;
+  std::uint32_t refs = 0;
+  MessageNode* next_free = nullptr;
+  MessagePool* pool = nullptr;  ///< owning pool, for release
+};
+}  // namespace detail
+
+/// Cheap, copyable handle to an immutable pooled Message. A default
+/// constructed ref is empty (boolean false).
+class MessageRef {
+ public:
+  MessageRef() = default;
+  MessageRef(const MessageRef& other) : node_(other.node_) {
+    if (node_ != nullptr) ++node_->refs;
+  }
+  MessageRef(MessageRef&& other) noexcept : node_(other.node_) {
+    other.node_ = nullptr;
+  }
+  MessageRef& operator=(const MessageRef& other) {
+    if (this != &other) {
+      reset();
+      node_ = other.node_;
+      if (node_ != nullptr) ++node_->refs;
+    }
+    return *this;
+  }
+  MessageRef& operator=(MessageRef&& other) noexcept {
+    if (this != &other) {
+      reset();
+      node_ = other.node_;
+      other.node_ = nullptr;
+    }
+    return *this;
+  }
+  ~MessageRef() { reset(); }
+
+  explicit operator bool() const { return node_ != nullptr; }
+  const Message& operator*() const { return node_->msg; }
+  const Message* operator->() const { return &node_->msg; }
+  const Message* get() const {
+    return node_ != nullptr ? &node_->msg : nullptr;
+  }
+
+  /// Drops this handle; the node returns to its pool when the last handle
+  /// goes.
+  void reset();
+
+ private:
+  friend class MessagePool;
+  explicit MessageRef(detail::MessageNode* node) : node_(node) {}
+  detail::MessageNode* node_ = nullptr;
+};
+
+/// Arena-backed free list of message nodes. One pool per thread
+/// (MessagePool::local()); chunks are retained for the pool's lifetime so
+/// steady-state make/release cycles never touch the allocator.
+class MessagePool {
+ public:
+  MessagePool() = default;
+  MessagePool(const MessagePool&) = delete;
+  MessagePool& operator=(const MessagePool&) = delete;
+  ~MessagePool();
+
+  /// The calling thread's pool.
+  static MessagePool& local();
+
+  /// Moves `msg` into a pooled node and returns the first handle to it.
+  MessageRef make(Message&& msg);
+
+  /// Live messages (handles outstanding) — for tests and leak checks.
+  std::size_t outstanding() const { return outstanding_; }
+  /// Nodes sitting on the free list, ready for reuse.
+  std::size_t pooled() const { return pooled_; }
+
+ private:
+  friend class MessageRef;
+  static constexpr std::size_t kChunkNodes = 64;
+
+  struct Chunk {
+    detail::MessageNode nodes[kChunkNodes];
+    Chunk* next = nullptr;
+  };
+
+  void release(detail::MessageNode* node);
+  void grow();
+
+  Chunk* chunks_ = nullptr;               // singly linked arena blocks
+  detail::MessageNode* free_ = nullptr;   // free-list head
+  std::size_t outstanding_ = 0;
+  std::size_t pooled_ = 0;
+};
+
+/// Wraps `msg` in the calling thread's pool — the way messages enter the
+/// MAC/PHY chain.
+inline MessageRef make_message(Message&& msg) {
+  return MessagePool::local().make(std::move(msg));
+}
+
+}  // namespace bcp::net

@@ -19,6 +19,7 @@ Channel::Channel(sim::Simulator& sim, std::vector<net::Position> positions,
   arrivals_.resize(n);
   transmitting_.resize(n, 0);
   own_tx_end_.resize(n, 0.0);
+  arrival_max_end_.resize(n, 0.0);
 }
 
 void Channel::attach(net::NodeId node, ChannelListener* listener) {
@@ -41,9 +42,21 @@ void Channel::start_tx(net::NodeId src, const Frame& frame,
                   "node already transmitting");
   BCP_REQUIRE(frame.rx_node != src);
 
-  const std::uint64_t tx_id = next_tx_id_++;
+  std::uint32_t slot;
+  if (tx_free_head_ != kNoSlot) {
+    slot = tx_free_head_;
+    tx_free_head_ = tx_slots_[slot].next_free;
+    tx_slots_[slot].next_free = kNoSlot;
+  } else {
+    slot = static_cast<std::uint32_t>(tx_slots_.size());
+    BCP_ENSURE_MSG(slot != kNoSlot, "transmission slot space exhausted");
+    tx_slots_.emplace_back();
+  }
   const util::Seconds end = sim_.now() + duration;
-  active_.emplace(tx_id, Transmission{src, frame, end});
+  const std::uint64_t tx_id =
+      (static_cast<std::uint64_t>(tx_slots_[slot].gen) << 32) | slot;
+  // Copying the frame shares its pooled message payload — no deep copy.
+  tx_slots_[slot].tx = Transmission{src, frame, end};
   transmitting_[static_cast<std::size_t>(src)] = tx_id;
   own_tx_end_[static_cast<std::size_t>(src)] = end;
   ++stats_.frames;
@@ -60,6 +73,8 @@ void Channel::start_tx(net::NodeId src, const Frame& frame,
     const bool clean =
         !overlap && !rng_.chance(params_.frame_loss_prob);
     at_r.push_back(Arrival{tx_id, clean, end});
+    auto& max_end = arrival_max_end_[static_cast<std::size_t>(r)];
+    max_end = std::max(max_end, end);
     if (auto* l = listeners_[static_cast<std::size_t>(r)]; l != nullptr)
       l->on_rx_start(tx_id, frame, duration);
   }
@@ -68,21 +83,26 @@ void Channel::start_tx(net::NodeId src, const Frame& frame,
 }
 
 void Channel::finish_tx(std::uint64_t tx_id) {
-  const auto it = active_.find(tx_id);
-  BCP_ENSURE(it != active_.end());
-  const Transmission tx = it->second;
-  active_.erase(it);
+  const auto slot = static_cast<std::uint32_t>(tx_id);
+  BCP_ENSURE(slot < tx_slots_.size() &&
+             tx_slots_[slot].gen == static_cast<std::uint32_t>(tx_id >> 32));
+  const Transmission tx = std::move(tx_slots_[slot].tx);
+  tx_slots_[slot].tx = Transmission{};  // drop the stale payload ref
+  if (++tx_slots_[slot].gen == 0) tx_slots_[slot].gen = 1;
+  tx_slots_[slot].next_free = tx_free_head_;
+  tx_free_head_ = slot;
   transmitting_[static_cast<std::size_t>(tx.src)] = 0;
 
   for (const net::NodeId r : graph_.neighbors(tx.src)) {
     auto& at_r = arrivals(r);
-    const auto a = std::find_if(at_r.begin(), at_r.end(),
-                                [&](const Arrival& x) {
-                                  return x.tx_id == tx_id;
-                                });
-    BCP_ENSURE(a != at_r.end());
-    const bool clean = a->clean;
-    at_r.erase(a);
+    // Arrival order within a node's list carries no meaning (collision
+    // marking and clear_at are order-independent), so swap-remove.
+    std::size_t i = 0;
+    while (i < at_r.size() && at_r[i].tx_id != tx_id) ++i;
+    BCP_ENSURE(i < at_r.size());
+    const bool clean = at_r[i].clean;
+    at_r[i] = at_r.back();
+    at_r.pop_back();
     if (clean)
       ++stats_.deliveries_clean;
     else
@@ -103,8 +123,9 @@ util::Seconds Channel::clear_at(net::NodeId node) const {
   const auto i = static_cast<std::size_t>(node);
   util::Seconds t = sim_.now();
   if (transmitting_[i] != 0) t = std::max(t, own_tx_end_[i]);
-  for (const auto& a : arrivals_[i]) t = std::max(t, a.end);
-  return t;
+  // Every arrival already removed ended at or before now, so the running
+  // max is exact for the live set once clamped to now.
+  return std::max(t, arrival_max_end_[i]);
 }
 
 }  // namespace bcp::phy

@@ -21,7 +21,6 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "net/topology.hpp"
@@ -75,14 +74,38 @@ class Channel {
     return graph_.connected(a, b);
   }
 
+  /// The disc connectivity graph the channel propagates over. Routing for
+  /// the same radio class builds on this instead of re-deriving an
+  /// identical graph from the positions.
+  const net::ConnectivityGraph& graph() const { return graph_; }
+
   int node_count() const { return graph_.node_count(); }
   const Stats& stats() const { return stats_; }
 
  private:
+  static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
+
   struct Arrival {
     std::uint64_t tx_id;
     bool clean;
     util::Seconds end;
+  };
+
+  struct Transmission {
+    net::NodeId src = net::kInvalidNode;
+    Frame frame;
+    util::Seconds end = 0;
+  };
+
+  /// In-flight transmission slot: generation-stamped and free-listed like
+  /// the simulator's event slots, so start/finish cycles reuse storage
+  /// instead of hashing into a node-allocating map. tx ids pack
+  /// (generation << 32 | slot); generation >= 1, so an id is never 0
+  /// (0 = "not transmitting" in `transmitting_`).
+  struct TxSlot {
+    std::uint32_t gen = 1;
+    std::uint32_t next_free = kNoSlot;
+    Transmission tx;
   };
 
   void finish_tx(std::uint64_t tx_id);
@@ -93,18 +116,21 @@ class Channel {
   Params params_;
   util::Xoshiro256 rng_;
   Stats stats_;
-  std::uint64_t next_tx_id_ = 1;
 
-  struct Transmission {
-    net::NodeId src;
-    Frame frame;
-    util::Seconds end;
-  };
-  std::unordered_map<std::uint64_t, Transmission> active_;
+  std::vector<TxSlot> tx_slots_;
+  std::uint32_t tx_free_head_ = kNoSlot;
   std::vector<ChannelListener*> listeners_;
-  std::vector<std::vector<Arrival>> arrivals_;   // per node
+  // Per node: live arrivals only (each is removed by its finish_tx, so
+  // busy_at's emptiness check never sees a dead entry), with capacity
+  // retained across the run.
+  std::vector<std::vector<Arrival>> arrivals_;
   std::vector<std::uint64_t> transmitting_;      // per node: own tx id or 0
   std::vector<util::Seconds> own_tx_end_;        // valid when transmitting_
+  // Per node: running max of every arrival end ever pushed. Expired
+  // arrivals are pruned lazily — entries removed at their end time can
+  // only leave a stale max <= now, so clear_at() is an O(1) max instead
+  // of a scan.
+  std::vector<util::Seconds> arrival_max_end_;
 };
 
 }  // namespace bcp::phy

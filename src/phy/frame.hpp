@@ -2,9 +2,8 @@
 #pragma once
 
 #include <cstdint>
-#include <optional>
 
-#include "net/message.hpp"
+#include "net/message_ref.hpp"
 #include "util/units.hpp"
 
 namespace bcp::phy {
@@ -20,7 +19,10 @@ struct Frame {
   util::Bits payload_bits = 0;   ///< network-layer bits (0 for acks)
   util::Bits header_bits = 0;    ///< link header bits
   util::Seconds preamble = 0;    ///< fixed-duration PHY preamble (e.g. PLCP)
-  std::optional<net::Message> message;  ///< present for kData frames
+  /// Present for kData frames. Shared-immutable: every copy of the Frame
+  /// (MAC queue, in-flight channel record, per-hearer delivery) shares one
+  /// pooled payload instead of deep-copying it.
+  net::MessageRef message;
 
   /// Time on the air at `rate` bit/s.
   util::Seconds duration(util::BitsPerSecond rate) const {

@@ -6,44 +6,83 @@
 
 namespace bcp::sim {
 
-void Simulator::place(Event&& ev, std::size_t i) {
-  slot_of_[ev.id] = i;
-  heap_[i] = std::move(ev);
+void Simulator::place(const HeapEntry& e, std::size_t i) {
+  slots_[e.slot].pos = static_cast<std::uint32_t>(i);
+  heap_[i] = e;
 }
 
 void Simulator::sift_up(std::size_t i) {
-  Event ev = std::move(heap_[i]);
+  const HeapEntry e = heap_[i];
   while (i > 0) {
     const std::size_t parent = (i - 1) / 2;
-    if (!earlier(ev, heap_[parent])) break;
-    place(std::move(heap_[parent]), i);
+    if (!earlier(e, heap_[parent])) break;
+    place(heap_[parent], i);
     i = parent;
   }
-  place(std::move(ev), i);
+  place(e, i);
 }
 
 void Simulator::sift_down(std::size_t i) {
   const std::size_t n = heap_.size();
-  Event ev = std::move(heap_[i]);
+  const HeapEntry e = heap_[i];
   for (;;) {
     std::size_t child = 2 * i + 1;
     if (child >= n) break;
     if (child + 1 < n && earlier(heap_[child + 1], heap_[child])) ++child;
-    if (!earlier(heap_[child], ev)) break;
-    place(std::move(heap_[child]), i);
+    if (!earlier(heap_[child], e)) break;
+    place(heap_[child], i);
     i = child;
   }
-  place(std::move(ev), i);
+  place(e, i);
+}
+
+void Simulator::remove_heap_entry(std::size_t i) {
+  const std::size_t last = heap_.size() - 1;
+  if (i != last) {
+    const HeapEntry moved = heap_[last];
+    heap_.pop_back();
+    const bool goes_up = earlier(moved, heap_[i]);
+    place(moved, i);
+    if (goes_up)
+      sift_up(i);
+    else
+      sift_down(i);
+  } else {
+    heap_.pop_back();
+  }
+}
+
+std::uint32_t Simulator::acquire_slot() {
+  if (free_head_ != kNoSlot) {
+    const std::uint32_t slot = free_head_;
+    free_head_ = slots_[slot].pos;
+    return slot;
+  }
+  const auto slot = static_cast<std::uint32_t>(slots_.size());
+  BCP_ENSURE_MSG(slot != kNoSlot, "event slot space exhausted");
+  slots_.emplace_back();
+  return slot;
+}
+
+void Simulator::release_slot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  // Bump the generation so every outstanding handle to this slot is dead;
+  // skip 0, which is reserved for invalid handles.
+  if (++s.gen == 0) s.gen = 1;
+  s.pos = free_head_;
+  free_head_ = slot;
 }
 
 Simulator::EventHandle Simulator::schedule_at(TimePoint t, Callback cb) {
   BCP_REQUIRE_MSG(t >= now_, "cannot schedule into the past");
   BCP_REQUIRE(cb != nullptr);
-  const std::uint64_t id = next_id_++;
-  heap_.push_back(Event{t, next_seq_++, id, std::move(cb)});
-  slot_of_[id] = heap_.size() - 1;
+  const std::uint32_t slot = acquire_slot();
+  Slot& s = slots_[slot];
+  s.cb = std::move(cb);
+  s.pos = static_cast<std::uint32_t>(heap_.size());
+  heap_.push_back(HeapEntry{t, next_seq_++, slot});
   sift_up(heap_.size() - 1);
-  return EventHandle{id};
+  return EventHandle{pack(s.gen, slot)};
 }
 
 Simulator::EventHandle Simulator::schedule_in(util::Seconds delay,
@@ -54,45 +93,36 @@ Simulator::EventHandle Simulator::schedule_in(util::Seconds delay,
 
 bool Simulator::cancel(EventHandle h) {
   if (!h.valid()) return false;
-  const auto it = slot_of_.find(h.id);
-  if (it == slot_of_.end()) return false;
-  const std::size_t i = it->second;
-  slot_of_.erase(it);
-  const std::size_t last = heap_.size() - 1;
-  if (i != last) {
-    Event moved = std::move(heap_[last]);
-    heap_.pop_back();
-    const bool goes_up = earlier(moved, heap_[i]);
-    place(std::move(moved), i);
-    if (goes_up)
-      sift_up(i);
-    else
-      sift_down(i);
-  } else {
-    heap_.pop_back();
-  }
+  const std::uint32_t slot = slot_of(h.id);
+  if (slot >= slots_.size()) return false;
+  Slot& s = slots_[slot];
+  if (s.gen != gen_of(h.id)) return false;  // fired or cancelled already
+  const std::uint32_t pos = s.pos;
+  s.cb.reset();  // release captured state now, not at slot reuse
+  release_slot(slot);
+  remove_heap_entry(pos);
   return true;
 }
 
 bool Simulator::is_pending(EventHandle h) const {
-  return h.valid() && slot_of_.count(h.id) != 0;
+  if (!h.valid()) return false;
+  const std::uint32_t slot = slot_of(h.id);
+  return slot < slots_.size() && slots_[slot].gen == gen_of(h.id);
 }
 
 void Simulator::dispatch_one() {
-  Event ev = std::move(heap_.front());
-  slot_of_.erase(ev.id);
-  const std::size_t last = heap_.size() - 1;
-  if (last > 0) {
-    place(std::move(heap_[last]), 0);
-    heap_.pop_back();
-    sift_down(0);
-  } else {
-    heap_.pop_back();
-  }
-  BCP_ENSURE(ev.time >= now_);
-  now_ = ev.time;
+  const HeapEntry top = heap_.front();
+  Slot& s = slots_[top.slot];
+  Callback cb = std::move(s.cb);
+  // Free the slot before running the callback so is_pending() on the
+  // firing event's own handle is already false inside it, and the slot is
+  // immediately reusable by whatever the callback schedules.
+  release_slot(top.slot);
+  remove_heap_entry(0);
+  BCP_ENSURE(top.time >= now_);
+  now_ = top.time;
   ++processed_;
-  ev.cb();
+  cb();
 }
 
 void Simulator::run() {

@@ -1,0 +1,74 @@
+// A FIFO on a sliding vector window.
+//
+// std::deque costs two allocations just to default-construct (block map +
+// first block, on libstdc++) — real money when a 2500-node scenario holds
+// four idle queues per node. This queue allocates nothing until the first
+// push, retains its capacity across drain/refill cycles, and compacts the
+// popped prefix lazily (amortized O(1) per element), so both idle nodes
+// and steady-state churn stay off the allocator.
+//
+// References returned by front()/begin() are invalidated by push_back and
+// pop_front (vector semantics) — copy or move the element out before
+// mutating, which is how the MAC/host code uses it.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace bcp::util {
+
+template <typename T>
+class SlidingQueue {
+ public:
+  bool empty() const { return head_ == buf_.size(); }
+  std::size_t size() const { return buf_.size() - head_; }
+
+  T& front() {
+    BCP_REQUIRE(!empty());
+    return buf_[head_];
+  }
+  const T& front() const {
+    BCP_REQUIRE(!empty());
+    return buf_[head_];
+  }
+
+  void push_back(T value) { buf_.push_back(std::move(value)); }
+
+  void pop_front() {
+    BCP_REQUIRE(!empty());
+    buf_[head_] = T{};  // release the element's resources now
+    ++head_;
+    if (head_ == buf_.size()) {
+      buf_.clear();
+      head_ = 0;
+    } else if (head_ > buf_.size() / 2) {
+      buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(head_));
+      head_ = 0;
+    }
+  }
+
+  void clear() {
+    buf_.clear();
+    head_ = 0;
+  }
+
+  void swap(SlidingQueue& other) {
+    buf_.swap(other.buf_);
+    std::swap(head_, other.head_);
+  }
+
+  // Iteration over the live range, oldest first.
+  T* begin() { return buf_.data() + head_; }
+  T* end() { return buf_.data() + buf_.size(); }
+  const T* begin() const { return buf_.data() + head_; }
+  const T* end() const { return buf_.data() + buf_.size(); }
+
+ private:
+  std::vector<T> buf_;
+  std::size_t head_ = 0;
+};
+
+}  // namespace bcp::util

@@ -26,16 +26,16 @@ class FakeHost : public BcpHost {
   net::NodeId self() const override { return id_; }
   util::Seconds now() const override { return sim_.now(); }
   TimerId set_timer(util::Seconds delay,
-                    std::function<void()> cb) override {
+                    core::BcpHost::TimerCallback cb) override {
     return sim_.schedule_in(delay, std::move(cb)).id;
   }
   void cancel_timer(TimerId id) override {
     sim_.cancel(sim::Simulator::EventHandle{id});
   }
-  void send_low(const net::Message& msg) override { low_sent.push_back(msg); }
-  void send_high(const net::Message& msg, net::NodeId peer,
-                 std::function<void(bool)> done) override {
-    high_sent.push_back(msg);
+  void send_low(net::MessageRef msg) override { low_sent.push_back(*msg); }
+  void send_high(net::MessageRef msg, net::NodeId peer,
+                 core::BcpHost::SendDone done) override {
+    high_sent.push_back(*msg);
     high_peers.push_back(peer);
     high_done.push_back(std::move(done));
   }
@@ -90,7 +90,7 @@ class FakeHost : public BcpHost {
   std::vector<net::Message> low_sent;
   std::vector<net::Message> high_sent;
   std::vector<net::NodeId> high_peers;
-  std::deque<std::function<void(bool)>> high_done;
+  std::deque<core::BcpHost::SendDone> high_done;
   std::vector<net::DataPacket> delivered;
   std::vector<std::pair<net::DataPacket, std::string>> drops;
 };

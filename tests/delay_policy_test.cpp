@@ -26,16 +26,16 @@ class Host : public BcpHost {
   Host(sim::Simulator& sim, net::NodeId id) : sim_(sim), id_(id) {}
   net::NodeId self() const override { return id_; }
   util::Seconds now() const override { return sim_.now(); }
-  TimerId set_timer(util::Seconds d, std::function<void()> cb) override {
+  TimerId set_timer(util::Seconds d, core::BcpHost::TimerCallback cb) override {
     return sim_.schedule_in(d, std::move(cb)).id;
   }
   void cancel_timer(TimerId id) override {
     sim_.cancel(sim::Simulator::EventHandle{id});
   }
-  void send_low(const net::Message& m) override { low_sent.push_back(m); }
-  void send_high(const net::Message& m, net::NodeId,
-                 std::function<void(bool)> done) override {
-    high_sent.push_back(m);
+  void send_low(net::MessageRef m) override { low_sent.push_back(*m); }
+  void send_high(net::MessageRef m, net::NodeId,
+                 core::BcpHost::SendDone done) override {
+    high_sent.push_back(*m);
     done_cbs.push_back(std::move(done));
   }
   void high_radio_on() override {
@@ -58,7 +58,7 @@ class Host : public BcpHost {
   std::map<net::NodeId, net::NodeId> routes;
   std::vector<net::Message> low_sent;
   std::vector<net::Message> high_sent;
-  std::deque<std::function<void(bool)>> done_cbs;
+  std::deque<core::BcpHost::SendDone> done_cbs;
   std::vector<net::DataPacket> delivered;
 };
 

@@ -44,6 +44,24 @@ TEST(Message, BulkFrameSizeIsSumOfPackets) {
   EXPECT_TRUE(m.is_bulk());
 }
 
+TEST(Message, BulkFrameCachedPayloadBits) {
+  BulkFrame f;
+  for (int i = 0; i < 8; ++i)
+    f.packets.push_back(DataPacket{2, 0, static_cast<std::uint32_t>(i),
+                                   bytes(32), 0.0});
+  EXPECT_EQ(f.cached_payload_bits, -1);  // hand-built frames: no cache
+  f.cache_payload_bits();
+  EXPECT_EQ(f.cached_payload_bits, bytes(256));
+  EXPECT_EQ(f.payload_bits(), bytes(256));
+  // The cache is a snapshot of the assembly-time packet set: mutating the
+  // frame afterwards does NOT invalidate it (assembly is final)...
+  f.packets.push_back(DataPacket{2, 0, 9, bytes(32), 0.0});
+  EXPECT_EQ(f.payload_bits(), bytes(256));
+  // ...until the owner re-stamps it.
+  f.cache_payload_bits();
+  EXPECT_EQ(f.payload_bits(), bytes(288));
+}
+
 TEST(Topology, PaperGridGeometry) {
   const auto g = GridTopology::paper_grid();
   EXPECT_EQ(g.node_count(), 36);

@@ -1,0 +1,89 @@
+// The allocation contract of the event hot path, enforced.
+//
+// A process-wide operator-new hook counts every C++ heap allocation; each
+// test warms its structures to their high-water mark, snapshots the
+// counter, runs thousands of steady-state cycles and asserts the counter
+// did not move. This is the load-bearing guarantee behind the simulator's
+// events/sec: schedule/cancel/dispatch recycles generation-stamped slots,
+// inline callbacks live inside them, and pooled message payloads ride the
+// free list — none of it may touch the allocator once warm.
+//
+// The hook (util/alloc_count_hook.hpp, shared with bench_micro_core's
+// allocs_per_item counters) is included only by this dedicated test
+// binary, so the counting does not perturb the rest of the suite.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+
+#include "net/message.hpp"
+#include "net/message_ref.hpp"
+#include "sim/simulator.hpp"
+#include "util/alloc_count_hook.hpp"
+#include "util/units.hpp"
+
+namespace bcp {
+namespace {
+
+using util::g_alloc_count;
+
+TEST(PerfAlloc, ScheduleCancelDispatchIsAllocationFreeWhenWarm) {
+  sim::Simulator s;
+  long long fired = 0;
+  // The MAC-timer mix: schedule a batch, cancel every other event (the
+  // usual fate of retry/ack timers), dispatch the rest.
+  const auto cycle = [&](int n) {
+    for (int i = 0; i < n; ++i) {
+      const auto h = s.schedule_in(1.0 + 0.5 * i, [&fired] { ++fired; });
+      if (i % 2 == 0) s.cancel(h);
+    }
+    s.run();
+  };
+  cycle(256);  // warm-up: vectors grow to their high-water capacity
+  const std::uint64_t before = g_alloc_count;
+  for (int round = 0; round < 100; ++round) cycle(256);
+  EXPECT_EQ(g_alloc_count - before, 0u)
+      << "schedule/cancel/dispatch allocated in steady state";
+  EXPECT_EQ(fired, 101 * 128);
+}
+
+TEST(PerfAlloc, NestedSchedulingFromCallbacksIsAllocationFreeWhenWarm) {
+  sim::Simulator s;
+  // Chains that reschedule from inside callbacks — the Timer/protocol
+  // pattern — must also recycle slots without allocating.
+  int remaining = 0;
+  std::function<void()> hop;  // intentionally cold; captured by pointer
+  auto* hop_ptr = &hop;
+  hop = [&s, &remaining, hop_ptr] {
+    if (remaining-- > 0) s.schedule_in(0.25, [hop_ptr] { (*hop_ptr)(); });
+  };
+  remaining = 64;
+  s.schedule_in(0.25, [hop_ptr] { (*hop_ptr)(); });
+  s.run();  // warm-up chain
+  const std::uint64_t before = g_alloc_count;
+  remaining = 1024;
+  s.schedule_in(0.25, [hop_ptr] { (*hop_ptr)(); });
+  s.run();
+  EXPECT_EQ(g_alloc_count - before, 0u);
+  EXPECT_EQ(remaining, -1);
+}
+
+TEST(PerfAlloc, PooledControlMessagesAreAllocationFreeWhenWarm) {
+  net::Message proto;
+  proto.src = 3;
+  proto.dst = 4;
+  proto.body = net::WakeupRequest{3, 4, 1, util::bytes(1600)};
+  { net::MessageRef warm = net::make_message(net::Message(proto)); }
+  const std::uint64_t before = g_alloc_count;
+  for (int i = 0; i < 10000; ++i) {
+    net::MessageRef ref = net::make_message(net::Message(proto));
+    net::MessageRef queue_copy = ref;   // MAC queue
+    net::MessageRef frame_copy = ref;   // frame on the air
+    EXPECT_GT(frame_copy->size_bits(), 0);
+  }
+  EXPECT_EQ(g_alloc_count - before, 0u)
+      << "pooled message round-trips allocated in steady state";
+}
+
+}  // namespace
+}  // namespace bcp

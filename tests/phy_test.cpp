@@ -30,7 +30,7 @@ Frame make_frame(NodeId from, NodeId to, util::Bits payload = 256,
   m.src = from;
   m.dst = to;
   m.body = net::DataPacket{from, to, 1, payload, 0.0};
-  f.message = m;
+  f.message = net::make_message(std::move(m));
   return f;
 }
 

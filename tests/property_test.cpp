@@ -252,7 +252,7 @@ TEST(ChannelConservation, EveryHearerGetsExactlyOneEndPerFrame) {
       m.src = src;
       m.dst = f.rx_node;
       m.body = net::DataPacket{src, f.rx_node, 1, 256, 0.0};
-      f.message = m;
+      f.message = net::make_message(std::move(m));
       channel.start_tx(src, f, 0.003);
       ++sent;
     });

@@ -26,16 +26,16 @@ class ScriptHost : public BcpHost {
   ScriptHost(sim::Simulator& sim, net::NodeId id) : sim_(sim), id_(id) {}
   net::NodeId self() const override { return id_; }
   util::Seconds now() const override { return sim_.now(); }
-  TimerId set_timer(util::Seconds d, std::function<void()> cb) override {
+  TimerId set_timer(util::Seconds d, core::BcpHost::TimerCallback cb) override {
     return sim_.schedule_in(d, std::move(cb)).id;
   }
   void cancel_timer(TimerId id) override {
     sim_.cancel(sim::Simulator::EventHandle{id});
   }
-  void send_low(const net::Message& m) override { low.push_back(m); }
-  void send_high(const net::Message& m, net::NodeId,
-                 std::function<void(bool)> done) override {
-    high.push_back(m);
+  void send_low(net::MessageRef m) override { low.push_back(*m); }
+  void send_high(net::MessageRef m, net::NodeId,
+                 core::BcpHost::SendDone done) override {
+    high.push_back(*m);
     sim_.schedule_in(0.001, [done = std::move(done)]() mutable {
       done(true);
     });
