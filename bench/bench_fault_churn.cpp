@@ -1,0 +1,134 @@
+// Fault/churn bench — how the paper's break-even story holds up once the
+// idealized channel and the static always-alive network are taken away:
+//
+//   * baseline        — mh/dual on the clean unit-disc channel;
+//   * churn-mh/*      — node crash/recover schedules (2 and 6 victims)
+//                       for the dual-radio and pure-sensor models;
+//   * lossy-mh/*      — log-distance + shadowing per-link PER;
+//   * churn-sh/dual   — single-hop churn: senders/relays die mid-burst
+//                       (the sink — the only bulk receiver here — is
+//                       always spared by FaultPlan).
+//
+// One table row per cell: the standard §4.1 metrics plus the fault
+// counters (crashes observed, routing rebuilds, data lost to crashes).
+// Writes BENCH_fault_churn.json whose meta block records the propagation
+// model, its PER parameters and the fault-plan seed, so a regression in
+// any number is attributable to an exact, reproducible schedule.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "util/options.hpp"
+
+namespace {
+
+using namespace bcp;
+
+struct Cell {
+  const char* variant;
+  int crashes;  ///< 0 keeps the variant's own default axes
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace bcp::benchharness;
+  util::Options opt("bench_fault_churn",
+                    "goodput/energy under node churn and lossy channels");
+  opt.add_int("runs", 2, "replications per cell")
+      .add_double("duration", 600.0, "simulated seconds per run")
+      .add_int("senders", 10, "CBR senders")
+      .add_int("burst", 100, "dual-radio burst threshold in 32 B packets")
+      .add_int("fault-seed", 1, "fault-plan schedule seed")
+      .add_int("seed", 1, "base RNG seed")
+      .add_int("jobs", 0, "sweep worker threads (0 = all hardware cores)");
+  if (!opt.parse(argc, argv)) return 1;
+  const int runs = static_cast<int>(opt.get_int("runs"));
+  const double duration = opt.get_double("duration");
+  const int senders = static_cast<int>(opt.get_int("senders"));
+  const int burst = static_cast<int>(opt.get_int("burst"));
+  const auto fault_seed =
+      static_cast<std::uint64_t>(opt.get_int("fault-seed"));
+  const auto seed = static_cast<std::uint64_t>(opt.get_int("seed"));
+
+  const std::vector<Cell> cells = {
+      {"mh/dual", 0},         {"churn-mh/dual", 2}, {"churn-mh/dual", 6},
+      {"churn-mh/sensor", 2}, {"churn-mh/sensor", 6}, {"churn-sh/dual", 4},
+      {"lossy-mh/dual", 0},   {"lossy-mh/sensor", 0},
+  };
+
+  app::SweepGrid grid;
+  std::vector<int> cell_ids;
+  for (std::size_t i = 0; i < cells.size(); ++i)
+    cell_ids.push_back(static_cast<int>(i));
+  grid.axis_ints("cell", cell_ids);
+
+  const app::SweepFn fn = [&](const app::SweepJob& job) {
+    const Cell& cell =
+        cells[static_cast<std::size_t>(job.point.get_int("cell"))];
+    const app::SweepPoint point(
+        job.point.index(),
+        {{"senders", static_cast<double>(senders)},
+         {"burst", static_cast<double>(burst)},
+         {"duration", duration},
+         {"crashes", static_cast<double>(cell.crashes)},
+         {"fault_seed", static_cast<double>(fault_seed)}});
+    app::ScenarioConfig cfg =
+        app::ScenarioRegistry::builtin().make(cell.variant, point);
+    cfg.seed = job.seed;
+    const app::RunMetrics m = app::run_scenario(cfg);
+    stats::ResultSink::Metrics metrics = app::standard_metrics(m);
+    metrics.emplace_back("dropped_node_down",
+                         static_cast<double>(m.dropped_node_down));
+    metrics.emplace_back("fault_node_crashes",
+                         static_cast<double>(m.fault_node_crashes));
+    metrics.emplace_back("fault_node_recoveries",
+                         static_cast<double>(m.fault_node_recoveries));
+    metrics.emplace_back("route_rebuilds",
+                         static_cast<double>(m.route_rebuilds));
+    metrics.emplace_back("bcp_packets_lost_to_crash",
+                         static_cast<double>(m.bcp_packets_lost_to_crash));
+    metrics.emplace_back("mac_crash_drops",
+                         static_cast<double>(m.mac_crash_drops));
+    return metrics;
+  };
+
+  app::SweepOptions sweep;
+  sweep.replications = runs;
+  sweep.base_seed = seed;
+  sweep.threads = static_cast<int>(opt.get_int("jobs"));
+  const app::SweepRunner runner(sweep);
+  stats::ResultSink sink = runner.run(grid, fn);
+  for (std::size_t i = 0; i < cells.size(); ++i)
+    sink.set_label(grid.index_of({i}),
+                   std::string(cells[i].variant) +
+                       (cells[i].crashes > 0
+                            ? "-x" + std::to_string(cells[i].crashes)
+                            : ""));
+
+  stats::print_titled(
+      "Fault/churn sweep — bulk transfer vs crashes and lossy links",
+      sink.to_table());
+
+  // Run-identity metadata, read from the configs the cells actually ran
+  // (not re-stated constants, so registry-default drift cannot desync the
+  // export): the lossy cells' channel model + PER parameters via
+  // set_scenario_meta, and the churn cells' fault-plan identity.
+  const app::SweepPoint meta_point(
+      0, {{"senders", static_cast<double>(senders)},
+          {"burst", static_cast<double>(burst)},
+          {"duration", duration},
+          {"crashes", 4.0},
+          {"fault_seed", static_cast<double>(fault_seed)}});
+  const app::ScenarioConfig lossy_cfg =
+      app::ScenarioRegistry::builtin().make("lossy-mh/dual", meta_point);
+  set_scenario_meta(sink, lossy_cfg, seed);
+  const app::ScenarioConfig churn_cfg =
+      app::ScenarioRegistry::builtin().make("churn-mh/dual", meta_point);
+  sink.set_meta("fault_seed",
+                static_cast<double>(churn_cfg.faults.seed));
+  sink.set_meta("fault_mean_downtime_s", churn_cfg.faults.mean_downtime);
+  export_json("fault_churn", sink);
+  return 0;
+}

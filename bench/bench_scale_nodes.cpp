@@ -157,6 +157,9 @@ int main(int argc, char** argv) {
     double goodput = 0;
     double events = 0;
     double events_per_sec = 0;
+    double lossy_sim_ms = 0;
+    double lossy_delivered = 0;
+    double lossy_goodput = 0;
     if (kind == net::TopologyKind::kGrid) {
       app::ScenarioConfig cfg = app::ScenarioConfig::single_hop(
           app::EvalModel::kDualRadio, std::min(senders, nodes - 1), burst);
@@ -173,6 +176,17 @@ int main(int argc, char** argv) {
       // (event counts are deterministic; the wall clock is this machine's).
       events = static_cast<double>(m.events_processed);
       if (sim_ms > 0) events_per_sec = events / (sim_ms / 1e3);
+
+      // The lossy slice: the same point under log-distance + shadowing
+      // per-link PER, so the scale trajectory of the realistic channel
+      // (and any per-link-table cost at 2500 nodes) is measured run over
+      // run next to the idealized one.
+      cfg.propagation.kind = phy::PropagationKind::kLogDistance;
+      t0 = std::chrono::steady_clock::now();
+      const app::RunMetrics lossy = app::run_scenario(cfg);
+      lossy_sim_ms = ms_since(t0);
+      lossy_delivered = static_cast<double>(lossy.delivered);
+      lossy_goodput = lossy.goodput;
     }
 
     return stats::ResultSink::Metrics{
@@ -186,6 +200,9 @@ int main(int argc, char** argv) {
         {"goodput", goodput},
         {"events", events},
         {"events_per_sec", events_per_sec},
+        {"lossy_sim_wall_ms", lossy_sim_ms},
+        {"lossy_delivered", lossy_delivered},
+        {"lossy_goodput", lossy_goodput},
     };
   };
 
@@ -214,6 +231,8 @@ int main(int argc, char** argv) {
   sink.set_meta("node_count", static_cast<double>(sizes.back()));
   sink.set_meta("seed", static_cast<double>(seed));
   sink.set_meta("events_per_sec", top_events_per_sec);
+  sink.set_meta("lossy_propagation",
+                to_string(phy::PropagationKind::kLogDistance));
   export_json("scale_nodes", sink);
 
   const double elapsed_s = ms_since(t_bench) / 1e3;

@@ -77,6 +77,47 @@ void set_scenario_meta(stats::ResultSink& sink,
   sink.set_meta("node_count",
                 static_cast<double>(config.topology.node_count()));
   sink.set_meta("seed", static_cast<double>(base_seed));
+  // Channel-model and fault-plan identity — emitted only when the run
+  // departs from the default (UnitDisc, no faults), so the historical
+  // fig01–fig12/table1 exports stay byte-identical.
+  if (!config.propagation.is_unit_disc()) {
+    sink.set_meta("propagation",
+                  phy::to_string(config.propagation.resolved()));
+    if (config.propagation.resolved() ==
+        phy::PropagationKind::kLogDistance) {
+      sink.set_meta("path_loss_exponent",
+                    config.propagation.path_loss_exponent);
+      sink.set_meta("shadowing_sigma_db",
+                    config.propagation.shadowing_sigma_db);
+      sink.set_meta("fade_margin_db", config.propagation.fade_margin_db);
+      sink.set_meta("per_transition_db",
+                    config.propagation.per_transition_db);
+    } else {
+      // kDistancePer: the curve IS the model — serialize every knot so
+      // the run can be regenerated from the meta alone.
+      const auto& curve = config.propagation.per_curve.empty()
+                              ? phy::kDefaultPerCurve()
+                              : config.propagation.per_curve;
+      std::string knots;
+      for (const auto& point : curve) {
+        if (!knots.empty()) knots += " ";
+        knots += std::to_string(point.distance_fraction) + ":" +
+                 std::to_string(point.per);
+      }
+      sink.set_meta("per_curve", knots);
+    }
+  }
+  if (!config.faults.empty()) {
+    sink.set_meta("fault_seed", static_cast<double>(config.faults.seed));
+    sink.set_meta("fault_crashes",
+                  static_cast<double>(config.faults.node_crashes));
+    sink.set_meta("fault_mean_downtime_s", config.faults.mean_downtime);
+    sink.set_meta("fault_link_flaps",
+                  static_cast<double>(config.faults.link_flaps));
+    if (config.faults.link_flaps > 0)
+      sink.set_meta("fault_mean_link_downtime_s",
+                    config.faults.mean_link_downtime);
+  }
 }
 
 stats::ResultSink run_grid_bench(const std::string& bench_name,

@@ -34,11 +34,28 @@ ForwardingNode::ForwardingNode(sim::Simulator& sim, phy::Channel& channel,
 }
 
 void ForwardingNode::send(const net::DataPacket& packet) {
+  if (!up_) {
+    delivery_->dropped(packet, "node-down");
+    return;
+  }
   net::Message msg;
   msg.src = self_;
   msg.dst = packet.destination;
   msg.body = packet;
   forward(msg);
+}
+
+void ForwardingNode::crash() {
+  if (!up_) return;
+  up_ = false;
+  mac_.reset_on_crash();
+  radio_.force_off();
+}
+
+void ForwardingNode::recover() {
+  if (up_) return;
+  up_ = true;
+  radio_.power_on();
 }
 
 void ForwardingNode::forward(const net::Message& msg) {
@@ -123,7 +140,34 @@ DualRadioNode::DualRadioNode(
 }
 
 void DualRadioNode::send(const net::DataPacket& packet) {
+  if (!up_) {
+    delivery_->dropped(packet, "node-down");
+    return;
+  }
   agent_.submit(packet);
+}
+
+void DualRadioNode::crash() {
+  if (!up_) return;
+  up_ = false;
+  // Order matters: the agent's timers go first (so nothing fires into a
+  // half-reset node), then the MACs drop their queues silently (the
+  // agent's completion expectations died with it), then the radios go
+  // dark, truncating anything mid-air.
+  agent_.crash();
+  low_mac_.reset_on_crash();
+  high_mac_.reset_on_crash();
+  high_done_.clear();
+  low_radio_.force_off();
+  high_radio_.force_off();
+}
+
+void DualRadioNode::recover() {
+  if (up_) return;
+  up_ = true;
+  // The sensor radio is always-on for a live node; the 802.11 radio stays
+  // off until the (freshly reset) agent next acquires it.
+  low_radio_.power_on();
 }
 
 core::BcpHost::TimerId DualRadioNode::set_timer(

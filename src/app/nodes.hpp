@@ -37,8 +37,17 @@ class ForwardingNode {
                  phy::OverhearMode overhear, mac::MacParams mac_params,
                  std::uint64_t seed, DeliverySink* delivery);
 
-  /// Entry point for locally generated packets.
+  /// Entry point for locally generated packets. While the node is down,
+  /// packets are dropped with reason "node-down".
   void send(const net::DataPacket& packet);
+
+  /// Fault injection: crash kills the radio mid-whatever (cancelling all
+  /// pending MAC timers, truncating an in-flight frame) and silently
+  /// discards queued traffic; recover reboots with empty state (the radio
+  /// pays its wake-up charge). Both are idempotent.
+  void crash();
+  void recover();
+  bool up() const { return up_; }
 
   phy::Radio& radio() { return radio_; }
   const phy::Radio& radio() const { return radio_; }
@@ -55,6 +64,7 @@ class ForwardingNode {
   net::NodeId self_;
   net::NodeId sink_;
   DeliverySink* delivery_;
+  bool up_ = true;
   // Direct members (not unique_ptr): a 2500-node scenario builds and tears
   // these down per run, and the pointer hops cost more than they buy.
   phy::Radio radio_;
@@ -74,8 +84,18 @@ class DualRadioNode final : public core::BcpHost {
                 phy::OverhearMode wifi_overhear, std::uint64_t seed,
                 DeliverySink* delivery);
 
-  /// Entry point for locally generated packets (goes through BCP).
+  /// Entry point for locally generated packets (goes through BCP). While
+  /// the node is down, packets are dropped with reason "node-down".
   void send(const net::DataPacket& packet);
+
+  /// Fault injection: crash cancels every pending BCP host timer and MAC
+  /// timer, truncates in-flight frames, loses buffered bursts, and forces
+  /// both radios dark; recover reboots with a clean protocol state (the
+  /// sensor radio pays its wake-up, the 802.11 radio stays off until BCP
+  /// next needs it). Both are idempotent.
+  void crash();
+  void recover();
+  bool up() const { return up_; }
 
   core::BcpAgent& agent() { return agent_; }
   const core::BcpAgent& agent() const { return agent_; }
@@ -117,6 +137,7 @@ class DualRadioNode final : public core::BcpHost {
   const net::Router& high_routes_;
   net::NodeId self_;
   DeliverySink* delivery_;
+  bool up_ = true;
   // Direct members, constructed in declaration order (radios before MACs
   // before the agent, which binds to *this as its BcpHost).
   phy::Radio low_radio_;

@@ -78,10 +78,13 @@ namespace {
 
 /// Builds one radio graph's routes, rejecting placements where any node
 /// is cut off from the sink — a silent kInvalidNode route at runtime
-/// would just bleed packets as "no-route" drops.
+/// would just bleed packets as "no-route" drops. A non-null `links`
+/// (fault-injection runs) swaps in the membership-aware DynamicRouting,
+/// reported back through `dyn_out` for rebuild accounting.
 std::unique_ptr<net::Router> build_routes(
     const net::ConnectivityGraph& graph, net::NodeId sink, bool all_pairs,
-    const char* radio_name) {
+    const char* radio_name, const net::LinkState* links,
+    const net::DynamicRouting** dyn_out) {
   const std::vector<net::NodeId> stranded =
       net::unreachable_from(graph, sink);
   BCP_REQUIRE_MSG(stranded.empty(),
@@ -90,6 +93,12 @@ std::unique_ptr<net::Router> build_routes(
                       std::to_string(stranded.size()) +
                       " node(s) cannot reach sink " + std::to_string(sink) +
                       ": " + net::format_node_list(stranded));
+  if (links != nullptr) {
+    auto dyn = std::make_unique<net::DynamicRouting>(graph, sink, *links,
+                                                     all_pairs);
+    *dyn_out = dyn.get();
+    return dyn;
+  }
   if (all_pairs)
     return std::make_unique<net::RoutingTable>(graph);
   return std::make_unique<net::ConvergecastRouting>(graph, sink);
@@ -129,6 +138,8 @@ RunMetrics run_scenario(const ScenarioConfig& config) {
       ++m.dropped_queue;
     else if (std::strcmp(reason, "mac-failed") == 0)
       ++m.dropped_mac;
+    else if (std::strcmp(reason, "node-down") == 0)
+      ++m.dropped_node_down;
     else
       ++m.dropped_no_route;
   };
@@ -141,26 +152,48 @@ RunMetrics run_scenario(const ScenarioConfig& config) {
       config.routing == RoutingMode::kAllPairs ||
       (config.routing == RoutingMode::kAuto && n <= kAllPairsNodeLimit);
 
+  const bool has_faults = !config.faults.empty();
+  BCP_REQUIRE_MSG(!has_faults || config.model != EvalModel::kWifiDutyCycled,
+                  "fault injection is not supported for the duty-cycled "
+                  "802.11 strawman");
+
+  std::optional<net::LinkState> low_links;
+  std::optional<net::LinkState> high_links;
+  const net::DynamicRouting* low_dyn = nullptr;
+  const net::DynamicRouting* high_dyn = nullptr;
   std::optional<phy::Channel> low_channel;
   std::optional<phy::Channel> high_channel;
   std::unique_ptr<net::Router> low_routes;
   std::unique_ptr<net::Router> high_routes;
   // Routes are built on each channel's own connectivity graph — same
-  // positions, same range, one spatial-hash build instead of two.
+  // positions, same range, one spatial-hash build instead of two. Fault
+  // runs additionally share one LinkState per radio class between the
+  // channel (hearing) and the router (convergecast tree).
   if (needs_low) {
-    low_channel.emplace(simulator, topo.positions,
-                        config.sensor_radio.range,
-                        phy::Channel::Params{config.frame_loss_prob},
-                        util::substream(config.seed, 1, 0x4C4348u));
-    low_routes =
-        build_routes(low_channel->graph(), sink, all_pairs, "sensor");
+    low_channel.emplace(
+        simulator, topo.positions, config.sensor_radio.range,
+        phy::Channel::Params{config.frame_loss_prob, config.propagation},
+        util::substream(config.seed, 1, 0x4C4348u));
+    if (has_faults) {
+      low_links.emplace(n);
+      low_channel->set_link_state(&*low_links);
+    }
+    low_routes = build_routes(low_channel->graph(), sink, all_pairs,
+                              "sensor", has_faults ? &*low_links : nullptr,
+                              &low_dyn);
   }
   if (needs_high) {
-    high_channel.emplace(simulator, topo.positions, wifi_range,
-                         phy::Channel::Params{config.frame_loss_prob},
-                         util::substream(config.seed, 2, 0x484348u));
-    high_routes =
-        build_routes(high_channel->graph(), sink, all_pairs, "wifi");
+    high_channel.emplace(
+        simulator, topo.positions, wifi_range,
+        phy::Channel::Params{config.frame_loss_prob, config.propagation},
+        util::substream(config.seed, 2, 0x484348u));
+    if (has_faults) {
+      high_links.emplace(n);
+      high_channel->set_link_state(&*high_links);
+    }
+    high_routes = build_routes(high_channel->graph(), sink, all_pairs,
+                               "wifi", has_faults ? &*high_links : nullptr,
+                               &high_dyn);
   }
 
   core::BcpConfig bcp = config.bcp;
@@ -236,10 +269,81 @@ RunMetrics run_scenario(const ScenarioConfig& config) {
     workloads.back()->start();
   }
 
+  // ---- Fault/churn schedule ----
+  // One simulator event per fault. Crash/recover act on the node assembly
+  // (cancelling its timers, forcing radios dark) AND on the LinkStates, so
+  // the channels stop delivering to dead nodes and DynamicRouting
+  // re-converges on the alive subgraph at its next query.
+  const auto apply_fault = [&](const sim::FaultEvent& ev) {
+    const auto node = static_cast<net::NodeId>(ev.node);
+    const auto peer = static_cast<net::NodeId>(ev.peer);
+    switch (ev.kind) {
+      case sim::FaultKind::kNodeCrash:
+        if (!fwd_nodes.empty())
+          fwd_nodes[static_cast<std::size_t>(node)]->crash();
+        else
+          dual_nodes[static_cast<std::size_t>(node)]->crash();
+        if (low_links) low_links->set_node_up(node, false);
+        if (high_links) high_links->set_node_up(node, false);
+        ++m.fault_node_crashes;
+        break;
+      case sim::FaultKind::kNodeRecover:
+        if (low_links) low_links->set_node_up(node, true);
+        if (high_links) high_links->set_node_up(node, true);
+        if (!fwd_nodes.empty())
+          fwd_nodes[static_cast<std::size_t>(node)]->recover();
+        else
+          dual_nodes[static_cast<std::size_t>(node)]->recover();
+        ++m.fault_node_recoveries;
+        break;
+      case sim::FaultKind::kLinkDown:
+        if (low_links) low_links->set_link_up(node, peer, false);
+        if (high_links) high_links->set_link_up(node, peer, false);
+        ++m.fault_link_downs;
+        break;
+      case sim::FaultKind::kLinkUp:
+        if (low_links) low_links->set_link_up(node, peer, true);
+        if (high_links) high_links->set_link_up(node, peer, true);
+        ++m.fault_link_ups;
+        break;
+    }
+  };
+  std::vector<sim::FaultEvent> fault_events;
+  if (has_faults) {
+    // FaultPlan only consults adjacency to aim link flaps at real links;
+    // crash-only plans skip the per-node list copy entirely.
+    std::vector<std::vector<std::int32_t>> adjacency;
+    if (config.faults.link_flaps > 0) {
+      const net::ConnectivityGraph& fault_graph =
+          needs_low ? low_channel->graph() : high_channel->graph();
+      adjacency.reserve(static_cast<std::size_t>(n));
+      for (net::NodeId id = 0; id < n; ++id)
+        adjacency.push_back(fault_graph.neighbors(id));
+    }
+    fault_events =
+        sim::FaultPlan(config.faults, n, sink, config.duration,
+                       config.faults.link_flaps > 0 ? &adjacency : nullptr)
+            .events();
+    for (const sim::FaultEvent& ev : fault_events)
+      simulator.schedule_at(ev.at,
+                            [&apply_fault, ev] { apply_fault(ev); });
+  }
+
   simulator.run_until(config.duration);
 
   // ---- Metrics ----
   m.events_processed = simulator.processed_count();
+  m.route_rebuilds = (low_dyn != nullptr ? low_dyn->rebuild_count() : 0) +
+                     (high_dyn != nullptr ? high_dyn->rebuild_count() : 0);
+  const auto add_channel_stats = [&m](const phy::Channel& channel) {
+    m.chan_frames += channel.stats().frames;
+    m.chan_rx_starts += channel.stats().rx_starts;
+    m.chan_rx_ends += channel.stats().deliveries_clean +
+                      channel.stats().deliveries_corrupt;
+    m.chan_rx_live_at_end += channel.live_arrivals();
+  };
+  if (low_channel) add_channel_stats(*low_channel);
+  if (high_channel) add_channel_stats(*high_channel);
   for (const auto& w : workloads) m.generated += w->generated();
   m.goodput = m.generated > 0
                   ? static_cast<double>(m.delivered) /
@@ -259,6 +363,7 @@ RunMetrics run_scenario(const ScenarioConfig& config) {
       accumulate(m.wifi_energy, meter);
     m.mac_tx_attempts += node->mac().stats().tx_attempts;
     m.mac_tx_failed += node->mac().stats().tx_failed;
+    m.mac_crash_drops += node->mac().stats().crash_drops;
   }
   for (const auto& node : duty_nodes) {
     energy::EnergyMeter& meter = node->radio().meter();
@@ -282,7 +387,10 @@ RunMetrics run_scenario(const ScenarioConfig& config) {
                          node->wifi_mac().stats().tx_attempts;
     m.mac_tx_failed += node->sensor_mac().stats().tx_failed +
                        node->wifi_mac().stats().tx_failed;
+    m.mac_crash_drops += node->sensor_mac().stats().crash_drops +
+                         node->wifi_mac().stats().crash_drops;
     const auto& astats = node->agent().stats();
+    m.bcp_packets_lost_to_crash += astats.packets_lost_to_crash;
     m.bcp_wakeups += astats.wakeups_sent;
     m.bcp_handshakes_failed += astats.handshakes_failed;
     m.bcp_sender_sessions += astats.sender_sessions_completed;

@@ -162,6 +162,78 @@ ScenarioRegistry make_builtin() {
             });
     }
   }
+  // Lossy-channel variants: the sh/mh × model matrix on the paper grid
+  // with the log-distance + shadowing propagation model instead of the
+  // idealized unit disc. Axes (all optional): ple (path-loss exponent,
+  // default 3), shadow_db (per-link shadowing σ, default 4), margin_db
+  // (fade margin at the disc edge, default 6), loss (extra Bernoulli).
+  {
+    const auto lossy_config = [](bool mh, EvalModel model,
+                                 const SweepPoint& p) {
+      ScenarioConfig cfg = base_config(mh, model, p);
+      cfg.propagation.kind = phy::PropagationKind::kLogDistance;
+      cfg.propagation.path_loss_exponent = p.get_or("ple", 3.0);
+      cfg.propagation.shadowing_sigma_db = p.get_or("shadow_db", 4.0);
+      cfg.propagation.fade_margin_db = p.get_or("margin_db", 6.0);
+      return cfg;
+    };
+    for (const Preset preset : {Preset{"sh", false}, Preset{"mh", true}}) {
+      const bool mh = preset.multi_hop;
+      const std::string px = std::string("lossy-") + preset.prefix;
+      const char* desc_tail =
+          " under log-distance + shadowing links; axes: ple, shadow_db, "
+          "margin_db";
+      r.add(px + "/sensor",
+            std::string("pure sensor network") + desc_tail,
+            [mh, lossy_config](const SweepPoint& p) {
+              return lossy_config(mh, EvalModel::kSensor, p);
+            });
+      r.add(px + "/wifi",
+            std::string("pure always-on 802.11 network") + desc_tail,
+            [mh, lossy_config](const SweepPoint& p) {
+              return lossy_config(mh, EvalModel::kWifi, p);
+            });
+      r.add(px + "/dual",
+            std::string("dual-radio BCP") + desc_tail,
+            [mh, lossy_config](const SweepPoint& p) {
+              return lossy_config(mh, EvalModel::kDualRadio, p);
+            });
+    }
+  }
+  // Node-churn variants: deterministic crash/recover schedules on the
+  // paper grid. Axes (all optional): crashes (default 4), downtime_s
+  // (mean, default 60), link_flaps (default 0), fault_seed (default 1),
+  // loss.
+  {
+    const auto churn_config = [](bool mh, EvalModel model,
+                                 const SweepPoint& p) {
+      ScenarioConfig cfg = base_config(mh, model, p);
+      cfg.faults.node_crashes = static_cast<int>(p.get_or("crashes", 4));
+      cfg.faults.mean_downtime = p.get_or("downtime_s", 60.0);
+      cfg.faults.link_flaps = static_cast<int>(p.get_or("link_flaps", 0));
+      cfg.faults.seed =
+          static_cast<std::uint64_t>(p.get_or("fault_seed", 1));
+      return cfg;
+    };
+    const char* churn_tail =
+        " under node churn; axes: crashes, downtime_s, link_flaps, "
+        "fault_seed";
+    r.add("churn-mh/sensor",
+          std::string("pure sensor network, multi-hop") + churn_tail,
+          [churn_config](const SweepPoint& p) {
+            return churn_config(true, EvalModel::kSensor, p);
+          });
+    r.add("churn-mh/dual",
+          std::string("dual-radio BCP, multi-hop") + churn_tail,
+          [churn_config](const SweepPoint& p) {
+            return churn_config(true, EvalModel::kDualRadio, p);
+          });
+    r.add("churn-sh/dual",
+          std::string("dual-radio BCP, single-hop") + churn_tail,
+          [churn_config](const SweepPoint& p) {
+            return churn_config(false, EvalModel::kDualRadio, p);
+          });
+  }
   // §5 delay-constrained buffering policies (the open-question ablation).
   r.add("mh/dual-flush-high",
         "dual-radio BCP, deadline flushes a sub-threshold burst over the "

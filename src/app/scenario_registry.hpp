@@ -9,8 +9,11 @@
 //
 // The built-in catalog covers the paper's §4.1 evaluation matrix on the
 // grid plus generated-placement variants of the sh/mh × model matrix
-// ("sh-rand/dual", "mh-line/sensor", ...). Common axes read by every
-// builder (all optional unless noted):
+// ("sh-rand/dual", "mh-line/sensor", ...), lossy-channel variants under
+// the log-distance + shadowing propagation model ("lossy-mh/dual", ...),
+// and node-churn variants with deterministic crash/recover schedules
+// ("churn-mh/dual", ...). Common axes read by every builder (all optional
+// unless noted):
 //
 //   senders     — CBR sender count (required by all variants)
 //   burst       — α·s* in 32 B packets (dual-radio variants; default 500)

@@ -361,9 +361,13 @@ void BcpAgent::finish_sender_session(net::NodeId peer) {
   if (held) {
     if (config_.enable_shortcuts && config_.shortcut_listen_time > 0) {
       // §3 route optimization: linger to overhear the burst being
-      // forwarded, then let go of the radio.
+      // forwarded, then let go of the radio. The epoch guard keeps this
+      // (untracked) timer from releasing a hold that a crash() already
+      // zeroed.
       host_.set_timer(config_.shortcut_listen_time,
-                      [this] { release_radio(); });
+                      [this, e = epoch_] {
+                        if (e == epoch_) release_radio();
+                      });
     } else {
       release_radio();
     }
@@ -371,6 +375,29 @@ void BcpAgent::finish_sender_session(net::NodeId peer) {
   // Data that accumulated during the transfer may already justify the next
   // burst.
   maybe_start_handshake(peer);
+}
+
+void BcpAgent::crash() {
+  for (auto& [peer, s] : sender_sessions_) host_.cancel_timer(s.ack_timer);
+  sender_sessions_.clear();
+  for (auto& [peer, r] : receiver_sessions_)
+    host_.cancel_timer(r.data_timer);
+  receiver_sessions_.clear();
+  for (auto& [peer, timer] : cooldowns_) host_.cancel_timer(timer);
+  cooldowns_.clear();
+  for (auto& [peer, timer] : deadline_timers_) host_.cancel_timer(timer);
+  deadline_timers_.clear();
+  if (radio_off_timer_ != BcpHost::kInvalidTimer) {
+    host_.cancel_timer(radio_off_timer_);
+    radio_off_timer_ = BcpHost::kInvalidTimer;
+  }
+  stats_.packets_lost_to_crash +=
+      static_cast<std::int64_t>(buffer_.clear());
+  shortcuts_.clear();
+  committed_bits_ = 0;
+  radio_holds_ = 0;
+  ++epoch_;
+  ++stats_.crashes;
 }
 
 // -------------------------------------------------------------- receiver --

@@ -60,6 +60,8 @@ class BcpAgent {
     std::int64_t deadline_flushes = 0;      ///< kFlushHigh deadline firings
     std::int64_t packets_sent_low = 0;      ///< kFallbackLow data over the
                                             ///< low-power radio
+    std::int64_t crashes = 0;               ///< crash() invocations
+    std::int64_t packets_lost_to_crash = 0; ///< buffered data lost at crash
   };
 
   BcpAgent(BcpHost& host, BcpConfig config);
@@ -85,6 +87,15 @@ class BcpAgent {
 
   /// flush() toward every next hop with buffered data.
   void flush_all();
+
+  /// Crash reset (fault injection): cancels every pending host timer —
+  /// handshake acks, receiver data timeouts, cooldowns, buffering
+  /// deadlines, the radio-off linger — abandons all sessions, discards
+  /// the buffer (volatile RAM) and learned shortcuts, and zeroes the
+  /// radio hold count. No protocol messages are sent; peers discover the
+  /// crash through their own timeouts. The host is expected to reset its
+  /// MACs and force its radios off around this call.
+  void crash();
 
   // ---- Interface to the MACs (host upcalls) ----
 
@@ -186,6 +197,9 @@ class BcpAgent {
   int radio_holds_ = 0;
   BcpHost::TimerId radio_off_timer_ = BcpHost::kInvalidTimer;
   std::map<net::NodeId, net::NodeId> shortcuts_;  // dest -> next hop
+  /// Bumped by crash(); untracked timers (the shortcut-listen linger)
+  /// capture it and no-op when stale instead of firing into reset state.
+  std::uint64_t epoch_ = 0;
 };
 
 }  // namespace bcp::core

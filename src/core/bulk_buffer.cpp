@@ -95,6 +95,14 @@ std::size_t BulkBuffer::packet_count(net::NodeId next_hop) const {
   return it == queues_.end() ? 0 : it->second.packets.size() - it->second.head;
 }
 
+std::size_t BulkBuffer::clear() {
+  const std::size_t dropped = total_packets_;
+  queues_.clear();
+  total_bits_ = 0;
+  total_packets_ = 0;
+  return dropped;
+}
+
 std::vector<net::NodeId> BulkBuffer::active_next_hops() const {
   std::vector<net::NodeId> hops;
   hops.reserve(queues_.size());

@@ -49,6 +49,10 @@ class BulkBuffer {
   /// Next hops with at least one buffered packet, in ascending id order.
   std::vector<net::NodeId> active_next_hops() const;
 
+  /// Discards every buffered packet (crash/reset); returns how many were
+  /// dropped.
+  std::size_t clear();
+
  private:
   struct Queue {
     std::vector<net::DataPacket> packets;

@@ -200,6 +200,20 @@ void CsmaCaMac::finish_head(bool success) {
   if (!in_flight_ && !queue_.empty()) start_cycle();
 }
 
+void CsmaCaMac::reset_on_crash() {
+  backoff_timer_.cancel();
+  ack_timer_.cancel();
+  ack_tx_timer_.cancel();
+  in_flight_ = false;
+  awaiting_ack_ = false;
+  tx_is_ack_ = false;
+  ++stats_.crash_resets;
+  stats_.crash_drops += static_cast<std::int64_t>(queue_.size());
+  queue_.clear();
+  pending_acks_.clear();
+  delivered_seq_.clear();
+}
+
 void CsmaCaMac::flush_queue() {
   backoff_timer_.cancel();
   ack_timer_.cancel();

@@ -41,6 +41,8 @@ class CsmaCaMac {
     std::int64_t tx_attempts = 0;    ///< data frame transmissions started
     std::int64_t tx_success = 0;     ///< frames acked (or broadcast sent)
     std::int64_t tx_failed = 0;      ///< frames dropped after retry_limit
+    std::int64_t crash_drops = 0;    ///< frames lost to reset_on_crash
+    std::int64_t crash_resets = 0;   ///< reset_on_crash invocations
     std::int64_t acks_sent = 0;
     std::int64_t acks_suppressed = 0;///< radio busy at ack time
     std::int64_t rx_delivered = 0;
@@ -82,6 +84,14 @@ class CsmaCaMac {
   /// Fails every queued frame (used when the owner powers the radio down
   /// with traffic pending — BCP aborting a session).
   void flush_queue();
+
+  /// Crash reset: cancels every pending timer and silently discards all
+  /// state — queued frames (their pooled payload refs included), pending
+  /// acks, the in-flight cycle, and the duplicate-suppression history (a
+  /// rebooted node forgets what it delivered). Unlike flush_queue, no
+  /// tx_done callbacks fire: the owner is crashing, and its upper layers
+  /// are being reset with it. Counted in Stats::crash_drops/crash_resets.
+  void reset_on_crash();
 
  private:
   struct Outgoing {

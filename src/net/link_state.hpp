@@ -1,0 +1,65 @@
+// Dynamic membership and link availability over a static placement.
+//
+// The fault/churn subsystem flips nodes and links up and down at run time;
+// everything that consumed the static ConnectivityGraph — the Channel's
+// hearer loop, the routers' BFS — consults one shared LinkState per radio
+// class instead of mutating the graph. Two design points:
+//
+//   * The hot path stays free: `link_up` answers through an all-up fast
+//     path (one branch) while nothing is down, which is every frame of a
+//     fault-free run.
+//   * Every effective change bumps a revision counter. Routing wraps its
+//     (expensive) tree/table build behind the counter (net::DynamicRouting)
+//     so the convergecast tree is rebuilt only on membership change, not
+//     per query and not per fault event that changed nothing.
+//
+// A link is up iff both endpoints are up and the (unordered) pair has not
+// been taken down explicitly. Setting a state it already has is a no-op
+// and does not bump the revision.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "net/message.hpp"
+
+namespace bcp::net {
+
+class LinkState {
+ public:
+  explicit LinkState(int node_count);
+
+  int node_count() const { return static_cast<int>(node_up_.size()); }
+
+  /// True while no node and no link is down — the fast path.
+  bool all_up() const { return down_nodes_ == 0 && down_links_.empty(); }
+
+  bool node_up(NodeId node) const;
+
+  /// Both endpoints up and the pair not explicitly down.
+  bool link_up(NodeId a, NodeId b) const {
+    if (all_up()) return true;
+    return node_up(a) && node_up(b) &&
+           down_links_.find(key(a, b)) == down_links_.end();
+  }
+
+  void set_node_up(NodeId node, bool up);
+  void set_link_up(NodeId a, NodeId b, bool up);
+
+  /// Bumped on every effective change; consumers cache against it.
+  std::uint64_t revision() const { return revision_; }
+
+  int down_node_count() const { return down_nodes_; }
+  std::size_t down_link_count() const { return down_links_.size(); }
+
+ private:
+  static std::uint64_t key(NodeId a, NodeId b);
+
+  std::vector<std::uint8_t> node_up_;
+  std::unordered_set<std::uint64_t> down_links_;
+  std::uint64_t revision_ = 0;
+  int down_nodes_ = 0;
+};
+
+}  // namespace bcp::net

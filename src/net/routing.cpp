@@ -9,9 +9,12 @@ namespace bcp::net {
 
 namespace {
 
-/// BFS hop counts from `root` over the graph (-1 where unreachable).
-std::vector<int> bfs_distances(const ConnectivityGraph& graph, NodeId root) {
+/// BFS hop counts from `root` over the graph (-1 where unreachable). A
+/// non-null `links` hides down nodes and down links from the traversal.
+std::vector<int> bfs_distances(const ConnectivityGraph& graph, NodeId root,
+                               const LinkState* links) {
   std::vector<int> dist(static_cast<std::size_t>(graph.node_count()), -1);
+  if (links != nullptr && !links->node_up(root)) return dist;
   std::deque<NodeId> queue;
   dist[static_cast<std::size_t>(root)] = 0;
   queue.push_back(root);
@@ -19,6 +22,7 @@ std::vector<int> bfs_distances(const ConnectivityGraph& graph, NodeId root) {
     const NodeId u = queue.front();
     queue.pop_front();
     for (const NodeId v : graph.neighbors(u)) {
+      if (links != nullptr && !links->link_up(u, v)) continue;
       if (dist[static_cast<std::size_t>(v)] < 0) {
         dist[static_cast<std::size_t>(v)] =
             dist[static_cast<std::size_t>(u)] + 1;
@@ -33,12 +37,14 @@ std::vector<int> bfs_distances(const ConnectivityGraph& graph, NodeId root) {
 /// neighbours one hop closer to `to`, the one geometrically closest to
 /// `to`, then the lowest id.
 NodeId best_parent(const ConnectivityGraph& graph,
-                   const std::vector<int>& dist, NodeId from, NodeId to) {
+                   const std::vector<int>& dist, NodeId from, NodeId to,
+                   const LinkState* links) {
   const int d = dist[static_cast<std::size_t>(from)];
   NodeId best = kInvalidNode;
   double best_dist = std::numeric_limits<double>::infinity();
   for (const NodeId v : graph.neighbors(from)) {
     if (dist[static_cast<std::size_t>(v)] != d - 1) continue;
+    if (links != nullptr && !links->link_up(from, v)) continue;
     const double dv = distance(graph.position(v), graph.position(to));
     if (best == kInvalidNode || dv < best_dist ||
         (dv == best_dist && v < best)) {
@@ -53,7 +59,8 @@ NodeId best_parent(const ConnectivityGraph& graph,
 
 // ------------------------------------------------------- RoutingTable --
 
-RoutingTable::RoutingTable(const ConnectivityGraph& graph)
+RoutingTable::RoutingTable(const ConnectivityGraph& graph,
+                           const LinkState* links)
     : n_(graph.node_count()),
       next_hop_(static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_),
                 kInvalidNode),
@@ -61,7 +68,7 @@ RoutingTable::RoutingTable(const ConnectivityGraph& graph)
   // One BFS per destination, relaxing parents with the deterministic
   // (hops, distance-to-destination, id) preference order.
   for (NodeId to = 0; to < n_; ++to) {
-    const std::vector<int> dist = bfs_distances(graph, to);
+    const std::vector<int> dist = bfs_distances(graph, to, links);
     for (NodeId from = 0; from < n_; ++from) {
       const int d = dist[static_cast<std::size_t>(from)];
       hops_[static_cast<std::size_t>(index(from, to))] = d;
@@ -70,7 +77,7 @@ RoutingTable::RoutingTable(const ConnectivityGraph& graph)
         continue;
       }
       if (d < 0) continue;  // unreachable
-      const NodeId best = best_parent(graph, dist, from, to);
+      const NodeId best = best_parent(graph, dist, from, to, links);
       BCP_ENSURE(best != kInvalidNode);
       next_hop_[static_cast<std::size_t>(index(from, to))] = best;
     }
@@ -108,17 +115,18 @@ double RoutingTable::mean_hops_to(NodeId to) const {
 // ------------------------------------------------ ConvergecastRouting --
 
 ConvergecastRouting::ConvergecastRouting(const ConnectivityGraph& graph,
-                                         NodeId sink)
+                                         NodeId sink,
+                                         const LinkState* links)
     : sink_(sink) {
   BCP_REQUIRE(sink >= 0 && sink < graph.node_count());
   const int n = graph.node_count();
-  depth_ = bfs_distances(graph, sink);
+  depth_ = bfs_distances(graph, sink, links);
   parent_.assign(static_cast<std::size_t>(n), kInvalidNode);
   parent_[static_cast<std::size_t>(sink)] = sink;
   for (NodeId from = 0; from < n; ++from) {
     if (from == sink || depth_[static_cast<std::size_t>(from)] < 0)
       continue;
-    const NodeId best = best_parent(graph, depth_, from, sink);
+    const NodeId best = best_parent(graph, depth_, from, sink, links);
     BCP_ENSURE(best != kInvalidNode);
     parent_[static_cast<std::size_t>(from)] = best;
   }
@@ -263,6 +271,27 @@ int ConvergecastRouting::hops(NodeId from, NodeId to) const {
   return depth_[static_cast<std::size_t>(from)] +
          depth_[static_cast<std::size_t>(to)] -
          2 * depth_[static_cast<std::size_t>(a)];
+}
+
+// --------------------------------------------------- DynamicRouting --
+
+DynamicRouting::DynamicRouting(const ConnectivityGraph& graph, NodeId sink,
+                               const LinkState& links, bool all_pairs)
+    : graph_(graph), sink_(sink), links_(links), all_pairs_(all_pairs) {
+  BCP_REQUIRE(sink >= 0 && sink < graph.node_count());
+  BCP_REQUIRE(links.node_count() == graph.node_count());
+}
+
+const Router& DynamicRouting::current() const {
+  if (impl_ == nullptr || built_revision_ != links_.revision()) {
+    if (all_pairs_)
+      impl_ = std::make_unique<RoutingTable>(graph_, &links_);
+    else
+      impl_ = std::make_unique<ConvergecastRouting>(graph_, sink_, &links_);
+    built_revision_ = links_.revision();
+    ++rebuilds_;
+  }
+  return *impl_;
 }
 
 }  // namespace bcp::net

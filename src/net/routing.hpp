@@ -19,8 +19,11 @@
 // of RoutingTable, a property the tests assert.
 #pragma once
 
+#include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "net/link_state.hpp"
 #include "net/topology.hpp"
 
 namespace bcp::net {
@@ -45,10 +48,13 @@ class Router {
   }
 };
 
-/// Dense all-pairs shortest-path tables.
+/// Dense all-pairs shortest-path tables. A non-null `links` masks the
+/// graph: down nodes and down links are invisible to the BFS (the
+/// fault/churn path); the tables are a snapshot of that instant.
 class RoutingTable final : public Router {
  public:
-  explicit RoutingTable(const ConnectivityGraph& graph);
+  explicit RoutingTable(const ConnectivityGraph& graph,
+                        const LinkState* links = nullptr);
 
   NodeId next_hop(NodeId from, NodeId to) const override;
   int hops(NodeId from, NodeId to) const override;
@@ -78,7 +84,9 @@ class RoutingTable final : public Router {
 /// longer than graph-shortest paths; convergecast traffic never is.
 class ConvergecastRouting final : public Router {
  public:
-  ConvergecastRouting(const ConnectivityGraph& graph, NodeId sink);
+  /// A non-null `links` masks the graph exactly as in RoutingTable.
+  ConvergecastRouting(const ConnectivityGraph& graph, NodeId sink,
+                      const LinkState* links = nullptr);
 
   NodeId sink() const { return sink_; }
 
@@ -117,6 +125,44 @@ class ConvergecastRouting final : public Router {
   std::vector<int> tout_;
   std::vector<NodeId> children_;       // all children, grouped by parent
   std::vector<int> children_begin_;    // n+1 offsets into children_
+};
+
+/// Fault-aware router: rebuilds an underlying strategy (convergecast tree
+/// or all-pairs tables) over the LinkState-masked graph, but only when the
+/// LinkState's revision actually moved — the incremental-invalidation hook
+/// the fault/churn scenarios route through. Queries between membership
+/// changes are as cheap as the static providers; a crash/recover burst
+/// that flips k nodes costs one rebuild at the next query, not k.
+class DynamicRouting final : public Router {
+ public:
+  /// `graph` and `links` must outlive the router. `all_pairs` picks the
+  /// dense-table strategy (small networks) over the convergecast tree.
+  DynamicRouting(const ConnectivityGraph& graph, NodeId sink,
+                 const LinkState& links, bool all_pairs);
+
+  NodeId next_hop(NodeId from, NodeId to) const override {
+    return current().next_hop(from, to);
+  }
+  int hops(NodeId from, NodeId to) const override {
+    return current().hops(from, to);
+  }
+  int node_count() const override { return graph_.node_count(); }
+
+  /// Underlying builds performed so far (1 after the first query; +1 per
+  /// effective LinkState change that a later query observed).
+  std::int64_t rebuild_count() const { return rebuilds_; }
+
+ private:
+  const Router& current() const;
+
+  const ConnectivityGraph& graph_;
+  NodeId sink_;
+  const LinkState& links_;
+  bool all_pairs_;
+  // Lazy cache: queries are logically const; the rebuild is bookkeeping.
+  mutable std::unique_ptr<Router> impl_;
+  mutable std::uint64_t built_revision_ = 0;
+  mutable std::int64_t rebuilds_ = 0;
 };
 
 }  // namespace bcp::net

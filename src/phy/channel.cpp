@@ -1,6 +1,7 @@
 #include "phy/channel.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "util/assert.hpp"
 
@@ -10,10 +11,18 @@ Channel::Channel(sim::Simulator& sim, std::vector<net::Position> positions,
                  util::Metres range, Params params, std::uint64_t seed)
     : sim_(sim),
       graph_(std::move(positions), range),
-      params_(params),
+      params_(std::move(params)),
       rng_(util::substream(seed, 0, /*salt=*/0x43484E4C)) {
+  // The closed interval: frame_loss_prob == 1.0 is a legitimate
+  // "fully lossy link" configuration (every delivery corrupt, MAC retries
+  // exhaust) — see the full-loss regression test.
   BCP_REQUIRE(params_.frame_loss_prob >= 0.0 &&
-              params_.frame_loss_prob < 1.0);
+              params_.frame_loss_prob <= 1.0);
+  model_ = make_propagation_model(params_.propagation, graph_,
+                                  params_.frame_loss_prob,
+                                  util::substream(seed, 7, 0x50524F50u));
+  uniform_loss_ = model_->uniform();
+  unit_loss_ = uniform_loss_ ? model_->loss_prob(0, 0, 0) : 0.0;
   const auto n = static_cast<std::size_t>(graph_.node_count());
   listeners_.resize(n, nullptr);
   arrivals_.resize(n);
@@ -64,17 +73,24 @@ void Channel::start_tx(net::NodeId src, const Frame& frame,
   // Half-duplex: whatever the transmitter was hearing is lost to it.
   for (auto& a : arrivals(src)) a.clean = false;
 
-  for (const net::NodeId r : graph_.neighbors(src)) {
+  const auto& nbrs = graph_.neighbors(src);
+  for (std::size_t i = 0; i < nbrs.size(); ++i) {
+    const net::NodeId r = nbrs[i];
+    // A down link (or endpoint) suppresses the hearer entirely: no
+    // arrival, no callbacks, no RNG draw.
+    if (links_ != nullptr && !links_->link_up(src, r)) continue;
     auto& at_r = arrivals(r);
     // Overlap at r corrupts both the new frame and everything in flight.
     const bool overlap = !at_r.empty() ||
                          transmitting_[static_cast<std::size_t>(r)] != 0;
     for (auto& a : at_r) a.clean = false;
-    const bool clean =
-        !overlap && !rng_.chance(params_.frame_loss_prob);
+    const double loss =
+        uniform_loss_ ? unit_loss_ : model_->loss_prob(src, i, r);
+    const bool clean = !overlap && !rng_.chance(loss);
     at_r.push_back(Arrival{tx_id, clean, end});
     auto& max_end = arrival_max_end_[static_cast<std::size_t>(r)];
     max_end = std::max(max_end, end);
+    ++stats_.rx_starts;
     if (auto* l = listeners_[static_cast<std::size_t>(r)]; l != nullptr)
       l->on_rx_start(tx_id, frame, duration);
   }
@@ -91,7 +107,11 @@ void Channel::finish_tx(std::uint64_t tx_id) {
   if (++tx_slots_[slot].gen == 0) tx_slots_[slot].gen = 1;
   tx_slots_[slot].next_free = tx_free_head_;
   tx_free_head_ = slot;
-  transmitting_[static_cast<std::size_t>(tx.src)] = 0;
+  // Guarded: a crash can abort this transmission and a fast (explicit
+  // fault-plan) recovery can start a new one before this deferred finish
+  // fires — only the owning tx may clear the half-duplex flag.
+  if (transmitting_[static_cast<std::size_t>(tx.src)] == tx_id)
+    transmitting_[static_cast<std::size_t>(tx.src)] = 0;
 
   for (const net::NodeId r : graph_.neighbors(tx.src)) {
     auto& at_r = arrivals(r);
@@ -99,7 +119,13 @@ void Channel::finish_tx(std::uint64_t tx_id) {
     // marking and clear_at are order-independent), so swap-remove.
     std::size_t i = 0;
     while (i < at_r.size() && at_r[i].tx_id != tx_id) ++i;
-    BCP_ENSURE(i < at_r.size());
+    if (i >= at_r.size()) {
+      // Only possible with dynamic link state: the link was down at
+      // start_tx, so this hearer never got the arrival. The current state
+      // is irrelevant — arrivals, not the mask, are the ground truth.
+      BCP_ENSURE(links_ != nullptr);
+      continue;
+    }
     const bool clean = at_r[i].clean;
     at_r[i] = at_r.back();
     at_r.pop_back();
@@ -110,6 +136,22 @@ void Channel::finish_tx(std::uint64_t tx_id) {
     if (auto* l = listeners_[static_cast<std::size_t>(r)]; l != nullptr)
       l->on_rx_end(tx_id, tx.frame, clean);
   }
+}
+
+std::int64_t Channel::live_arrivals() const {
+  std::int64_t total = 0;
+  for (const auto& a : arrivals_)
+    total += static_cast<std::int64_t>(a.size());
+  return total;
+}
+
+void Channel::abort_tx_of(net::NodeId src) {
+  BCP_REQUIRE(src >= 0 && src < graph_.node_count());
+  const std::uint64_t tx_id = transmitting_[static_cast<std::size_t>(src)];
+  if (tx_id == 0) return;
+  for (const net::NodeId r : graph_.neighbors(src))
+    for (auto& a : arrivals(r))
+      if (a.tx_id == tx_id) a.clean = false;
 }
 
 bool Channel::busy_at(net::NodeId node) const {

@@ -21,10 +21,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <utility>
 #include <vector>
 
+#include "net/link_state.hpp"
 #include "net/topology.hpp"
 #include "phy/frame.hpp"
+#include "phy/propagation.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
 
@@ -44,11 +48,22 @@ class ChannelListener {
 class Channel {
  public:
   struct Params {
-    double frame_loss_prob = 0.0;  ///< independent per (frame, hearer)
+    /// Extra independent Bernoulli loss per (frame, hearer), in [0, 1],
+    /// composed with whatever the propagation model says per link.
+    double frame_loss_prob = 0.0;
+    /// Link-quality model; the kAuto default resolves to UnitDisc, which
+    /// is bit-for-bit the historical single-knob channel.
+    PropagationSpec propagation;
+
+    Params() = default;
+    Params(double loss) : frame_loss_prob(loss) {}  // NOLINT(google-explicit-constructor)
+    Params(double loss, PropagationSpec prop)
+        : frame_loss_prob(loss), propagation(std::move(prop)) {}
   };
 
   struct Stats {
     std::int64_t frames = 0;             ///< transmissions started
+    std::int64_t rx_starts = 0;          ///< per-hearer on_rx_start calls
     std::int64_t deliveries_clean = 0;   ///< per-hearer clean deliveries
     std::int64_t deliveries_corrupt = 0; ///< per-hearer corrupted deliveries
   };
@@ -81,6 +96,27 @@ class Channel {
 
   int node_count() const { return graph_.node_count(); }
   const Stats& stats() const { return stats_; }
+
+  /// Arrivals currently on the air (rx_start delivered, rx_end pending)
+  /// summed over all hearers — with stats(), the exact conservation law
+  /// rx_starts == deliveries_clean + deliveries_corrupt + live_arrivals().
+  std::int64_t live_arrivals() const;
+
+  /// The propagation model delivery draws against (never null).
+  const PropagationModel& propagation() const { return *model_; }
+
+  /// Attaches dynamic link/node availability (nullptr detaches). While a
+  /// link (or either endpoint) is down, new frames are not heard across
+  /// it; frames already in flight complete normally. Not owned; must
+  /// outlive the channel while attached.
+  void set_link_state(const net::LinkState* links) { links_ = links; }
+
+  /// Crash support: marks the node's in-flight transmission (if any) as
+  /// corrupt for every hearer — the frame is truncated mid-air. The
+  /// transmission still occupies the medium until its scheduled end (the
+  /// carrier dies with the node, but at fault-plan time scales the
+  /// difference is nanoseconds of idle), so rx_end conservation holds.
+  void abort_tx_of(net::NodeId src);
 
  private:
   static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
@@ -116,6 +152,12 @@ class Channel {
   Params params_;
   util::Xoshiro256 rng_;
   Stats stats_;
+  std::unique_ptr<PropagationModel> model_;
+  // UnitDisc fast path: constant loss probability, no virtual call per
+  // hearer (uniform_loss_ caches model_->uniform()).
+  bool uniform_loss_ = true;
+  double unit_loss_ = 0.0;
+  const net::LinkState* links_ = nullptr;
 
   std::vector<TxSlot> tx_slots_;
   std::uint32_t tx_free_head_ = kNoSlot;

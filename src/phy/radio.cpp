@@ -74,6 +74,19 @@ void Radio::power_off() {
   set_state(RadioState::kOff);
 }
 
+void Radio::force_off() {
+  if (state_ == RadioState::kOff) return;
+  if (state_ == RadioState::kTx) {
+    channel_.abort_tx_of(self_);
+    sim_.cancel(tx_end_event_);
+  }
+  sim_.cancel(wake_event_);
+  sim_.cancel(header_done_event_);
+  lock_tx_id_ = 0;
+  lock_addressed_ = false;
+  set_state(RadioState::kOff);
+}
+
 void Radio::transmit(const Frame& frame) {
   BCP_REQUIRE_MSG(ready(), "transmit on a radio that is not ready");
   BCP_REQUIRE(frame.tx_node == self_);

@@ -81,6 +81,13 @@ class Radio final : public ChannelListener {
   /// called mid-transmission (the MAC drains first).
   void power_off();
 
+  /// Crash shutdown: like power_off() but legal mid-transmission — the
+  /// in-flight frame is truncated (corrupted for every hearer via
+  /// Channel::abort_tx_of) and tx_done never fires. The owner must reset
+  /// its MAC state alongside; this is the fault-injection path, not a
+  /// protocol-level power-down.
+  void force_off();
+
   /// Puts `frame` on the air. Requires ready(); an in-progress reception
   /// is abandoned (half-duplex). tx_done fires when the frame ends.
   void transmit(const Frame& frame);

@@ -67,10 +67,12 @@ constexpr const char* kFig05SliceGolden = R"json({
 }
 )json";
 
-stats::ResultSink run_slice(int threads) {
+stats::ResultSink run_slice(
+    int threads,
+    phy::PropagationKind propagation = phy::PropagationKind::kAuto) {
   app::SweepGrid grid;
   grid.axis_ints("cell", {0}).axis_ints("senders", {5, 15});
-  const app::SweepFn fn = [](const app::SweepJob& job) {
+  const app::SweepFn fn = [propagation](const app::SweepJob& job) {
     const app::SweepPoint scenario_point(
         job.point.index(), {{"senders", job.point.get("senders")},
                             {"burst", 10.0},
@@ -79,6 +81,7 @@ stats::ResultSink run_slice(int threads) {
     app::ScenarioConfig cfg =
         app::ScenarioRegistry::builtin().make("sh/dual", scenario_point);
     cfg.seed = job.seed;
+    cfg.propagation.kind = propagation;
     return app::standard_metrics(app::run_scenario(cfg));
   };
   app::SweepOptions options;
@@ -103,6 +106,25 @@ TEST(Determinism, Fig05SliceIdenticalAcrossThreadCounts) {
   const std::string serial = run_slice(1).to_json("fig05_slice");
   const std::string parallel = run_slice(4).to_json("fig05_slice");
   EXPECT_EQ(serial, parallel);
+}
+
+// Differential golden for the PropagationModel refactor: requesting the
+// UnitDisc model *explicitly* must reproduce the pre-seam golden byte for
+// byte — proving the pluggable-model seam is pure (kAuto and kUnitDisc
+// share one code path, one RNG stream, one draw count).
+TEST(Determinism, ExplicitUnitDiscMatchesPreSeamGoldenByteForByte) {
+  const std::string json =
+      run_slice(1, phy::PropagationKind::kUnitDisc).to_json("fig05_slice");
+  EXPECT_EQ(json, std::string(kFig05SliceGolden))
+      << "the PropagationModel seam changed UnitDisc behaviour";
+}
+
+// And the non-trivial models must NOT match it — the seam is live, not a
+// stub that quietly ignores the spec.
+TEST(Determinism, LogDistanceModelActuallyChangesTheChannel) {
+  const std::string logd =
+      run_slice(1, phy::PropagationKind::kLogDistance).to_json("fig05_slice");
+  EXPECT_NE(logd, std::string(kFig05SliceGolden));
 }
 
 }  // namespace

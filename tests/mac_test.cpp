@@ -73,6 +73,23 @@ TEST_F(MacTest, UnicastDeliveredAndAcked) {
   EXPECT_TRUE(stations_[0].mac->idle());
 }
 
+TEST_F(MacTest, FullyLossyLinkExhaustsEveryRetry) {
+  // frame_loss_prob == 1.0 (now a valid, closed-interval config): nothing
+  // ever arrives clean, so the sender burns first tx + every retry and
+  // reports failure; the receiver delivers (and acks) nothing.
+  build(1.0);
+  EXPECT_TRUE(stations_[0].mac->enqueue(data_msg(0, 1), 1));
+  sim_.run();
+  EXPECT_TRUE(stations_[1].received.empty());
+  ASSERT_EQ(stations_[0].tx_results.size(), 1u);
+  EXPECT_FALSE(stations_[0].tx_results[0]);
+  const auto& stats = stations_[0].mac->stats();
+  EXPECT_EQ(stats.tx_failed, 1);
+  EXPECT_EQ(stats.tx_attempts,
+            1 + stations_[0].mac->params().retry_limit);
+  EXPECT_EQ(stations_[1].mac->stats().acks_sent, 0);
+}
+
 TEST_F(MacTest, QueueDrainsInOrder) {
   build(0.0);
   for (std::uint32_t i = 1; i <= 5; ++i)

@@ -183,8 +183,147 @@ TEST(ChannelLoss, InvalidLossProbabilityThrows) {
   sim::Simulator sim;
   EXPECT_THROW(Channel(sim, {{0, 0}}, 50.0, Channel::Params{-0.1}, 1),
                std::invalid_argument);
-  EXPECT_THROW(Channel(sim, {{0, 0}}, 50.0, Channel::Params{1.0}, 1),
+  EXPECT_THROW(Channel(sim, {{0, 0}}, 50.0, Channel::Params{1.01}, 1),
                std::invalid_argument);
+  // The closed interval is valid: 1.0 is a fully lossy link, not an error.
+  EXPECT_NO_THROW(Channel(sim, {{0, 0}}, 50.0, Channel::Params{1.0}, 1));
+}
+
+TEST(ChannelLoss, FullLossYieldsZeroCleanDeliveries) {
+  sim::Simulator sim;
+  Channel ch(sim, {{0, 0}, {10, 0}}, 50.0, Channel::Params{1.0}, 42);
+  Probe p;
+  ch.attach(1, &p);
+  const int n = 50;
+  for (int i = 0; i < n; ++i)
+    sim.schedule_at(i * 1.0, [&] { ch.start_tx(0, make_frame(0, 1), 0.01); });
+  sim.run();
+  ASSERT_EQ(p.ends.size(), static_cast<std::size_t>(n));
+  for (const auto& e : p.ends) EXPECT_FALSE(e.clean);
+  EXPECT_EQ(ch.stats().deliveries_clean, 0);
+  EXPECT_EQ(ch.stats().deliveries_corrupt, n);
+}
+
+// ---------------------------------------------------------- Propagation --
+
+/// Neighbour index of `dst` in graph.neighbors(src) (asserts it exists).
+std::size_t nbr_index(const net::ConnectivityGraph& graph, NodeId src,
+                      NodeId dst) {
+  const auto& nbrs = graph.neighbors(src);
+  for (std::size_t i = 0; i < nbrs.size(); ++i)
+    if (nbrs[i] == dst) return i;
+  ADD_FAILURE() << dst << " not a neighbour of " << src;
+  return 0;
+}
+
+TEST(Propagation, AutoResolvesToUnitDiscWithTheExtraLossKnob) {
+  const net::ConnectivityGraph graph({{0, 0}, {10, 0}, {35, 0}}, 40.0);
+  const auto model =
+      make_propagation_model(PropagationSpec{}, graph, 0.25, 1);
+  EXPECT_EQ(model->kind(), PropagationKind::kUnitDisc);
+  EXPECT_TRUE(model->uniform());
+  EXPECT_DOUBLE_EQ(model->loss_prob(0, 0, 1), 0.25);
+  EXPECT_DOUBLE_EQ(model->loss_prob(1, 1, 2), 0.25);  // every link alike
+}
+
+TEST(Propagation, LogDistancePerGrowsWithDistanceAndIsSymmetric) {
+  const net::ConnectivityGraph graph({{0, 0}, {10, 0}, {35, 0}}, 40.0);
+  PropagationSpec spec;
+  spec.kind = PropagationKind::kLogDistance;
+  spec.shadowing_sigma_db = 0.0;  // isolate the distance term
+  const auto model = make_propagation_model(spec, graph, 0.0, 1);
+  EXPECT_FALSE(model->uniform());
+  const double near = model->loss_prob(0, nbr_index(graph, 0, 1), 1);
+  const double far = model->loss_prob(0, nbr_index(graph, 0, 2), 2);
+  EXPECT_GE(near, 0.0);
+  EXPECT_LE(far, 1.0);
+  EXPECT_LT(near, far);  // 10 m link beats the 35 m link
+  // Symmetric per link.
+  EXPECT_DOUBLE_EQ(model->loss_prob(1, nbr_index(graph, 1, 0), 0), near);
+  EXPECT_DOUBLE_EQ(model->loss_prob(2, nbr_index(graph, 2, 0), 0), far);
+}
+
+TEST(Propagation, LogDistanceShadowingIsFrozenPerLinkAndSeed) {
+  const net::ConnectivityGraph graph({{0, 0}, {30, 0}, {30, 30}}, 50.0);
+  PropagationSpec spec;
+  spec.kind = PropagationKind::kLogDistance;
+  spec.shadowing_sigma_db = 6.0;
+  const auto a = make_propagation_model(spec, graph, 0.0, 9);
+  const auto b = make_propagation_model(spec, graph, 0.0, 9);
+  const auto c = make_propagation_model(spec, graph, 0.0, 10);
+  const std::size_t i01 = nbr_index(graph, 0, 1);
+  // Same seed — identical frozen PER; different seed — different shadow.
+  EXPECT_DOUBLE_EQ(a->loss_prob(0, i01, 1), b->loss_prob(0, i01, 1));
+  EXPECT_NE(a->loss_prob(0, i01, 1), c->loss_prob(0, i01, 1));
+  // Symmetric even under shadowing (one draw per unordered pair).
+  EXPECT_DOUBLE_EQ(a->loss_prob(0, i01, 1),
+                   a->loss_prob(1, nbr_index(graph, 1, 0), 0));
+}
+
+TEST(Propagation, DistancePerInterpolatesTheCurve) {
+  // Range 100: knots at 0 %, 50 %, 100 % of the disc.
+  const net::ConnectivityGraph graph({{0, 0}, {25, 0}, {75, 0}}, 100.0);
+  PropagationSpec spec;
+  spec.kind = PropagationKind::kDistancePer;
+  spec.per_curve = {{0.0, 0.0}, {0.5, 0.2}, {1.0, 1.0}};
+  const auto model = make_propagation_model(spec, graph, 0.0, 1);
+  // d = 25 → halfway to the 0.5 knot → per 0.1; d = 50 (node 1→2) → 0.2;
+  // d = 75 → halfway from 0.2 to 1.0 → 0.6.
+  EXPECT_NEAR(model->loss_prob(0, nbr_index(graph, 0, 1), 1), 0.1, 1e-12);
+  EXPECT_NEAR(model->loss_prob(1, nbr_index(graph, 1, 2), 2), 0.2, 1e-12);
+  EXPECT_NEAR(model->loss_prob(0, nbr_index(graph, 0, 2), 2), 0.6, 1e-12);
+}
+
+TEST(Propagation, ExtraLossComposesIndependently) {
+  const net::ConnectivityGraph graph({{0, 0}, {50, 0}}, 100.0);
+  PropagationSpec spec;
+  spec.kind = PropagationKind::kDistancePer;
+  spec.per_curve = {{0.0, 0.5}, {1.0, 0.5}};
+  const auto model = make_propagation_model(spec, graph, 0.2, 1);
+  // p = per + extra − per·extra = 0.5 + 0.2 − 0.1 = 0.6.
+  EXPECT_NEAR(model->loss_prob(0, 0, 1), 0.6, 1e-12);
+}
+
+TEST(Propagation, InvalidSpecsThrow) {
+  const net::ConnectivityGraph graph({{0, 0}, {10, 0}}, 40.0);
+  PropagationSpec spec;
+  spec.kind = PropagationKind::kLogDistance;
+  spec.path_loss_exponent = 0.0;
+  EXPECT_THROW(make_propagation_model(spec, graph, 0.0, 1),
+               std::invalid_argument);
+  spec = PropagationSpec{};
+  spec.kind = PropagationKind::kDistancePer;
+  spec.per_curve = {{0.0, 1.5}};  // per outside [0, 1]
+  EXPECT_THROW(make_propagation_model(spec, graph, 0.0, 1),
+               std::invalid_argument);
+  spec.per_curve = {{0.5, 0.1}, {0.2, 0.1}};  // unsorted knots
+  EXPECT_THROW(make_propagation_model(spec, graph, 0.0, 1),
+               std::invalid_argument);
+}
+
+TEST(Propagation, LossyChannelStillConservesDeliveries) {
+  // End-to-end through the Channel: per-link PER changes who receives
+  // cleanly, never whether rx_end fires.
+  sim::Simulator sim;
+  Channel::Params params;
+  params.propagation.kind = PropagationKind::kLogDistance;
+  Channel ch(sim, {{0, 0}, {38, 0}, {76, 0}}, 40.0, params, 11);
+  Probe p1;
+  ch.attach(1, &p1);
+  const int n = 200;
+  for (int i = 0; i < n; ++i)
+    sim.schedule_at(i * 1.0, [&] { ch.start_tx(0, make_frame(0, 1), 0.01); });
+  sim.run();
+  EXPECT_EQ(ch.stats().rx_starts,
+            ch.stats().deliveries_clean + ch.stats().deliveries_corrupt);
+  EXPECT_EQ(ch.live_arrivals(), 0);
+  ASSERT_EQ(p1.ends.size(), static_cast<std::size_t>(n));
+  // A 38 m link at the 40 m disc edge under log-distance loss: some but
+  // not all deliveries survive.
+  int clean = 0;
+  for (const auto& e : p1.ends) clean += e.clean ? 1 : 0;
+  EXPECT_GT(clean, 0);
+  EXPECT_LT(clean, n);
 }
 
 // ---------------------------------------------------------------- Radio --

@@ -2,14 +2,18 @@
 //  * BulkBuffer randomized ops against a reference model
 //  * MAC delivery under a loss-probability sweep (TEST_P)
 //  * full-scenario invariants across models × bursts (TEST_P)
+//  * cross-model conservation laws across propagation models × fault
+//    plans (TEST_P)
 //  * channel delivery conservation
 //  * shortcut-learning reachability gating
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <deque>
 #include <map>
 #include <memory>
 #include <numeric>
+#include <string>
 #include <vector>
 
 #include "app/scenario.hpp"
@@ -216,6 +220,162 @@ INSTANTIATE_TEST_SUITE_P(
              "_b" + std::to_string(param_info.param.burst) +
              (param_info.param.multi_hop ? "_mh" : "_sh");
     });
+
+// ------------------------- propagation model × fault plan invariants ----
+
+struct CrossModelCase {
+  const char* name;
+  phy::PropagationKind kind;
+  double extra_loss;
+  int crashes;
+  int link_flaps;
+  bool multi_hop;
+  app::EvalModel model;
+};
+
+class CrossModelInvariants
+    : public ::testing::TestWithParam<CrossModelCase> {};
+
+/// Conservation laws that must hold for EVERY channel model and fault
+/// plan: rx_start/rx_end matching, delivery counting, goodput bounds, and
+/// energy bounded by radio-on time at peak draw.
+TEST_P(CrossModelInvariants, ConservationLawsHold) {
+  const CrossModelCase& c = GetParam();
+  auto cfg = c.multi_hop ? app::ScenarioConfig::multi_hop(c.model, 5, 50)
+                         : app::ScenarioConfig::single_hop(c.model, 5, 50);
+  cfg.duration = 250.0;
+  cfg.seed = 77;
+  cfg.propagation.kind = c.kind;
+  cfg.frame_loss_prob = c.extra_loss;
+  cfg.faults.node_crashes = c.crashes;
+  cfg.faults.link_flaps = c.link_flaps;
+  cfg.faults.mean_downtime = 40.0;
+  cfg.faults.mean_link_downtime = 30.0;
+  cfg.faults.seed = 3;
+  const auto m = app::run_scenario(cfg);
+  const int n = cfg.topology.node_count();
+
+  // Every rx_start gets exactly one rx_end (or is still on the air at the
+  // horizon) — through collisions, per-link losses, crashes and flaps.
+  EXPECT_EQ(m.chan_rx_starts, m.chan_rx_ends + m.chan_rx_live_at_end);
+  // Deliveries cannot exceed frames × possible hearers.
+  EXPECT_LE(m.chan_rx_ends, m.chan_frames * (n - 1));
+  EXPECT_GE(m.chan_frames, 0);
+
+  // Traffic accounting.
+  EXPECT_GE(m.goodput, 0.0);
+  EXPECT_LE(m.goodput, 1.0);
+  EXPECT_LE(m.delivered, m.generated);
+  EXPECT_GE(m.mean_delay, 0.0);
+  EXPECT_LE(m.mean_delay, cfg.duration);
+  EXPECT_GT(m.generated, 0);
+
+  // Energy: every category non-negative…
+  for (const double e :
+       {m.sensor_energy.tx, m.sensor_energy.rx, m.sensor_energy.overhear,
+        m.sensor_energy.idle, m.sensor_energy.wakeup, m.wifi_energy.tx,
+        m.wifi_energy.rx, m.wifi_energy.overhear, m.wifi_energy.idle,
+        m.wifi_energy.wakeup})
+    EXPECT_GE(e, 0.0);
+  // …and bounded by n nodes drawing peak power for the whole run plus the
+  // charged wake-up lumps.
+  const auto peak = [](const energy::RadioEnergyModel& r) {
+    return std::max({r.p_tx, r.p_rx, r.p_idle});
+  };
+  EXPECT_LE(m.sensor_energy.full(),
+            n * cfg.duration * peak(cfg.sensor_radio) + 1e-6);
+  EXPECT_LE(m.wifi_energy.full(),
+            n * cfg.duration * peak(cfg.wifi_radio) +
+                static_cast<double>(m.wifi_wakeup_transitions) *
+                    cfg.wifi_radio.e_wakeup +
+                1e-6);
+
+  // Fault bookkeeping: recoveries never exceed crashes; the fault-free
+  // cases report zero.
+  EXPECT_LE(m.fault_node_recoveries, m.fault_node_crashes);
+  if (c.crashes == 0) {
+    EXPECT_EQ(m.fault_node_crashes, 0);
+  }
+  if (c.crashes == 0 && c.link_flaps == 0) {
+    EXPECT_EQ(m.route_rebuilds, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModelsTimesFaults, CrossModelInvariants,
+    ::testing::Values(
+        // UnitDisc: clean, lossy, churned, flapped.
+        CrossModelCase{"disc_mh_dual", phy::PropagationKind::kUnitDisc, 0.0,
+                       0, 0, true, app::EvalModel::kDualRadio},
+        CrossModelCase{"disc_lossy_mh_dual", phy::PropagationKind::kUnitDisc,
+                       0.2, 0, 0, true, app::EvalModel::kDualRadio},
+        CrossModelCase{"disc_churn_mh_sensor",
+                       phy::PropagationKind::kUnitDisc, 0.2, 3, 0, true,
+                       app::EvalModel::kSensor},
+        CrossModelCase{"disc_churn_sh_dual", phy::PropagationKind::kUnitDisc,
+                       0.0, 3, 0, false, app::EvalModel::kDualRadio},
+        CrossModelCase{"disc_flaps_mh_wifi", phy::PropagationKind::kUnitDisc,
+                       0.0, 0, 3, true, app::EvalModel::kWifi},
+        // LogDistance: shadowed links, with and without churn.
+        CrossModelCase{"logd_mh_dual", phy::PropagationKind::kLogDistance,
+                       0.0, 0, 0, true, app::EvalModel::kDualRadio},
+        CrossModelCase{"logd_churn_mh_sensor",
+                       phy::PropagationKind::kLogDistance, 0.0, 3, 2, true,
+                       app::EvalModel::kSensor},
+        CrossModelCase{"logd_lossy_sh_dual",
+                       phy::PropagationKind::kLogDistance, 0.1, 0, 0, false,
+                       app::EvalModel::kDualRadio},
+        CrossModelCase{"logd_churn_mh_wifi",
+                       phy::PropagationKind::kLogDistance, 0.0, 2, 0, true,
+                       app::EvalModel::kWifi},
+        CrossModelCase{"logd_churn_flaps_mh_dual",
+                       phy::PropagationKind::kLogDistance, 0.0, 4, 2, true,
+                       app::EvalModel::kDualRadio},
+        // DistancePer: curve-driven PER.
+        CrossModelCase{"dper_mh_dual", phy::PropagationKind::kDistancePer,
+                       0.0, 0, 0, true, app::EvalModel::kDualRadio},
+        CrossModelCase{"dper_churn_mh_sensor",
+                       phy::PropagationKind::kDistancePer, 0.0, 2, 0, true,
+                       app::EvalModel::kSensor},
+        CrossModelCase{"dper_lossy_sh_sensor",
+                       phy::PropagationKind::kDistancePer, 0.2, 0, 0, false,
+                       app::EvalModel::kSensor},
+        CrossModelCase{"dper_churn_sh_dual",
+                       phy::PropagationKind::kDistancePer, 0.0, 2, 0, false,
+                       app::EvalModel::kDualRadio}),
+    [](const auto& param_info) { return std::string(param_info.param.name); });
+
+/// Goodput is monotonically non-increasing in the extra-loss knob under
+/// EVERY propagation model — the composed per-link PER only adds to the
+/// sweep's Bernoulli loss (deterministic seeds; a small slack absorbs
+/// MAC-retry luck).
+class GoodputMonotone
+    : public ::testing::TestWithParam<phy::PropagationKind> {};
+
+TEST_P(GoodputMonotone, NonIncreasingInExtraLoss) {
+  double previous = 2.0;
+  for (const double loss : {0.0, 0.3, 0.6}) {
+    auto cfg =
+        app::ScenarioConfig::multi_hop(app::EvalModel::kSensor, 5, 50);
+    cfg.duration = 250.0;
+    cfg.seed = 77;
+    cfg.propagation.kind = GetParam();
+    cfg.frame_loss_prob = loss;
+    const auto m = app::run_scenario(cfg);
+    EXPECT_LE(m.goodput, previous + 0.05) << "loss " << loss;
+    previous = m.goodput;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPropagationModels, GoodputMonotone,
+                         ::testing::Values(
+                             phy::PropagationKind::kUnitDisc,
+                             phy::PropagationKind::kLogDistance,
+                             phy::PropagationKind::kDistancePer),
+                         [](const auto& param_info) {
+                           return std::string(
+                               phy::to_string(param_info.param));
+                         });
 
 // ------------------------------------------------ channel conservation ---
 
