@@ -107,6 +107,14 @@ void set_scenario_meta(stats::ResultSink& sink,
       sink.set_meta("per_curve", knots);
     }
   }
+  // Capture (SINR) identity — again only when the run departs from the
+  // default-off switch, so every historical export stays byte-identical.
+  if (config.capture_enabled) {
+    sink.set_meta("capture_threshold_db", config.capture_threshold_db);
+    sink.set_meta("sensor_noise_floor_dbm",
+                  config.sensor_radio.noise_floor_dbm);
+    sink.set_meta("wifi_noise_floor_dbm", config.wifi_radio.noise_floor_dbm);
+  }
   if (!config.faults.empty()) {
     sink.set_meta("fault_seed", static_cast<double>(config.faults.seed));
     sink.set_meta("fault_crashes",

@@ -168,11 +168,19 @@ RunMetrics run_scenario(const ScenarioConfig& config) {
   // Routes are built on each channel's own connectivity graph — same
   // positions, same range, one spatial-hash build instead of two. Fault
   // runs additionally share one LinkState per radio class between the
-  // channel (hearing) and the router (convergecast tree).
+  // channel (hearing) and the router (convergecast tree). Each channel's
+  // capture (SINR) noise floor is its radio's datasheet value.
+  const auto channel_params = [&](const energy::RadioEnergyModel& radio) {
+    phy::Channel::Params params{config.frame_loss_prob, config.propagation};
+    params.capture.enabled = config.capture_enabled;
+    params.capture.threshold_db = config.capture_threshold_db;
+    params.capture.noise_floor_dbm = radio.noise_floor_dbm;
+    return params;
+  };
   if (needs_low) {
     low_channel.emplace(
         simulator, topo.positions, config.sensor_radio.range,
-        phy::Channel::Params{config.frame_loss_prob, config.propagation},
+        channel_params(config.sensor_radio),
         util::substream(config.seed, 1, 0x4C4348u));
     if (has_faults) {
       low_links.emplace(n);
@@ -185,7 +193,7 @@ RunMetrics run_scenario(const ScenarioConfig& config) {
   if (needs_high) {
     high_channel.emplace(
         simulator, topo.positions, wifi_range,
-        phy::Channel::Params{config.frame_loss_prob, config.propagation},
+        channel_params(config.wifi_radio),
         util::substream(config.seed, 2, 0x484348u));
     if (has_faults) {
       high_links.emplace(n);

@@ -200,6 +200,57 @@ ScenarioRegistry make_builtin() {
             });
     }
   }
+  // SINR-capture variants: collisions resolved by received-power margin
+  // instead of the all-overlaps-corrupt rule. Axes (all optional):
+  // capture_db (SINR threshold, default 10), loss. The lossy flavours
+  // compose the log-distance channel (whose per-link powers make capture
+  // actually discriminate — unit-disc collisions are equal-power ties)
+  // and accept its ple / shadow_db / margin_db axes too.
+  {
+    const auto capture_config = [](bool mh, EvalModel model, bool lossy,
+                                   const SweepPoint& p) {
+      ScenarioConfig cfg = base_config(mh, model, p);
+      if (lossy) {
+        cfg.propagation.kind = phy::PropagationKind::kLogDistance;
+        cfg.propagation.path_loss_exponent = p.get_or("ple", 3.0);
+        cfg.propagation.shadowing_sigma_db = p.get_or("shadow_db", 4.0);
+        cfg.propagation.fade_margin_db = p.get_or("margin_db", 6.0);
+      }
+      cfg.capture_enabled = true;
+      cfg.capture_threshold_db = p.get_or("capture_db", 10.0);
+      return cfg;
+    };
+    const char* capture_tail =
+        " with SINR/capture reception; axes: capture_db";
+    const char* capture_lossy_tail =
+        " with SINR/capture reception over log-distance links; axes: "
+        "capture_db, ple, shadow_db, margin_db";
+    r.add("capture-sh/dual",
+          std::string("dual-radio BCP, single-hop") + capture_tail,
+          [capture_config](const SweepPoint& p) {
+            return capture_config(false, EvalModel::kDualRadio, false, p);
+          });
+    r.add("capture-mh/dual",
+          std::string("dual-radio BCP, multi-hop") + capture_tail,
+          [capture_config](const SweepPoint& p) {
+            return capture_config(true, EvalModel::kDualRadio, false, p);
+          });
+    r.add("capture-mh/sensor",
+          std::string("pure sensor network, multi-hop") + capture_tail,
+          [capture_config](const SweepPoint& p) {
+            return capture_config(true, EvalModel::kSensor, false, p);
+          });
+    r.add("capture-lossy-sh/dual",
+          std::string("dual-radio BCP, single-hop") + capture_lossy_tail,
+          [capture_config](const SweepPoint& p) {
+            return capture_config(false, EvalModel::kDualRadio, true, p);
+          });
+    r.add("capture-lossy-mh/dual",
+          std::string("dual-radio BCP, multi-hop") + capture_lossy_tail,
+          [capture_config](const SweepPoint& p) {
+            return capture_config(true, EvalModel::kDualRadio, true, p);
+          });
+  }
   // Node-churn variants: deterministic crash/recover schedules on the
   // paper grid. Axes (all optional): crashes (default 4), downtime_s
   // (mean, default 60), link_flaps (default 0), fault_seed (default 1),

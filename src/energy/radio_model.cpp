@@ -27,9 +27,18 @@ namespace {
 // energy is the Table 1 Ewakeup lump.
 constexpr double kWifiWakeupSeconds = 0.100;
 
+// Noise floors for the capture (SINR) mode: thermal noise over the
+// receiver bandwidth plus a typical noise figure — wide-band 802.11 DSSS
+// cards land around -94 dBm (-91 for the 11 Mbps rate), the narrowband
+// sensor transceivers near -104 dBm (CC2420's wider channel: -98). Only
+// consulted when phy::Channel::Params::capture is enabled.
+constexpr double kWifiNoiseDbm = -94.0;
+constexpr double kSensorNoiseDbm = -104.0;
+
 RadioEnergyModel make(std::string name, RadioClass cls, double rate_bps,
                       double ptx_mw, double prx_mw, double pi_mw,
-                      double ewake_mj, double twake_s, double range_m) {
+                      double ewake_mj, double twake_s, double range_m,
+                      double noise_dbm) {
   RadioEnergyModel m;
   m.name = std::move(name);
   m.radio_class = cls;
@@ -41,6 +50,7 @@ RadioEnergyModel make(std::string name, RadioClass cls, double rate_bps,
   m.e_wakeup = millijoules(ewake_mj);
   m.t_wakeup = twake_s;
   m.range = range_m;
+  m.noise_floor_dbm = noise_dbm;
   return m;
 }
 
@@ -49,14 +59,14 @@ RadioEnergyModel make(std::string name, RadioClass cls, double rate_bps,
 const RadioEnergyModel& cabletron_2mbps() {
   static const RadioEnergyModel m =
       make("Cabletron", RadioClass::kHighPower, mbps(2), 1400, 1000, 830,
-           1.328, kWifiWakeupSeconds, 250);
+           1.328, kWifiWakeupSeconds, 250, kWifiNoiseDbm);
   return m;
 }
 
 const RadioEnergyModel& lucent_2mbps() {
   static const RadioEnergyModel m =
       make("Lucent-2Mbps", RadioClass::kHighPower, mbps(2), 1327.2, 966.9,
-           843.7, 0.6, kWifiWakeupSeconds, 250);
+           843.7, 0.6, kWifiWakeupSeconds, 250, kWifiNoiseDbm);
   return m;
 }
 
@@ -66,29 +76,31 @@ const RadioEnergyModel& lucent_11mbps() {
   // the same range as the sensor radio."
   static const RadioEnergyModel m =
       make("Lucent-11Mbps", RadioClass::kHighPower, mbps(11), 1346.1, 900.6,
-           739.4, 0.6, kWifiWakeupSeconds, 40);
+           739.4, 0.6, kWifiWakeupSeconds, 40, kWifiNoiseDbm + 3.0);
   return m;
 }
 
 const RadioEnergyModel& mica() {
   // Mica is the only sensor radio with a Table 1 idle power (30 mW).
   static const RadioEnergyModel m =
-      make("Mica", RadioClass::kLowPower, kbps(40), 81, 30, 30, 0, 0, 40);
+      make("Mica", RadioClass::kLowPower, kbps(40), 81, 30, 30, 0, 0, 40,
+           kSensorNoiseDbm);
   return m;
 }
 
 const RadioEnergyModel& mica2() {
   // Idle power N/A in Table 1 — substitute Prx (listen ≈ receive).
   static const RadioEnergyModel m =
-      make("Mica2", RadioClass::kLowPower, kbps(38.4), 42, 29, 29, 0, 0, 40);
+      make("Mica2", RadioClass::kLowPower, kbps(38.4), 42, 29, 29, 0, 0, 40,
+           kSensorNoiseDbm);
   return m;
 }
 
 const RadioEnergyModel& micaz() {
   // Idle power N/A in Table 1 — substitute Prx (CC2420 listen = receive).
   static const RadioEnergyModel m =
-      make("Micaz", RadioClass::kLowPower, kbps(250), 51, 59.1, 59.1, 0, 0,
-           40);
+      make("Micaz", RadioClass::kLowPower, kbps(250), 51, 59.1, 59.1, 0, 0, 40,
+           kSensorNoiseDbm + 6.0);
   return m;
 }
 

@@ -40,6 +40,11 @@ struct RadioEnergyModel {
   util::Joules e_wakeup = 0;     ///< energy of one off->on transition
   util::Seconds t_wakeup = 0;    ///< duration of the off->on transition
   util::Metres range = 0;        ///< nominal transmission range
+  /// Receiver noise power in dBm — the N of the SINR/capture reception
+  /// mode (phy::Channel::Params::capture); narrowband sensor radios sit
+  /// well below the wide-band 802.11 cards. Not a Table 1 column; only
+  /// consulted when capture is enabled.
+  double noise_floor_dbm = -100.0;
 
   /// Energy to serialize `bits` on the air (transmitter side).
   util::Joules tx_energy(util::Bits bits) const {

@@ -1,6 +1,7 @@
 #include "phy/channel.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "util/assert.hpp"
@@ -18,14 +19,24 @@ Channel::Channel(sim::Simulator& sim, std::vector<net::Position> positions,
   // exhaust) — see the full-loss regression test.
   BCP_REQUIRE(params_.frame_loss_prob >= 0.0 &&
               params_.frame_loss_prob <= 1.0);
+  // Capture params are validated unconditionally, mirroring the loss-prob
+  // range check above: a NaN threshold or a NaN/zero/infinite noise power
+  // is a configuration error whether or not the switch is on.
+  BCP_REQUIRE(std::isfinite(params_.capture.threshold_db));
+  noise_mw_ = util::dbm_to_mw(params_.capture.noise_floor_dbm);
+  BCP_REQUIRE(std::isfinite(noise_mw_) && noise_mw_ > 0.0);
+  capture_ = params_.capture.enabled;
+  min_sinr_ = util::db_to_ratio(params_.capture.threshold_db);
   model_ = make_propagation_model(params_.propagation, graph_,
                                   params_.frame_loss_prob,
                                   util::substream(seed, 7, 0x50524F50u));
   uniform_loss_ = model_->uniform();
   unit_loss_ = uniform_loss_ ? model_->loss_prob(0, 0, 0) : 0.0;
+  unit_rx_mw_ = uniform_loss_ ? model_->rx_power_mw(0, 0, 0) : 0.0;
   const auto n = static_cast<std::size_t>(graph_.node_count());
   listeners_.resize(n, nullptr);
   arrivals_.resize(n);
+  arrival_power_mw_.resize(n, 0.0);
   transmitting_.resize(n, 0);
   own_tx_end_.resize(n, 0.0);
   arrival_max_end_.resize(n, 0.0);
@@ -80,14 +91,37 @@ void Channel::start_tx(net::NodeId src, const Frame& frame,
     // arrival, no callbacks, no RNG draw.
     if (links_ != nullptr && !links_->link_up(src, r)) continue;
     auto& at_r = arrivals(r);
-    // Overlap at r corrupts both the new frame and everything in flight.
-    const bool overlap = !at_r.empty() ||
-                         transmitting_[static_cast<std::size_t>(r)] != 0;
-    for (auto& a : at_r) a.clean = false;
     const double loss =
         uniform_loss_ ? unit_loss_ : model_->loss_prob(src, i, r);
-    const bool clean = !overlap && !rng_.chance(loss);
-    at_r.push_back(Arrival{tx_id, clean, end});
+    bool clean;
+    double rx_mw = 0.0;
+    double interference_mw = 0.0;
+    if (!capture_) {
+      // Overlap at r corrupts both the new frame and everything in flight.
+      const bool overlap = !at_r.empty() ||
+                           transmitting_[static_cast<std::size_t>(r)] != 0;
+      for (auto& a : at_r) a.clean = false;
+      clean = !overlap && !rng_.chance(loss);
+    } else {
+      // SINR mode: overlap corrupts nothing outright. The new arrival
+      // raises every in-flight frame's concurrent interference; each
+      // frame's fate is decided at its rx_end against the peak it saw.
+      // (Half-duplex is still absolute — a transmitting hearer decodes
+      // nothing and, short-circuited, consumes no loss draw; every other
+      // hearer draws whether overlapped or not, so capture runs own a
+      // different, denser RNG consumption than the golden-pinned default
+      // path.)
+      rx_mw = uniform_loss_ ? unit_rx_mw_ : model_->rx_power_mw(src, i, r);
+      double& power_sum = arrival_power_mw_[static_cast<std::size_t>(r)];
+      for (auto& a : at_r)
+        a.peak_interference_mw = std::max(
+            a.peak_interference_mw, power_sum - a.rx_power_mw + rx_mw);
+      interference_mw = power_sum;
+      power_sum += rx_mw;
+      clean = transmitting_[static_cast<std::size_t>(r)] == 0 &&
+              !rng_.chance(loss);
+    }
+    at_r.push_back(Arrival{tx_id, clean, end, rx_mw, interference_mw});
     auto& max_end = arrival_max_end_[static_cast<std::size_t>(r)];
     max_end = std::max(max_end, end);
     ++stats_.rx_starts;
@@ -95,7 +129,8 @@ void Channel::start_tx(net::NodeId src, const Frame& frame,
       l->on_rx_start(tx_id, frame, duration);
   }
 
-  sim_.schedule_at(end, [this, tx_id] { finish_tx(tx_id); });
+  tx_slots_[slot].finish_event =
+      sim_.schedule_at(end, [this, tx_id] { finish_tx(tx_id); });
 }
 
 void Channel::finish_tx(std::uint64_t tx_id) {
@@ -107,11 +142,11 @@ void Channel::finish_tx(std::uint64_t tx_id) {
   if (++tx_slots_[slot].gen == 0) tx_slots_[slot].gen = 1;
   tx_slots_[slot].next_free = tx_free_head_;
   tx_free_head_ = slot;
-  // Guarded: a crash can abort this transmission and a fast (explicit
-  // fault-plan) recovery can start a new one before this deferred finish
-  // fires — only the owning tx may clear the half-duplex flag.
-  if (transmitting_[static_cast<std::size_t>(tx.src)] == tx_id)
-    transmitting_[static_cast<std::size_t>(tx.src)] = 0;
+  // Exactly-once by construction: abort_tx_of cancels the scheduled
+  // completion before finishing early, so whoever reaches here is still
+  // the transmission's owner.
+  BCP_ENSURE(transmitting_[static_cast<std::size_t>(tx.src)] == tx_id);
+  transmitting_[static_cast<std::size_t>(tx.src)] = 0;
 
   for (const net::NodeId r : graph_.neighbors(tx.src)) {
     auto& at_r = arrivals(r);
@@ -126,7 +161,22 @@ void Channel::finish_tx(std::uint64_t tx_id) {
       BCP_ENSURE(links_ != nullptr);
       continue;
     }
-    const bool clean = at_r[i].clean;
+    bool clean = at_r[i].clean;
+    if (capture_) {
+      const Arrival& a = at_r[i];
+      // The SINR verdict for overlapped frames, against the worst
+      // interference each saw. Collision-free arrivals skip it: their
+      // noise/SNR story is already the propagation model's PER, and
+      // judging them twice would let "capture" corrupt frames the
+      // default rule delivers.
+      clean = clean &&
+              (a.peak_interference_mw <= 0.0 ||
+               a.rx_power_mw >=
+                   min_sinr_ * (noise_mw_ + a.peak_interference_mw));
+      double& power_sum = arrival_power_mw_[static_cast<std::size_t>(r)];
+      power_sum -= a.rx_power_mw;
+      if (at_r.size() == 1) power_sum = 0.0;  // busy period over: drop residue
+    }
     at_r[i] = at_r.back();
     at_r.pop_back();
     if (clean)
@@ -149,9 +199,20 @@ void Channel::abort_tx_of(net::NodeId src) {
   BCP_REQUIRE(src >= 0 && src < graph_.node_count());
   const std::uint64_t tx_id = transmitting_[static_cast<std::size_t>(src)];
   if (tx_id == 0) return;
+  // Truncation corrupts the frame for every hearer…
   for (const net::NodeId r : graph_.neighbors(src))
     for (auto& a : arrivals(r))
       if (a.tx_id == tx_id) a.clean = false;
+  // …and the carrier dies with the node: finish the transmission NOW so
+  // its interference contribution and medium occupancy end at the abort
+  // time, not at the originally scheduled rx_end. finish_tx delivers the
+  // (corrupt) rx_end to every hearer exactly once, keeping the
+  // rx_starts == deliveries + live conservation law intact; the pending
+  // completion event must die first or it would double-finish a recycled
+  // slot.
+  const auto slot = static_cast<std::uint32_t>(tx_id);
+  sim_.cancel(tx_slots_[slot].finish_event);
+  finish_tx(tx_id);
 }
 
 bool Channel::busy_at(net::NodeId node) const {

@@ -5,10 +5,12 @@
 //    on_rx_start / on_rx_end callbacks); whether its radio does anything
 //    with it is the radio's business.
 //  * A frame is delivered **clean** to a hearer unless (a) it overlapped
-//    any other transmission audible at that hearer (collision — no capture
-//    effect), (b) the hearer itself transmitted during the frame
-//    (half-duplex), or (c) an independent Bernoulli(frame_loss_prob) trial
-//    fails (fading/noise stand-in).
+//    any other transmission audible at that hearer (collision — resolved
+//    by the all-overlaps-corrupt rule by default, or by SINR with capture
+//    when Params::capture is enabled: the strongest frame survives a
+//    collision it dominates), (b) the hearer itself transmitted during the
+//    frame (half-duplex), or (c) an independent Bernoulli(frame_loss_prob)
+//    trial fails (fading/noise stand-in).
 //  * Carrier sense (`busy_at`) reflects what a node can hear, including its
 //    own transmission. Sensing range equals reception range; nodes farther
 //    apart are hidden terminals from each other — the grid scenarios rely
@@ -47,6 +49,39 @@ class ChannelListener {
 
 class Channel {
  public:
+  /// SINR-based reception with capture effect. Disabled (the default),
+  /// collisions follow the historical all-overlaps-corrupt rule and the
+  /// channel's behaviour is bit-for-bit unchanged — same RNG stream, same
+  /// draw count (the golden-protected switch). Enabled, every arrival
+  /// carries the rx power its link's propagation model assigns
+  /// (PropagationModel::rx_power_dbm), the channel tracks the *peak*
+  /// concurrent interference each arrival experiences, and an OVERLAPPED
+  /// frame is delivered clean iff its worst-case SINR clears the
+  /// threshold:
+  ///     rx_power >= 10^(threshold_db/10) · (noise + peak_interference)
+  /// — the strongest frame survives a collision it dominates, weaker
+  /// overlaps still corrupt. Collision-free frames are untouched (their
+  /// noise/SNR story is already the propagation model's PER — no double
+  /// jeopardy), and half-duplex plus the Bernoulli losses apply unchanged
+  /// on top.
+  struct CaptureParams {
+    bool enabled = false;
+    /// SINR required to decode, in dB; must be finite. At >= 0 dB the
+    /// usual capture contract holds: at most one frame survives a
+    /// collision (the conditions p_a >= m·(N+p_b) and p_b >= m·(N+p_a)
+    /// are mutually exclusive for linear m >= 1), so equal-power ties
+    /// corrupt both. Negative thresholds are deliberately legal but
+    /// change the regime: several overlapping frames can decode at one
+    /// receiver — an idealized multi-packet-reception model, useful for
+    /// leniency sweeps, not a physical single-antenna radio.
+    double threshold_db = 10.0;
+    /// Receiver noise power. Must convert to a positive, finite noise
+    /// power (NaN / ±inf are rejected — -inf dBm would be a zero-noise
+    /// receiver, which turns the SINR into a division-free comparison the
+    /// validation keeps honest instead).
+    double noise_floor_dbm = -100.0;
+  };
+
   struct Params {
     /// Extra independent Bernoulli loss per (frame, hearer), in [0, 1],
     /// composed with whatever the propagation model says per link.
@@ -54,6 +89,8 @@ class Channel {
     /// Link-quality model; the kAuto default resolves to UnitDisc, which
     /// is bit-for-bit the historical single-knob channel.
     PropagationSpec propagation;
+    /// Collision resolution; see CaptureParams.
+    CaptureParams capture;
 
     Params() = default;
     Params(double loss) : frame_loss_prob(loss) {}  // NOLINT(google-explicit-constructor)
@@ -111,11 +148,14 @@ class Channel {
   /// outlive the channel while attached.
   void set_link_state(const net::LinkState* links) { links_ = links; }
 
-  /// Crash support: marks the node's in-flight transmission (if any) as
-  /// corrupt for every hearer — the frame is truncated mid-air. The
-  /// transmission still occupies the medium until its scheduled end (the
-  /// carrier dies with the node, but at fault-plan time scales the
-  /// difference is nanoseconds of idle), so rx_end conservation holds.
+  /// Crash support: the node's in-flight transmission (if any) is
+  /// truncated mid-air — corrupt for every hearer, and the carrier dies
+  /// *now*: hearers get their rx_end at the abort time, the medium and
+  /// the frame's interference contribution end here rather than at the
+  /// originally scheduled rx_end, and the scheduled completion event is
+  /// cancelled. rx_start/rx_end/live conservation holds through the early
+  /// teardown (every started arrival is delivered, exactly once, as
+  /// corrupt).
   void abort_tx_of(net::NodeId src);
 
  private:
@@ -123,8 +163,16 @@ class Channel {
 
   struct Arrival {
     std::uint64_t tx_id;
+    /// Non-SINR verdict: Bernoulli loss + half-duplex + abort. In capture
+    /// mode overlap does NOT clear it; the SINR test at rx_end composes
+    /// on top (so a frame corrupted N ways is still counted exactly once).
     bool clean;
     util::Seconds end;
+    // Capture mode only (zero otherwise): this link's rx power and the
+    // running max of the concurrent interference sum (all other live
+    // arrival powers at this hearer) observed over the frame's lifetime.
+    double rx_power_mw = 0.0;
+    double peak_interference_mw = 0.0;
   };
 
   struct Transmission {
@@ -142,6 +190,9 @@ class Channel {
     std::uint32_t gen = 1;
     std::uint32_t next_free = kNoSlot;
     Transmission tx;
+    /// The scheduled finish_tx event — cancelled by abort_tx_of, which
+    /// finishes the transmission early instead.
+    sim::Simulator::EventHandle finish_event;
   };
 
   void finish_tx(std::uint64_t tx_id);
@@ -153,10 +204,16 @@ class Channel {
   util::Xoshiro256 rng_;
   Stats stats_;
   std::unique_ptr<PropagationModel> model_;
-  // UnitDisc fast path: constant loss probability, no virtual call per
-  // hearer (uniform_loss_ caches model_->uniform()).
+  // UnitDisc fast path: constant loss probability and rx power, no
+  // virtual call per hearer (uniform_loss_ caches model_->uniform()).
   bool uniform_loss_ = true;
   double unit_loss_ = 0.0;
+  double unit_rx_mw_ = 0.0;
+  // Capture mode, resolved once at construction: the linear SINR floor and
+  // noise power the per-arrival decision compares against.
+  bool capture_ = false;
+  double min_sinr_ = 0.0;
+  double noise_mw_ = 0.0;
   const net::LinkState* links_ = nullptr;
 
   std::vector<TxSlot> tx_slots_;
@@ -166,12 +223,19 @@ class Channel {
   // busy_at's emptiness check never sees a dead entry), with capacity
   // retained across the run.
   std::vector<std::vector<Arrival>> arrivals_;
+  // Capture mode: per node, the running sum of live arrival rx powers —
+  // an arrival's instantaneous interference is this sum minus its own
+  // power. Reset to exactly 0 whenever the arrival list empties, so
+  // floating-point residue cannot outlive a busy period.
+  std::vector<double> arrival_power_mw_;
   std::vector<std::uint64_t> transmitting_;      // per node: own tx id or 0
   std::vector<util::Seconds> own_tx_end_;        // valid when transmitting_
   // Per node: running max of every arrival end ever pushed. Expired
   // arrivals are pruned lazily — entries removed at their end time can
   // only leave a stale max <= now, so clear_at() is an O(1) max instead
-  // of a scan.
+  // of a scan. (An abort removes its arrivals early; the stale max then
+  // keeps carrier sense conservative until the original end, never
+  // optimistic.)
   std::vector<util::Seconds> arrival_max_end_;
 };
 

@@ -5,6 +5,7 @@
 
 #include "util/assert.hpp"
 #include "util/rng.hpp"
+#include "util/units.hpp"
 
 namespace bcp::phy {
 
@@ -35,37 +36,59 @@ double compose(double per, double extra) {
 
 class UnitDiscModel final : public PropagationModel {
  public:
-  explicit UnitDiscModel(double extra_loss) : loss_(extra_loss) {}
+  UnitDiscModel(double extra_loss, double rx_power_dbm)
+      : loss_(extra_loss),
+        rx_power_dbm_(rx_power_dbm),
+        rx_power_mw_(util::dbm_to_mw(rx_power_dbm)) {}
 
   PropagationKind kind() const override { return PropagationKind::kUnitDisc; }
   double loss_prob(net::NodeId, std::size_t, net::NodeId) const override {
     return loss_;
   }
   bool uniform() const override { return true; }
+  double rx_power_dbm(net::NodeId, std::size_t, net::NodeId) const override {
+    return rx_power_dbm_;
+  }
+  double rx_power_mw(net::NodeId, std::size_t, net::NodeId) const override {
+    return rx_power_mw_;
+  }
 
  private:
   double loss_;
+  double rx_power_dbm_;
+  double rx_power_mw_;
+};
+
+/// One link's frozen draws: composed loss probability plus the received
+/// power the SINR/capture mode reads (the linear mW twin is derived once
+/// at build so the Channel's interference sums never call pow()).
+struct LinkBudget {
+  double loss = 0.0;
+  double rx_power_dbm = 0.0;
+  double rx_power_mw = 0.0;
 };
 
 /// Shared implementation of the two per-link-table models: the table is
 /// aligned with graph.neighbors(src), so the Channel's hearer loop reads
-/// its link's loss probability by index.
+/// its link's loss probability (and rx power) by index.
 class PerLinkModel final : public PropagationModel {
  public:
-  template <typename PerFn>  // per = fn(src, dst, distance)
+  template <typename BudgetFn>  // {per, rx_power_dbm} = fn(src, dst, distance)
   PerLinkModel(PropagationKind kind, const net::ConnectivityGraph& graph,
-               double extra_loss, PerFn&& per_of) : kind_(kind) {
+               double extra_loss, BudgetFn&& budget_of) : kind_(kind) {
     const int n = graph.node_count();
-    loss_.resize(static_cast<std::size_t>(n));
+    links_.resize(static_cast<std::size_t>(n));
     for (net::NodeId src = 0; src < n; ++src) {
       const auto& nbrs = graph.neighbors(src);
-      auto& row = loss_[static_cast<std::size_t>(src)];
+      auto& row = links_[static_cast<std::size_t>(src)];
       row.reserve(nbrs.size());
       for (const net::NodeId dst : nbrs) {
         const double d =
             net::distance(graph.position(src), graph.position(dst));
-        const double per = std::clamp(per_of(src, dst, d), 0.0, 1.0);
-        row.push_back(compose(per, extra_loss));
+        LinkBudget link = budget_of(src, dst, d);
+        link.loss = compose(std::clamp(link.loss, 0.0, 1.0), extra_loss);
+        link.rx_power_mw = util::dbm_to_mw(link.rx_power_dbm);
+        row.push_back(link);
       }
     }
   }
@@ -74,14 +97,28 @@ class PerLinkModel final : public PropagationModel {
   double loss_prob(net::NodeId src, std::size_t neighbor_index,
                    net::NodeId dst) const override {
     (void)dst;
-    const auto& row = loss_[static_cast<std::size_t>(src)];
+    const auto& row = links_[static_cast<std::size_t>(src)];
     BCP_REQUIRE(neighbor_index < row.size());
-    return row[neighbor_index];
+    return row[neighbor_index].loss;
+  }
+  double rx_power_dbm(net::NodeId src, std::size_t neighbor_index,
+                      net::NodeId dst) const override {
+    (void)dst;
+    const auto& row = links_[static_cast<std::size_t>(src)];
+    BCP_REQUIRE(neighbor_index < row.size());
+    return row[neighbor_index].rx_power_dbm;
+  }
+  double rx_power_mw(net::NodeId src, std::size_t neighbor_index,
+                     net::NodeId dst) const override {
+    (void)dst;
+    const auto& row = links_[static_cast<std::size_t>(src)];
+    BCP_REQUIRE(neighbor_index < row.size());
+    return row[neighbor_index].rx_power_mw;
   }
 
  private:
   PropagationKind kind_;
-  std::vector<std::vector<double>> loss_;
+  std::vector<std::vector<LinkBudget>> links_;
 };
 
 /// One standard-normal draw from a generator seeded per link. Box–Muller;
@@ -122,10 +159,13 @@ std::unique_ptr<PropagationModel> make_propagation_model(
     const PropagationSpec& spec, const net::ConnectivityGraph& graph,
     double extra_loss, std::uint64_t seed) {
   BCP_REQUIRE(extra_loss >= 0.0 && extra_loss <= 1.0);
+  BCP_REQUIRE(std::isfinite(spec.fixed_rx_power_dbm));
+  BCP_REQUIRE(std::isfinite(spec.edge_rx_power_dbm));
   switch (spec.resolved()) {
     case PropagationKind::kAuto:  // unreachable; resolved() never returns it
     case PropagationKind::kUnitDisc:
-      return std::make_unique<UnitDiscModel>(extra_loss);
+      return std::make_unique<UnitDiscModel>(extra_loss,
+                                             spec.fixed_rx_power_dbm);
 
     case PropagationKind::kLogDistance: {
       BCP_REQUIRE(spec.path_loss_exponent > 0.0);
@@ -139,11 +179,16 @@ std::unique_ptr<PropagationModel> make_propagation_model(
             // Collocated nodes have effectively infinite margin; clamp the
             // distance away from zero so log10 stays finite.
             const double dist = std::max(d, 1e-3);
-            const double margin =
-                spec.fade_margin_db +
+            // One shadowing draw per link feeds BOTH the PER margin and
+            // the capture-mode rx power — a deep shadow that makes a link
+            // lossy also makes it weak in a collision.
+            const double gain_db =
                 10.0 * spec.path_loss_exponent * std::log10(range / dist) +
                 link_shadow_db(seed, a, b, spec.shadowing_sigma_db);
-            return 1.0 / (1.0 + std::exp(margin / spec.per_transition_db));
+            const double margin = spec.fade_margin_db + gain_db;
+            return LinkBudget{
+                1.0 / (1.0 + std::exp(margin / spec.per_transition_db)),
+                spec.edge_rx_power_dbm + gain_db};
           });
     }
 
@@ -160,8 +205,11 @@ std::unique_ptr<PropagationModel> make_propagation_model(
       BCP_REQUIRE(range > 0.0);
       return std::make_unique<PerLinkModel>(
           PropagationKind::kDistancePer, graph, extra_loss,
-          [&curve, range](net::NodeId, net::NodeId, double d) {
-            return interpolate_per(curve, d / range);
+          [&curve, range, &spec](net::NodeId, net::NodeId, double d) {
+            // The curve is a PER story, not a power story: capture mode
+            // sees the same fixed on/off power as the unit disc.
+            return LinkBudget{interpolate_per(curve, d / range),
+                              spec.fixed_rx_power_dbm};
           });
     }
   }

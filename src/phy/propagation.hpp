@@ -69,6 +69,16 @@ struct PropagationSpec {
   // distance_fraction with per in [0, 1].
   std::vector<PerPoint> per_curve;
 
+  // Received-power model backing SINR/capture reception (consulted only
+  // when Channel::Params::capture is enabled; see channel.hpp). The
+  // unit-disc and distance-PER models have no propagation story, so every
+  // heard link gets one fixed on/off power; log-distance derives a
+  // per-link power from the same path-loss + shadowing draw as its PER:
+  //   rx = edge_rx_power_dbm + 10·n·log10(range/d) + X
+  // (the dB margin above the disc-edge budget, anchored in dBm).
+  double fixed_rx_power_dbm = -60.0;  ///< kUnitDisc / kDistancePer links
+  double edge_rx_power_dbm = -80.0;   ///< kLogDistance power at the disc edge
+
   /// The kind this spec resolves to (kAuto → kUnitDisc).
   PropagationKind resolved() const {
     return kind == PropagationKind::kAuto ? PropagationKind::kUnitDisc : kind;
@@ -100,6 +110,19 @@ class PropagationModel {
   /// True when loss_prob is one constant for every link (UnitDisc) — lets
   /// the Channel skip the virtual call on its hot path.
   virtual bool uniform() const { return false; }
+
+  /// Received signal power (dBm) for a heard frame src→dst, indexed like
+  /// loss_prob. Only consulted when the Channel's SINR/capture mode is on
+  /// (one call per (frame, hearer) at rx_start); per-link values are
+  /// frozen at model build, sharing the loss table's shadowing draws.
+  virtual double rx_power_dbm(net::NodeId src, std::size_t neighbor_index,
+                              net::NodeId dst) const = 0;
+
+  /// Same power in linear mW — what the Channel's interference sums
+  /// actually consume. Implementations precompute it next to the frozen
+  /// dBm value so the hot path never pays a per-arrival pow().
+  virtual double rx_power_mw(net::NodeId src, std::size_t neighbor_index,
+                             net::NodeId dst) const = 0;
 };
 
 /// Builds the model `spec` describes over `graph`, composing `extra_loss`

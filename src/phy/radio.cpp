@@ -143,6 +143,10 @@ void Radio::on_rx_start(std::uint64_t tx_id, const Frame& frame,
 
 void Radio::on_rx_end(std::uint64_t tx_id, const Frame& frame, bool clean) {
   if (lock_tx_id_ != tx_id) return;  // never locked, or lock was abandoned
+  // An abort-truncated frame can end BEFORE its header-only timer fires;
+  // kill the timer with the lock, or its stale expiry would clear a later
+  // frame's overhear lock (it guards on state, not tx id).
+  sim_.cancel(header_done_event_);
   const bool addressed = lock_addressed_;
   lock_tx_id_ = 0;
   lock_addressed_ = false;

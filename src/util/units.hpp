@@ -11,6 +11,7 @@
 // at the call site instead of burying magic factors in the models.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 
 namespace bcp::util {
@@ -64,5 +65,12 @@ constexpr Seconds microseconds(double us) { return us * kMicro; }
 constexpr Seconds tx_duration(Bits bits, BitsPerSecond rate) {
   return static_cast<double>(bits) / rate;
 }
+
+/// dBm to milliwatts. SINR bookkeeping only ever compares power *ratios*,
+/// so the channel keeps linear powers in mW and never converts to watts.
+inline double dbm_to_mw(double dbm) { return std::pow(10.0, dbm / 10.0); }
+
+/// dB to a linear power ratio (10 dB -> 10x).
+inline double db_to_ratio(double db) { return std::pow(10.0, db / 10.0); }
 
 }  // namespace bcp::util

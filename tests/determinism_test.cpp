@@ -69,10 +69,11 @@ constexpr const char* kFig05SliceGolden = R"json({
 
 stats::ResultSink run_slice(
     int threads,
-    phy::PropagationKind propagation = phy::PropagationKind::kAuto) {
+    phy::PropagationKind propagation = phy::PropagationKind::kAuto,
+    bool capture = false) {
   app::SweepGrid grid;
   grid.axis_ints("cell", {0}).axis_ints("senders", {5, 15});
-  const app::SweepFn fn = [propagation](const app::SweepJob& job) {
+  const app::SweepFn fn = [propagation, capture](const app::SweepJob& job) {
     const app::SweepPoint scenario_point(
         job.point.index(), {{"senders", job.point.get("senders")},
                             {"burst", 10.0},
@@ -82,6 +83,11 @@ stats::ResultSink run_slice(
         app::ScenarioRegistry::builtin().make("sh/dual", scenario_point);
     cfg.seed = job.seed;
     cfg.propagation.kind = propagation;
+    cfg.capture_enabled = capture;
+    // A deliberately non-default threshold: with the switch off it must
+    // be inert (the capture-off differential golden pins exactly that),
+    // and with the switch on it is the live knob.
+    cfg.capture_threshold_db = 3.0;
     return app::standard_metrics(app::run_scenario(cfg));
   };
   app::SweepOptions options;
@@ -125,6 +131,34 @@ TEST(Determinism, LogDistanceModelActuallyChangesTheChannel) {
   const std::string logd =
       run_slice(1, phy::PropagationKind::kLogDistance).to_json("fig05_slice");
   EXPECT_NE(logd, std::string(kFig05SliceGolden));
+}
+
+// Differential golden for the SINR/capture switch: with capture DISABLED
+// (the default) — even alongside a non-default threshold knob, which
+// run_slice always sets — the figure pipeline must reproduce the
+// pre-capture golden byte for byte. This is the CI guarantee that the
+// per-arrival power bookkeeping stays entirely behind the switch: same
+// RNG stream, same draw count, same collision rule.
+TEST(Determinism, CaptureDisabledMatchesPreCaptureGoldenByteForByte) {
+  const std::string json =
+      run_slice(1, phy::PropagationKind::kAuto, /*capture=*/false)
+          .to_json("fig05_slice");
+  EXPECT_EQ(json, std::string(kFig05SliceGolden))
+      << "the capture-off channel drifted from the pre-capture golden";
+}
+
+// …and enabled it must be live. The unit-disc slice would be a tie
+// (equal-power collisions, zero Bernoulli loss — no RNG divergence), so
+// the differential runs on the log-distance channel, whose per-link
+// powers give capture something to decide.
+TEST(Determinism, CaptureActuallyChangesTheLossyChannel) {
+  const std::string base =
+      run_slice(1, phy::PropagationKind::kLogDistance, /*capture=*/false)
+          .to_json("fig05_slice");
+  const std::string captured =
+      run_slice(1, phy::PropagationKind::kLogDistance, /*capture=*/true)
+          .to_json("fig05_slice");
+  EXPECT_NE(captured, base);
 }
 
 }  // namespace

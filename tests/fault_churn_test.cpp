@@ -220,10 +220,17 @@ TEST(ChurnScenario, ChurnRunsAreDeterministic) {
   EXPECT_EQ(a.events_processed, b.events_processed);
 }
 
-TEST(ChurnScenario, ChurnReducesDeliveryVersusStaticNetwork) {
+TEST(ChurnScenario, ChurnReducesGoodputVersusStaticNetwork) {
   // Same workload with and without churn: crashing senders/relays must
-  // not *increase* delivered traffic (weak but universal direction).
+  // not *increase* the delivered fraction. Only meaningful while the
+  // static network is UNSATURATED — at the default 2 Kbps the mh/sensor
+  // grid sits near 0.36 goodput, where killing a fifth of the nodes for
+  // half the run is admission control and can raise the fraction
+  // delivered for the survivors. At a tenth of that load delivery tracks
+  // the offered traffic, so churn can only lose: the dead sender's own
+  // node-down drops plus relay outages.
   auto cfg = variant_config("churn-mh/sensor", 400.0, 11);
+  cfg.rate_bps = 200.0;
   cfg.faults.node_crashes = 8;
   cfg.faults.mean_downtime = 200.0;
   const auto churned = app::run_scenario(cfg);
@@ -231,8 +238,11 @@ TEST(ChurnScenario, ChurnReducesDeliveryVersusStaticNetwork) {
   cfg.faults.node_crashes = 0;
   const auto still = app::run_scenario(cfg);
   ASSERT_GT(still.delivered, 0);
+  ASSERT_GT(still.goodput, 0.9) << "baseline must be unsaturated for the "
+                                   "direction to be universal";
   EXPECT_GT(churned.fault_node_crashes, 0);
-  EXPECT_LE(churned.delivered, still.delivered);
+  EXPECT_GT(churned.dropped_node_down, 0);
+  EXPECT_LE(churned.goodput, still.goodput);
 }
 
 TEST(ChurnScenario, DutyCycledModelRejectsFaultPlans) {

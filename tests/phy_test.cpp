@@ -2,6 +2,8 @@
 // and the radio power/reception state machine.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -274,6 +276,30 @@ TEST(Propagation, DistancePerInterpolatesTheCurve) {
   EXPECT_NEAR(model->loss_prob(0, nbr_index(graph, 0, 2), 2), 0.6, 1e-12);
 }
 
+TEST(Propagation, RxPowerFollowsTheLinkBudget) {
+  // The dBm accessor is the human-facing face of the capture power model;
+  // rx_power_mw is its precomputed linear twin the Channel's hot path
+  // reads. Log-distance anchors the disc edge at edge_rx_power_dbm and
+  // climbs 10·n·log10(range/d) toward the transmitter.
+  const net::ConnectivityGraph graph({{0, 0}, {4, 0}, {36, 0}}, 40.0);
+  PropagationSpec spec;
+  spec.kind = PropagationKind::kLogDistance;
+  spec.shadowing_sigma_db = 0.0;  // isolate the distance term
+  const auto model = make_propagation_model(spec, graph, 0.0, 1);
+  // 4 m link: -80 + 30·log10(40/4) = -50 dBm; 36 m link ≈ -78.6 dBm.
+  EXPECT_NEAR(model->rx_power_dbm(0, nbr_index(graph, 0, 1), 1), -50.0,
+              1e-9);
+  EXPECT_NEAR(model->rx_power_dbm(0, nbr_index(graph, 0, 2), 2),
+              -80.0 + 30.0 * std::log10(40.0 / 36.0), 1e-9);
+  EXPECT_DOUBLE_EQ(model->rx_power_mw(0, nbr_index(graph, 0, 1), 1),
+                   util::dbm_to_mw(model->rx_power_dbm(
+                       0, nbr_index(graph, 0, 1), 1)));
+  // Unit-disc (and distance-PER) links share one fixed on/off power.
+  const auto disc = make_propagation_model(PropagationSpec{}, graph, 0.0, 1);
+  EXPECT_DOUBLE_EQ(disc->rx_power_dbm(0, 0, 1), -60.0);
+  EXPECT_DOUBLE_EQ(disc->rx_power_mw(0, 0, 1), util::dbm_to_mw(-60.0));
+}
+
 TEST(Propagation, ExtraLossComposesIndependently) {
   const net::ConnectivityGraph graph({{0, 0}, {50, 0}}, 100.0);
   PropagationSpec spec;
@@ -324,6 +350,229 @@ TEST(Propagation, LossyChannelStillConservesDeliveries) {
   for (const auto& e : p1.ends) clean += e.clean ? 1 : 0;
   EXPECT_GT(clean, 0);
   EXPECT_LT(clean, n);
+}
+
+// ------------------------------------------------------- SINR / capture --
+
+/// Probe that also records *when* each rx_end arrived — the abort
+/// regression below asserts truncation time, not just corruption.
+class TimedProbe : public ChannelListener {
+ public:
+  struct Rx {
+    std::uint64_t id;
+    bool clean;
+    util::Seconds at;
+  };
+  void on_rx_start(std::uint64_t, const Frame&, util::Seconds) override {
+    ++starts;
+  }
+  void on_rx_end(std::uint64_t id, const Frame&, bool clean) override {
+    ends.push_back(Rx{id, clean, sim->now()});
+  }
+  sim::Simulator* sim = nullptr;
+  int starts = 0;
+  std::vector<Rx> ends;
+};
+
+/// Log-distance spec with shadowing off and a huge fade margin: per-link
+/// PER is ~0 (no Bernoulli luck), leaving rx powers as the only physics —
+/// node distance alone decides who wins a collision.
+Channel::Params capture_params(double threshold_db = 10.0) {
+  Channel::Params params;
+  params.propagation.kind = PropagationKind::kLogDistance;
+  params.propagation.shadowing_sigma_db = 0.0;
+  params.propagation.fade_margin_db = 40.0;
+  params.capture.enabled = true;
+  params.capture.threshold_db = threshold_db;
+  return params;
+}
+
+TEST(ChannelCapture, StrongFrameSurvivesCollisionItDominates) {
+  // Receiver at the origin; a 4 m and a 36 m sender collide. Log-distance
+  // powers: near = -80 + 30·log10(40/4) = -50 dBm, far ≈ -78.6 dBm. The
+  // near frame clears 10 dB of SINR over the far one (+28 dB margin) and
+  // survives; the far frame (-28 dB) still corrupts.
+  sim::Simulator sim;
+  Channel ch(sim, {{0, 0}, {4, 0}, {36, 0}}, 40.0, capture_params(), 3);
+  Probe p0;
+  ch.attach(0, &p0);
+  ch.start_tx(1, make_frame(1, 0), 0.01);
+  ch.start_tx(2, make_frame(2, 0), 0.01);
+  sim.run();
+  ASSERT_EQ(p0.ends.size(), 2u);
+  EXPECT_TRUE(p0.ends[0].clean);    // near frame (started first)
+  EXPECT_FALSE(p0.ends[1].clean);   // far frame
+  // The only clean delivery anywhere: the two senders hear each other but
+  // were transmitting (half-duplex is absolute, capture or not).
+  EXPECT_EQ(ch.stats().deliveries_clean, 1);
+  EXPECT_EQ(ch.stats().deliveries_corrupt, 3);
+  EXPECT_EQ(ch.live_arrivals(), 0);
+}
+
+TEST(ChannelCapture, EqualPowerCollisionIsStillATie) {
+  // Unit-disc powers are identical, so neither frame can dominate — the
+  // capture switch reproduces all-overlaps-corrupt on equal-power ties.
+  sim::Simulator sim;
+  Channel::Params params;
+  params.capture.enabled = true;
+  Channel ch(sim, {{0, 0}, {50, 0}, {100, 0}}, 60.0, params, 1);
+  Probe p1;
+  ch.attach(1, &p1);
+  ch.start_tx(0, make_frame(0, 1), 0.01);
+  ch.start_tx(2, make_frame(2, 1), 0.01);
+  sim.run();
+  ASSERT_EQ(p1.ends.size(), 2u);
+  EXPECT_FALSE(p1.ends[0].clean);
+  EXPECT_FALSE(p1.ends[1].clean);
+}
+
+TEST(ChannelCapture, LenientThresholdNeverCorruptsCollisionFreeFrames) {
+  // Collision-free reception must be untouched by the capture switch even
+  // for weak edge links: the SINR gate applies to overlapped frames only
+  // (the noise/SNR story of a lone frame is the propagation model's PER).
+  sim::Simulator sim;
+  Channel ch(sim, {{0, 0}, {39, 0}}, 40.0, capture_params(), 3);
+  Probe p1;
+  ch.attach(1, &p1);
+  for (int i = 0; i < 20; ++i)
+    sim.schedule_at(i * 1.0, [&] { ch.start_tx(0, make_frame(0, 1), 0.01); });
+  sim.run();
+  ASSERT_EQ(p1.ends.size(), 20u);
+  for (const auto& e : p1.ends) EXPECT_TRUE(e.clean);
+}
+
+TEST(ChannelCapture, ThreeWayCollisionCorruptsEachFrameExactlyOnce) {
+  // Three hidden terminals (pairwise ~87 m apart, range 60 m) collide at
+  // the centre node: every frame is overlapped by two others, yet each
+  // (frame, hearer) increments deliveries_corrupt exactly once — in both
+  // collision-resolution modes.
+  for (const bool capture : {false, true}) {
+    sim::Simulator sim;
+    Channel::Params params;
+    params.capture.enabled = capture;
+    Channel ch(sim, {{0, 0}, {50, 0}, {-25, 43.3}, {-25, -43.3}}, 60.0,
+               params, 9);
+    Probe p0;
+    ch.attach(0, &p0);
+    ch.start_tx(1, make_frame(1, 0), 0.01);
+    ch.start_tx(2, make_frame(2, 0), 0.01);
+    ch.start_tx(3, make_frame(3, 0), 0.01);
+    sim.run();
+    ASSERT_EQ(p0.starts, 3) << "capture=" << capture;
+    ASSERT_EQ(p0.ends.size(), 3u) << "capture=" << capture;
+    std::vector<std::uint64_t> seen;
+    for (const auto& e : p0.ends) {
+      EXPECT_FALSE(e.clean) << "capture=" << capture;
+      for (const std::uint64_t id : seen)
+        EXPECT_NE(id, e.id) << "duplicate rx_end, capture=" << capture;
+      seen.push_back(e.id);
+    }
+    // Exactly one corrupt delivery per (frame, hearer); only node 0 hears
+    // anything (the senders are hidden from each other).
+    EXPECT_EQ(ch.stats().rx_starts, 3) << "capture=" << capture;
+    EXPECT_EQ(ch.stats().deliveries_corrupt, 3) << "capture=" << capture;
+    EXPECT_EQ(ch.stats().deliveries_clean, 0) << "capture=" << capture;
+    EXPECT_EQ(ch.live_arrivals(), 0) << "capture=" << capture;
+  }
+}
+
+TEST(ChannelCapture, InvalidCaptureParamsThrow) {
+  // Mirrors the frame_loss_prob range validation: NaN thresholds and
+  // NaN / zero / infinite noise powers are configuration errors whether
+  // or not the capture switch is on.
+  sim::Simulator sim;
+  const std::vector<net::Position> pos = {{0, 0}, {10, 0}};
+  Channel::Params params;
+  params.capture.threshold_db = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(Channel(sim, pos, 50.0, params, 1), std::invalid_argument);
+  params = Channel::Params{};
+  params.capture.noise_floor_dbm = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(Channel(sim, pos, 50.0, params, 1), std::invalid_argument);
+  params = Channel::Params{};
+  // -inf dBm would be a zero-noise receiver: rejected as non-positive
+  // noise power.
+  params.capture.noise_floor_dbm = -std::numeric_limits<double>::infinity();
+  EXPECT_THROW(Channel(sim, pos, 50.0, params, 1), std::invalid_argument);
+  params = Channel::Params{};
+  params.capture.noise_floor_dbm = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(Channel(sim, pos, 50.0, params, 1), std::invalid_argument);
+  // Finite values — including a deliberately lenient negative threshold —
+  // are legal.
+  params = Channel::Params{};
+  params.capture.enabled = true;
+  params.capture.threshold_db = -3.0;
+  params.capture.noise_floor_dbm = -90.0;
+  EXPECT_NO_THROW(Channel(sim, pos, 50.0, params, 1));
+}
+
+TEST(ChannelAbort, TruncationEndsDeliveryAndMediumAtAbortTime) {
+  // Crash mid-overlap: node 0's long frame is aborted while node 2's
+  // short frame overlaps it at node 1. The aborted frame's rx_end must
+  // arrive AT the abort time (not its originally scheduled end), the
+  // medium must free immediately, and the conservation counters must
+  // still balance.
+  sim::Simulator sim;
+  Channel ch(sim, {{0, 0}, {10, 0}, {20, 0}}, 50.0, Channel::Params{0.0}, 5);
+  TimedProbe probes[3];
+  for (net::NodeId i = 0; i < 3; ++i) {
+    probes[i].sim = &sim;
+    ch.attach(i, &probes[i]);
+  }
+  ch.start_tx(0, make_frame(0, 1), 0.1);                     // ends 0.1
+  sim.schedule_at(0.02, [&] { ch.start_tx(2, make_frame(2, 1), 0.01); });
+  sim.schedule_at(0.05, [&] {
+    ch.abort_tx_of(0);
+    // The aborted frame is gone from the air right now: delivered, and
+    // node 1 no longer hears anything.
+    EXPECT_EQ(ch.live_arrivals(), 0);
+    EXPECT_FALSE(ch.busy_at(1));
+    EXPECT_FALSE(ch.busy_at(0));
+    // Aborting a node that is not transmitting is a no-op.
+    ch.abort_tx_of(2);
+  });
+  sim.run();
+  // Node 1 heard both frames; both overlapped, both corrupt. The aborted
+  // frame's rx_end fired at 0.05, the overlapper's at its natural 0.03.
+  ASSERT_EQ(probes[1].ends.size(), 2u);
+  EXPECT_FALSE(probes[1].ends[0].clean);
+  EXPECT_FALSE(probes[1].ends[1].clean);
+  EXPECT_DOUBLE_EQ(probes[1].ends[0].at, 0.03);  // node 2's frame
+  EXPECT_DOUBLE_EQ(probes[1].ends[1].at, 0.05);  // aborted frame, truncated
+  // Node 2 heard only the aborted frame (it overlapped node 2's own
+  // transmission — corrupt either way), truncated at 0.05 as well.
+  ASSERT_EQ(probes[2].ends.size(), 1u);
+  EXPECT_DOUBLE_EQ(probes[2].ends[0].at, 0.05);
+  // Conservation: every rx_start got exactly one rx_end.
+  EXPECT_EQ(ch.stats().rx_starts,
+            ch.stats().deliveries_clean + ch.stats().deliveries_corrupt);
+  EXPECT_EQ(ch.live_arrivals(), 0);
+  EXPECT_EQ(ch.stats().deliveries_clean, 0);
+  EXPECT_EQ(ch.stats().deliveries_corrupt, 4);
+}
+
+TEST(ChannelAbort, AbortedInterferenceDoesNotOutliveTheAbort) {
+  // Capture mode: a strong frame is aborted, then a weak frame starts
+  // AFTER the abort but BEFORE the strong frame's scheduled end. If the
+  // aborted transmission's interference contribution leaked through to
+  // its original rx_end, the weak frame would be judged against it and
+  // corrupt; truncated correctly, the weak frame never overlaps anything
+  // and is delivered clean.
+  sim::Simulator sim;
+  Channel ch(sim, {{0, 0}, {4, 0}, {36, 0}}, 40.0, capture_params(), 3);
+  TimedProbe p0;
+  p0.sim = &sim;
+  ch.attach(0, &p0);
+  ch.start_tx(1, make_frame(1, 0), 0.1);                      // strong, -50 dBm
+  sim.schedule_at(0.01, [&] { ch.abort_tx_of(1); });
+  sim.schedule_at(0.02, [&] { ch.start_tx(2, make_frame(2, 0), 0.01); });
+  sim.run();
+  ASSERT_EQ(p0.ends.size(), 2u);
+  EXPECT_FALSE(p0.ends[0].clean);              // the truncated strong frame
+  EXPECT_DOUBLE_EQ(p0.ends[0].at, 0.01);
+  EXPECT_TRUE(p0.ends[1].clean) << "aborted frame's interference leaked "
+                                   "past the abort time";
+  EXPECT_EQ(ch.stats().rx_starts,
+            ch.stats().deliveries_clean + ch.stats().deliveries_corrupt);
 }
 
 // ---------------------------------------------------------------- Radio --
@@ -459,6 +708,29 @@ TEST_F(RadioTest, OverhearHeaderOnlyPaysJustTheHeader) {
   const double header_time = 88.0 / 250e3;
   EXPECT_NEAR(other.meter().duration(energy::EnergyCategory::kOverhear),
               header_time, 1e-9);
+}
+
+TEST_F(RadioTest, AbortMidHeaderDoesNotTruncateTheNextOverhear) {
+  // Regression: an abort-truncated frame ends BEFORE its header-only
+  // timer fires. The stale timer must die with the lock — otherwise its
+  // expiry (which guards on state, not tx id) clears a LATER frame's
+  // overhear lock and cuts that frame's header charge short.
+  Radio other(sim_, channel_, 2, energy::micaz(), OverhearMode::kHeaderOnly,
+              true);
+  const double header_time = 88.0 / 250e3;  // 0.352 ms at 250 Kb/s
+  channel_.start_tx(0, make_frame(0, 1), 0.01);
+  sim_.schedule_at(0.0001, [&] { channel_.abort_tx_of(0); });
+  // Frame B starts after the abort but before A's header timer would
+  // have fired; its overhear must run its own full header.
+  sim_.schedule_at(0.0002, [&] {
+    channel_.start_tx(1, make_frame(1, 0), 0.01);
+  });
+  sim_.run();
+  other.meter().finalize(sim_.now());
+  EXPECT_EQ(other.state(), RadioState::kIdle);
+  // A charged up to its truncation (0.1 ms), B its full header.
+  EXPECT_NEAR(other.meter().duration(energy::EnergyCategory::kOverhear),
+              0.0001 + header_time, 1e-9);
 }
 
 TEST_F(RadioTest, TransmitWhileNotReadyThrows) {

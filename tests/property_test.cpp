@@ -231,6 +231,7 @@ struct CrossModelCase {
   int link_flaps;
   bool multi_hop;
   app::EvalModel model;
+  bool capture = false;  ///< SINR/capture collision resolution on
 };
 
 class CrossModelInvariants
@@ -247,6 +248,7 @@ TEST_P(CrossModelInvariants, ConservationLawsHold) {
   cfg.seed = 77;
   cfg.propagation.kind = c.kind;
   cfg.frame_loss_prob = c.extra_loss;
+  cfg.capture_enabled = c.capture;
   cfg.faults.node_crashes = c.crashes;
   cfg.faults.link_flaps = c.link_flaps;
   cfg.faults.mean_downtime = 40.0;
@@ -331,6 +333,21 @@ INSTANTIATE_TEST_SUITE_P(
         CrossModelCase{"logd_churn_flaps_mh_dual",
                        phy::PropagationKind::kLogDistance, 0.0, 4, 2, true,
                        app::EvalModel::kDualRadio},
+        // SINR/capture collision resolution, across all three models and
+        // composed with churn — the conservation laws may not care HOW a
+        // collision resolves.
+        CrossModelCase{"disc_capture_mh_dual",
+                       phy::PropagationKind::kUnitDisc, 0.0, 0, 0, true,
+                       app::EvalModel::kDualRadio, true},
+        CrossModelCase{"logd_capture_mh_dual",
+                       phy::PropagationKind::kLogDistance, 0.0, 0, 0, true,
+                       app::EvalModel::kDualRadio, true},
+        CrossModelCase{"logd_capture_churn_mh_sensor",
+                       phy::PropagationKind::kLogDistance, 0.0, 3, 2, true,
+                       app::EvalModel::kSensor, true},
+        CrossModelCase{"dper_capture_sh_dual",
+                       phy::PropagationKind::kDistancePer, 0.0, 2, 0, false,
+                       app::EvalModel::kDualRadio, true},
         // DistancePer: curve-driven PER.
         CrossModelCase{"dper_mh_dual", phy::PropagationKind::kDistancePer,
                        0.0, 0, 0, true, app::EvalModel::kDualRadio},
@@ -368,6 +385,46 @@ TEST_P(GoodputMonotone, NonIncreasingInExtraLoss) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllPropagationModels, GoodputMonotone,
+                         ::testing::Values(
+                             phy::PropagationKind::kUnitDisc,
+                             phy::PropagationKind::kLogDistance,
+                             phy::PropagationKind::kDistancePer),
+                         [](const auto& param_info) {
+                           return std::string(
+                               phy::to_string(param_info.param));
+                         });
+
+/// Goodput is monotonically non-decreasing in capture-threshold
+/// *leniency* under every propagation model: lowering the threshold can
+/// only move overlapped frames from corrupt to clean (the SINR test is
+/// pointwise monotone; the same MAC-luck slack as GoodputMonotone
+/// absorbs retry feedback). Unit-disc collisions are equal-power ties at
+/// any positive threshold, so that model bounds the null case.
+class CaptureLeniencyMonotone
+    : public ::testing::TestWithParam<phy::PropagationKind> {};
+
+TEST_P(CaptureLeniencyMonotone, GoodputNonDecreasingAsThresholdDrops) {
+  double previous = -1.0;
+  for (const double threshold_db : {14.0, 8.0, 2.0}) {
+    auto cfg =
+        app::ScenarioConfig::multi_hop(app::EvalModel::kSensor, 5, 50);
+    cfg.duration = 250.0;
+    cfg.seed = 77;
+    cfg.propagation.kind = GetParam();
+    cfg.capture_enabled = true;
+    cfg.capture_threshold_db = threshold_db;
+    const auto m = app::run_scenario(cfg);
+    EXPECT_GE(m.goodput, previous - 0.05) << "threshold " << threshold_db;
+    // Conservation holds at every threshold: deliveries never exceed
+    // frames × possible hearers.
+    const int n = cfg.topology.node_count();
+    EXPECT_EQ(m.chan_rx_starts, m.chan_rx_ends + m.chan_rx_live_at_end);
+    EXPECT_LE(m.chan_rx_ends, m.chan_frames * (n - 1));
+    previous = m.goodput;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPropagationModels, CaptureLeniencyMonotone,
                          ::testing::Values(
                              phy::PropagationKind::kUnitDisc,
                              phy::PropagationKind::kLogDistance,
