@@ -115,6 +115,23 @@ void set_scenario_meta(stats::ResultSink& sink,
                   config.sensor_radio.noise_floor_dbm);
     sink.set_meta("wifi_noise_floor_dbm", config.wifi_radio.noise_floor_dbm);
   }
+  // MAC-family identity — only when a radio class departs from the kAuto
+  // (historical CSMA/CA) default, keeping every CSMA export byte-identical.
+  const auto mac_meta = [&sink](const char* radio, const mac::MacSpec& spec) {
+    if (spec.family == mac::MacFamily::kAuto) return;
+    sink.set_meta(std::string(radio) + "_mac", mac::to_string(spec.family));
+    if (!spec.is_tdma()) return;
+    // Zeros mean "class defaults" (resolved per-run against the schedule);
+    // emit them as-is so the spec is reproducible from the meta.
+    sink.set_meta(std::string(radio) + "_tdma_slot_s", spec.tdma.slot_len);
+    sink.set_meta(std::string(radio) + "_tdma_guard_s", spec.tdma.guard);
+    sink.set_meta(std::string(radio) + "_tdma_beacon_period_s",
+                  spec.tdma.beacon_period);
+    sink.set_meta(std::string(radio) + "_tdma_sync_drift",
+                  spec.tdma.sync_drift);
+  };
+  mac_meta("sensor", config.sensor_mac);
+  mac_meta("wifi", config.wifi_mac);
   if (!config.faults.empty()) {
     sink.set_meta("fault_seed", static_cast<double>(config.faults.seed));
     sink.set_meta("fault_crashes",

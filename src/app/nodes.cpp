@@ -3,10 +3,35 @@
 #include <utility>
 
 #include "mac/mac_params.hpp"
+#include "mac/tdma_mac.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
 
 namespace bcp::app {
+
+std::unique_ptr<mac::Mac> make_mac(sim::Simulator& sim, phy::Radio& radio,
+                                   const MacChoice& choice,
+                                   std::uint64_t seed) {
+  if (choice.family == mac::MacFamily::kTdma) {
+    BCP_REQUIRE_MSG(choice.schedule != nullptr,
+                    "a TDMA MacChoice needs the shared slot schedule");
+    return std::make_unique<mac::TdmaMac>(sim, radio, choice.tdma,
+                                          *choice.schedule, seed);
+  }
+  return std::make_unique<mac::CsmaCaMac>(sim, radio, choice.csma, seed);
+}
+
+namespace {
+
+/// The deprecated typed accessors' downcast, shared by both assemblies.
+mac::CsmaCaMac& as_csma(mac::Mac& m) {
+  auto* csma = dynamic_cast<mac::CsmaCaMac*>(&m);
+  BCP_ENSURE_MSG(csma != nullptr,
+                 "typed CSMA accessor used on a non-CSMA MAC family");
+  return *csma;
+}
+
+}  // namespace
 
 // ---------------------------------------------------------- ForwardingNode
 
@@ -15,23 +40,25 @@ ForwardingNode::ForwardingNode(sim::Simulator& sim, phy::Channel& channel,
                                net::NodeId self, net::NodeId sink,
                                const energy::RadioEnergyModel& radio_model,
                                phy::OverhearMode overhear,
-                               mac::MacParams mac_params, std::uint64_t seed,
-                               DeliverySink* delivery)
+                               const MacChoice& mac_choice,
+                               std::uint64_t seed, DeliverySink* delivery)
     : sim_(sim), routes_(routes), self_(self), sink_(sink),
       delivery_(delivery),
       radio_(sim, channel, self, radio_model, overhear, /*start_on=*/true),
-      mac_(sim, radio_, mac_params,
-           util::substream(seed, static_cast<std::uint64_t>(self),
-                           0x4D4143u)) {
+      mac_(make_mac(sim, radio_, mac_choice,
+                    util::substream(seed, static_cast<std::uint64_t>(self),
+                                    0x4D4143u))) {
   BCP_REQUIRE(delivery != nullptr);
-  mac_.set_rx_callback(
+  mac_->set_rx_callback(
       [this](const net::Message& m, net::NodeId from) { on_rx(m, from); });
-  mac_.set_tx_done_callback([this](const net::Message& m, net::NodeId,
-                                   bool success) {
+  mac_->set_tx_done_callback([this](const net::Message& m, net::NodeId,
+                                    bool success) {
     if (!success && m.is_data())
       delivery_->dropped(std::get<net::DataPacket>(m.body), "mac-failed");
   });
 }
+
+mac::CsmaCaMac& ForwardingNode::csma_mac() { return as_csma(*mac_); }
 
 void ForwardingNode::send(const net::DataPacket& packet) {
   if (!up_) {
@@ -48,7 +75,7 @@ void ForwardingNode::send(const net::DataPacket& packet) {
 void ForwardingNode::crash() {
   if (!up_) return;
   up_ = false;
-  mac_.reset_on_crash();
+  mac_->reset_on_crash();
   radio_.force_off();
 }
 
@@ -56,6 +83,7 @@ void ForwardingNode::recover() {
   if (up_) return;
   up_ = true;
   radio_.power_on();
+  mac_->on_recover();
 }
 
 void ForwardingNode::forward(const net::Message& msg) {
@@ -69,7 +97,7 @@ void ForwardingNode::forward(const net::Message& msg) {
       delivery_->dropped(std::get<net::DataPacket>(msg.body), "no-route");
     return;
   }
-  if (!mac_.enqueue(msg, next)) {
+  if (!mac_->enqueue(msg, next)) {
     if (msg.is_data())
       delivery_->dropped(std::get<net::DataPacket>(msg.body), "queue-full");
   }
@@ -87,7 +115,8 @@ DualRadioNode::DualRadioNode(
     net::NodeId self, const energy::RadioEnergyModel& sensor_model,
     const energy::RadioEnergyModel& wifi_model,
     const core::BcpConfig& bcp_config, phy::OverhearMode wifi_overhear,
-    std::uint64_t seed, DeliverySink* delivery)
+    std::uint64_t seed, DeliverySink* delivery, const MacChoice& low_mac,
+    const MacChoice& high_mac)
     : sim_(sim),
       high_channel_(high_channel),
       low_routes_(low_routes),
@@ -102,27 +131,29 @@ DualRadioNode::DualRadioNode(
                  phy::OverhearMode::kHeaderOnly, /*start_on=*/true),
       high_radio_(sim, high_channel, self, wifi_model, wifi_overhear,
                   /*start_on=*/false),
-      low_mac_(sim, low_radio_, mac::sensor_mac_params(),
-               util::substream(seed, static_cast<std::uint64_t>(self),
-                               0x4C4F57u)),
-      high_mac_(sim, high_radio_, mac::dcf_mac_params(),
-                util::substream(seed, static_cast<std::uint64_t>(self),
-                                0x484957u)),
+      low_mac_(make_mac(sim, low_radio_, low_mac,
+                        util::substream(seed,
+                                        static_cast<std::uint64_t>(self),
+                                        0x4C4F57u))),
+      high_mac_(make_mac(sim, high_radio_, high_mac,
+                         util::substream(seed,
+                                         static_cast<std::uint64_t>(self),
+                                         0x484957u))),
       agent_(*this, bcp_config) {
   BCP_REQUIRE(delivery != nullptr);
 
-  low_mac_.set_rx_callback(
+  low_mac_->set_rx_callback(
       [this](const net::Message& m, net::NodeId from) { on_low_rx(m, from); });
-  low_mac_.set_tx_done_callback([this](const net::Message& m, net::NodeId,
+  low_mac_->set_tx_done_callback([this](const net::Message& m, net::NodeId,
                                         bool success) {
     // Only data rides the low radio when the kFallbackLow delay policy is
     // active; account its link-layer losses like the forwarding models do.
     if (!success && m.is_data())
       delivery_->dropped(std::get<net::DataPacket>(m.body), "mac-failed");
   });
-  high_mac_.set_rx_callback(
+  high_mac_->set_rx_callback(
       [this](const net::Message& m, net::NodeId from) { on_high_rx(m, from); });
-  high_mac_.set_tx_done_callback(
+  high_mac_->set_tx_done_callback(
       [this](const net::Message&, net::NodeId, bool success) {
         BCP_ENSURE_MSG(!high_done_.empty(),
                        "high-radio completion without a pending send");
@@ -155,8 +186,8 @@ void DualRadioNode::crash() {
   // agent's completion expectations died with it), then the radios go
   // dark, truncating anything mid-air.
   agent_.crash();
-  low_mac_.reset_on_crash();
-  high_mac_.reset_on_crash();
+  low_mac_->reset_on_crash();
+  high_mac_->reset_on_crash();
   high_done_.clear();
   low_radio_.force_off();
   high_radio_.force_off();
@@ -168,7 +199,12 @@ void DualRadioNode::recover() {
   // The sensor radio is always-on for a live node; the 802.11 radio stays
   // off until the (freshly reset) agent next acquires it.
   low_radio_.power_on();
+  low_mac_->on_recover();
 }
+
+mac::CsmaCaMac& DualRadioNode::sensor_csma_mac() { return as_csma(*low_mac_); }
+
+mac::CsmaCaMac& DualRadioNode::wifi_csma_mac() { return as_csma(*high_mac_); }
 
 core::BcpHost::TimerId DualRadioNode::set_timer(
     util::Seconds delay, core::BcpHost::TimerCallback callback) {
@@ -184,13 +220,13 @@ void DualRadioNode::send_low(net::MessageRef msg) {
   BCP_REQUIRE(msg->dst != self_);
   const net::NodeId next = low_routes_.next_hop(self_, msg->dst);
   if (next == net::kInvalidNode) return;  // unreachable peer: handshake fails
-  low_mac_.enqueue(std::move(msg), next);
+  low_mac_->enqueue(std::move(msg), next);
 }
 
 void DualRadioNode::send_high(net::MessageRef msg, net::NodeId peer,
                               core::BcpHost::SendDone done) {
   BCP_REQUIRE(peer != self_);
-  if (!high_mac_.enqueue(std::move(msg), peer)) {
+  if (!high_mac_->enqueue(std::move(msg), peer)) {
     // Queue full (pathological): report failure asynchronously so the
     // caller's state machine is not reentered from inside send_high.
     sim_.schedule_in(0.0, [done = std::move(done)] { done(false); });
@@ -254,7 +290,7 @@ void DualRadioNode::on_low_rx(const net::Message& msg, net::NodeId /*from*/) {
   // Relay the control message one more low-radio hop (below BCP, §3).
   const net::NodeId next = low_routes_.next_hop(self_, msg.dst);
   if (next == net::kInvalidNode) return;
-  low_mac_.enqueue(msg, next);
+  low_mac_->enqueue(msg, next);
 }
 
 void DualRadioNode::on_high_rx(const net::Message& msg,

@@ -11,14 +11,21 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 
 #include "core/bcp_agent.hpp"
 #include "core/bcp_host.hpp"
 #include "mac/csma_mac.hpp"
+#include "mac/mac.hpp"
+#include "mac/mac_spec.hpp"
 #include "net/routing.hpp"
 #include "phy/radio.hpp"
 #include "sim/simulator.hpp"
 #include "util/sliding_queue.hpp"
+
+namespace bcp::mac {
+struct TdmaSchedule;
+}
 
 namespace bcp::app {
 
@@ -28,13 +35,32 @@ struct DeliverySink {
   std::function<void(const net::DataPacket&, const char*)> dropped;
 };
 
+/// Which concrete MAC a node assembly instantiates behind the mac::Mac
+/// seam. The default (kAuto family + the class MacParams) is the
+/// historical CSMA/CA engine, bit-for-bit. A kTdma choice needs resolved
+/// TdmaParams and a schedule that outlives the node (the scenario owns
+/// both).
+struct MacChoice {
+  mac::MacParams csma;
+  mac::MacFamily family = mac::MacFamily::kAuto;
+  mac::TdmaParams tdma;
+  const mac::TdmaSchedule* schedule = nullptr;
+};
+
+/// Instantiates the chosen family. CSMA choices consume `seed` exactly as
+/// the pre-seam concrete members did (the byte-identical contract); TDMA
+/// draws its per-node clock drift from it.
+std::unique_ptr<mac::Mac> make_mac(sim::Simulator& sim, phy::Radio& radio,
+                                   const MacChoice& choice,
+                                   std::uint64_t seed);
+
 /// Single-radio store-and-forward node.
 class ForwardingNode {
  public:
   ForwardingNode(sim::Simulator& sim, phy::Channel& channel,
                  const net::Router& routes, net::NodeId self,
                  net::NodeId sink, const energy::RadioEnergyModel& radio_model,
-                 phy::OverhearMode overhear, mac::MacParams mac_params,
+                 phy::OverhearMode overhear, const MacChoice& mac_choice,
                  std::uint64_t seed, DeliverySink* delivery);
 
   /// Entry point for locally generated packets. While the node is down,
@@ -51,8 +77,11 @@ class ForwardingNode {
 
   phy::Radio& radio() { return radio_; }
   const phy::Radio& radio() const { return radio_; }
-  mac::CsmaCaMac& mac() { return mac_; }
-  const mac::CsmaCaMac& mac() const { return mac_; }
+  mac::Mac& mac() { return *mac_; }
+  const mac::Mac& mac() const { return *mac_; }
+  /// Deprecated typed view for tests that read CSMA-specific stats (ack
+  /// counters); throws std::logic_error when the node runs another family.
+  mac::CsmaCaMac& csma_mac();
   net::NodeId self() const { return self_; }
 
  private:
@@ -65,10 +94,10 @@ class ForwardingNode {
   net::NodeId sink_;
   DeliverySink* delivery_;
   bool up_ = true;
-  // Direct members (not unique_ptr): a 2500-node scenario builds and tears
-  // these down per run, and the pointer hops cost more than they buy.
   phy::Radio radio_;
-  mac::CsmaCaMac mac_;
+  // Behind the seam: which family lives here is a MacChoice decision made
+  // once per run at construction (not hot-path state).
+  std::unique_ptr<mac::Mac> mac_;
 };
 
 /// Dual-radio node: sensor radio + CSMA MAC for control, 802.11 radio +
@@ -82,7 +111,15 @@ class DualRadioNode final : public core::BcpHost {
                 const energy::RadioEnergyModel& wifi_model,
                 const core::BcpConfig& bcp_config,
                 phy::OverhearMode wifi_overhear, std::uint64_t seed,
-                DeliverySink* delivery);
+                DeliverySink* delivery,
+                const MacChoice& low_mac = MacChoice{mac::sensor_mac_params(),
+                                                     mac::MacFamily::kAuto,
+                                                     {},
+                                                     nullptr},
+                const MacChoice& high_mac = MacChoice{mac::dcf_mac_params(),
+                                                      mac::MacFamily::kAuto,
+                                                      {},
+                                                      nullptr});
 
   /// Entry point for locally generated packets (goes through BCP). While
   /// the node is down, packets are dropped with reason "node-down".
@@ -103,10 +140,14 @@ class DualRadioNode final : public core::BcpHost {
   const phy::Radio& sensor_radio() const { return low_radio_; }
   phy::Radio& wifi_radio() { return high_radio_; }
   const phy::Radio& wifi_radio() const { return high_radio_; }
-  mac::CsmaCaMac& sensor_mac() { return low_mac_; }
-  const mac::CsmaCaMac& sensor_mac() const { return low_mac_; }
-  mac::CsmaCaMac& wifi_mac() { return high_mac_; }
-  const mac::CsmaCaMac& wifi_mac() const { return high_mac_; }
+  mac::Mac& sensor_mac() { return *low_mac_; }
+  const mac::Mac& sensor_mac() const { return *low_mac_; }
+  mac::Mac& wifi_mac() { return *high_mac_; }
+  const mac::Mac& wifi_mac() const { return *high_mac_; }
+  /// Deprecated typed views for tests that read CSMA-specific stats;
+  /// throw std::logic_error when the radio runs another family.
+  mac::CsmaCaMac& sensor_csma_mac();
+  mac::CsmaCaMac& wifi_csma_mac();
 
   // core::BcpHost:
   net::NodeId self() const override { return self_; }
@@ -138,12 +179,12 @@ class DualRadioNode final : public core::BcpHost {
   net::NodeId self_;
   DeliverySink* delivery_;
   bool up_ = true;
-  // Direct members, constructed in declaration order (radios before MACs
-  // before the agent, which binds to *this as its BcpHost).
+  // Constructed in declaration order (radios before MACs before the
+  // agent, which binds to *this as its BcpHost).
   phy::Radio low_radio_;
   phy::Radio high_radio_;
-  mac::CsmaCaMac low_mac_;
-  mac::CsmaCaMac high_mac_;
+  std::unique_ptr<mac::Mac> low_mac_;
+  std::unique_ptr<mac::Mac> high_mac_;
   core::BcpAgent agent_;
   /// Completion callbacks for in-flight high-radio sends, FIFO with the
   /// MAC's single queue.

@@ -9,6 +9,7 @@
 #include "app/nodes.hpp"
 #include "app/workload.hpp"
 #include "mac/mac_params.hpp"
+#include "mac/tdma_mac.hpp"
 #include "net/routing.hpp"
 #include "net/topology.hpp"
 #include "phy/channel.hpp"
@@ -157,6 +158,23 @@ RunMetrics run_scenario(const ScenarioConfig& config) {
                   "fault injection is not supported for the duty-cycled "
                   "802.11 strawman");
 
+  // MAC family selection per radio class. Validation first (bad TDMA
+  // knobs throw before any simulation state exists); the slotted family
+  // presumes a radio that is awake for its slots, which the BCP-managed
+  // 802.11 radio and the duty-cycled strawman are not.
+  config.sensor_mac.validate();
+  config.wifi_mac.validate();
+  BCP_REQUIRE_MSG(!config.wifi_mac.is_tdma() ||
+                      config.model == EvalModel::kWifi,
+                  "TDMA on the 802.11 radio requires the always-on kWifi "
+                  "model");
+
+  // TDMA slot schedules (one per radio class that asked for the family),
+  // derived from each class's convergecast tree once routes exist.
+  // Declared before the node vectors: nodes hold references into them.
+  std::optional<mac::TdmaSchedule> low_schedule;
+  std::optional<mac::TdmaSchedule> high_schedule;
+
   std::optional<net::LinkState> low_links;
   std::optional<net::LinkState> high_links;
   const net::DynamicRouting* low_dyn = nullptr;
@@ -207,24 +225,58 @@ RunMetrics run_scenario(const ScenarioConfig& config) {
   core::BcpConfig bcp = config.bcp;
   bcp.set_burst_packets(config.burst_packets, config.packet_bits);
 
+  // Resolve each radio class's MacChoice: CSMA keeps the exact historical
+  // MacParams + seed path; TDMA builds the shared schedule from the class
+  // tree and fills zero (class-default) knobs, auto-tightening the beacon
+  // period to the slot span.
+  const auto resolve_choice =
+      [&](const mac::MacSpec& spec, mac::MacParams csma_defaults,
+          mac::TdmaParams tdma_defaults, const net::Router& routes,
+          util::BitsPerSecond rate,
+          std::optional<mac::TdmaSchedule>& schedule_out) {
+        MacChoice choice;
+        choice.csma = csma_defaults;
+        choice.family = spec.family;
+        if (spec.is_tdma()) {
+          schedule_out.emplace(
+              mac::TdmaSchedule::from_tree(routes, sink, n));
+          BCP_REQUIRE_MSG(schedule_out->slot_count > 0,
+                          "TDMA schedule is empty: no node reaches the sink");
+          const mac::TdmaParams base =
+              spec.tdma.is_default() ? tdma_defaults : spec.tdma;
+          choice.tdma = base.resolved_for(schedule_out->slot_count, rate);
+          choice.schedule = &*schedule_out;
+        }
+        return choice;
+      };
+
   std::vector<std::unique_ptr<ForwardingNode>> fwd_nodes;
   std::vector<std::unique_ptr<DualRadioNode>> dual_nodes;
   std::vector<std::unique_ptr<DutyCycledWifiNode>> duty_nodes;
   switch (config.model) {
-    case EvalModel::kSensor:
+    case EvalModel::kSensor: {
+      const MacChoice choice = resolve_choice(
+          config.sensor_mac, mac::sensor_mac_params(),
+          mac::tdma_sensor_params(), *low_routes, config.sensor_radio.rate,
+          low_schedule);
       for (net::NodeId id = 0; id < n; ++id)
         fwd_nodes.push_back(std::make_unique<ForwardingNode>(
             simulator, *low_channel, *low_routes, id, sink,
-            config.sensor_radio, phy::OverhearMode::kHeaderOnly,
-            mac::sensor_mac_params(), config.seed, &delivery));
+            config.sensor_radio, phy::OverhearMode::kHeaderOnly, choice,
+            config.seed, &delivery));
       break;
-    case EvalModel::kWifi:
+    }
+    case EvalModel::kWifi: {
+      const MacChoice choice = resolve_choice(
+          config.wifi_mac, mac::dcf_mac_params(), mac::tdma_wifi_params(),
+          *high_routes, config.wifi_radio.rate, high_schedule);
       for (net::NodeId id = 0; id < n; ++id)
         fwd_nodes.push_back(std::make_unique<ForwardingNode>(
             simulator, *high_channel, *high_routes, id, sink,
-            config.wifi_radio, phy::OverhearMode::kFull, mac::dcf_mac_params(),
+            config.wifi_radio, phy::OverhearMode::kFull, choice,
             config.seed, &delivery));
       break;
+    }
     case EvalModel::kWifiDutyCycled: {
       BCP_REQUIRE_MSG(config.duty_cycle > 0 && config.duty_cycle <= 1.0,
                       "duty cycle must be in (0, 1]");
@@ -238,15 +290,24 @@ RunMetrics run_scenario(const ScenarioConfig& config) {
             config.wifi_radio, schedule, config.seed, &delivery));
       break;
     }
-    case EvalModel::kDualRadio:
+    case EvalModel::kDualRadio: {
+      const MacChoice low_choice = resolve_choice(
+          config.sensor_mac, mac::sensor_mac_params(),
+          mac::tdma_sensor_params(), *low_routes, config.sensor_radio.rate,
+          low_schedule);
+      const MacChoice high_choice{mac::dcf_mac_params(),
+                                  mac::MacFamily::kAuto,
+                                  {},
+                                  nullptr};
       for (net::NodeId id = 0; id < n; ++id)
         dual_nodes.push_back(std::make_unique<DualRadioNode>(
             simulator, *low_channel, *high_channel, *low_routes, *high_routes,
             id, config.sensor_radio, config.wifi_radio, bcp,
             config.wifi_promiscuous ? phy::OverhearMode::kFull
                                     : phy::OverhearMode::kNone,
-            config.seed, &delivery));
+            config.seed, &delivery, low_choice, high_choice));
       break;
+    }
   }
 
   // Pick the senders: a seed-determined subset of the non-sink nodes.
@@ -343,6 +404,13 @@ RunMetrics run_scenario(const ScenarioConfig& config) {
   m.events_processed = simulator.processed_count();
   m.route_rebuilds = (low_dyn != nullptr ? low_dyn->rebuild_count() : 0) +
                      (high_dyn != nullptr ? high_dyn->rebuild_count() : 0);
+  const auto add_tdma_stats = [&m](const mac::Mac& mc) {
+    if (const auto* tdma = dynamic_cast<const mac::TdmaMac*>(&mc)) {
+      m.tdma_beacons_sent += tdma->stats().beacons_sent;
+      m.tdma_beacons_heard += tdma->stats().beacons_heard;
+      m.tdma_slots_skipped += tdma->stats().slots_skipped_unsynced;
+    }
+  };
   const auto add_channel_stats = [&m](const phy::Channel& channel) {
     m.chan_frames += channel.stats().frames;
     m.chan_rx_starts += channel.stats().rx_starts;
@@ -372,6 +440,7 @@ RunMetrics run_scenario(const ScenarioConfig& config) {
     m.mac_tx_attempts += node->mac().stats().tx_attempts;
     m.mac_tx_failed += node->mac().stats().tx_failed;
     m.mac_crash_drops += node->mac().stats().crash_drops;
+    add_tdma_stats(node->mac());
   }
   for (const auto& node : duty_nodes) {
     energy::EnergyMeter& meter = node->radio().meter();
@@ -397,6 +466,7 @@ RunMetrics run_scenario(const ScenarioConfig& config) {
                        node->wifi_mac().stats().tx_failed;
     m.mac_crash_drops += node->sensor_mac().stats().crash_drops +
                          node->wifi_mac().stats().crash_drops;
+    add_tdma_stats(node->sensor_mac());
     const auto& astats = node->agent().stats();
     m.bcp_packets_lost_to_crash += astats.packets_lost_to_crash;
     m.bcp_wakeups += astats.wakeups_sent;

@@ -251,6 +251,47 @@ ScenarioRegistry make_builtin() {
             return capture_config(true, EvalModel::kDualRadio, true, p);
           });
   }
+  // TDMA MAC-family variants: the sink-coordinated slotted MAC replaces
+  // CSMA/CA on the model's data radio, slot/guard/beacon timing on the
+  // sweep axis. Axes (all optional, class defaults otherwise): slot_ms,
+  // guard_ms, beacon_s (0 = auto-tight superframe), drift_ppm.
+  {
+    const auto tdma_config = [](bool mh, EvalModel model,
+                                const SweepPoint& p) {
+      ScenarioConfig cfg = base_config(mh, model, p);
+      mac::MacSpec& spec = model == EvalModel::kWifi ? cfg.wifi_mac
+                                                     : cfg.sensor_mac;
+      spec.family = mac::MacFamily::kTdma;
+      mac::TdmaParams knobs = model == EvalModel::kWifi
+                                  ? mac::tdma_wifi_params()
+                                  : mac::tdma_sensor_params();
+      knobs.slot_len =
+          util::milliseconds(p.get_or("slot_ms", knobs.slot_len / 1e-3));
+      knobs.guard =
+          util::milliseconds(p.get_or("guard_ms", knobs.guard / 1e-3));
+      knobs.beacon_period = p.get_or("beacon_s", 0.0);
+      knobs.sync_drift = p.get_or("drift_ppm", knobs.sync_drift * 1e6) * 1e-6;
+      spec.tdma = knobs;
+      return cfg;
+    };
+    const char* tdma_tail =
+        " under sink-coordinated TDMA; axes: slot_ms, guard_ms, beacon_s, "
+        "drift_ppm";
+    for (const Preset preset : {Preset{"sh", false}, Preset{"mh", true}}) {
+      const bool mh = preset.multi_hop;
+      const std::string px = std::string("tdma-") + preset.prefix;
+      r.add(px + "/sensor",
+            std::string("pure sensor network") + tdma_tail,
+            [mh, tdma_config](const SweepPoint& p) {
+              return tdma_config(mh, EvalModel::kSensor, p);
+            });
+      r.add(px + "/wifi",
+            std::string("pure always-on 802.11 network") + tdma_tail,
+            [mh, tdma_config](const SweepPoint& p) {
+              return tdma_config(mh, EvalModel::kWifi, p);
+            });
+    }
+  }
   // Node-churn variants: deterministic crash/recover schedules on the
   // paper grid. Axes (all optional): crashes (default 4), downtime_s
   // (mean, default 60), link_flaps (default 0), fault_seed (default 1),

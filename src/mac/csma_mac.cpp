@@ -156,6 +156,7 @@ void CsmaCaMac::on_ack_timeout() {
 }
 
 void CsmaCaMac::on_frame_received(const phy::Frame& frame) {
+  if (frame.kind == phy::FrameKind::kBeacon) return;  // not our family
   if (frame.kind == phy::FrameKind::kAck) {
     if (awaiting_ack_ && !queue_.empty() &&
         frame.mac_seq == queue_.front().seq &&

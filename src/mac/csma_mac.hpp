@@ -20,12 +20,10 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <unordered_map>
 
+#include "mac/mac.hpp"
 #include "mac/mac_params.hpp"
-#include "net/message.hpp"
-#include "net/message_ref.hpp"
 #include "phy/radio.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
@@ -33,57 +31,31 @@
 
 namespace bcp::mac {
 
-class CsmaCaMac {
+class CsmaCaMac final : public Mac {
  public:
-  struct Stats {
-    std::int64_t enqueued = 0;
-    std::int64_t queue_drops = 0;    ///< tail drops (queue full)
-    std::int64_t tx_attempts = 0;    ///< data frame transmissions started
-    std::int64_t tx_success = 0;     ///< frames acked (or broadcast sent)
-    std::int64_t tx_failed = 0;      ///< frames dropped after retry_limit
-    std::int64_t crash_drops = 0;    ///< frames lost to reset_on_crash
-    std::int64_t crash_resets = 0;   ///< reset_on_crash invocations
+  /// Base counters plus the ack bookkeeping only contention access has.
+  struct Stats : Mac::Stats {
     std::int64_t acks_sent = 0;
     std::int64_t acks_suppressed = 0;///< radio busy at ack time
-    std::int64_t rx_delivered = 0;
-    std::int64_t rx_duplicates = 0;
   };
-
-  /// Called for every clean frame delivered to this node.
-  using RxCallback =
-      std::function<void(const net::Message&, net::NodeId from)>;
-  /// Called when a frame leaves the MAC: acked/broadcast (success) or
-  /// dropped after exhausting retries or because the radio went down.
-  using TxDoneCallback = std::function<void(
-      const net::Message&, net::NodeId next_hop, bool success)>;
 
   CsmaCaMac(sim::Simulator& sim, phy::Radio& radio, MacParams params,
             std::uint64_t seed);
 
-  CsmaCaMac(const CsmaCaMac&) = delete;
-  CsmaCaMac& operator=(const CsmaCaMac&) = delete;
-
   /// Queues a message for `next_hop` (net::kBroadcastNode for broadcast).
-  /// Returns false (and counts a drop) when the queue is full. The ref
-  /// form is the hot path: the queue, the frame on the air and every
-  /// hearer share one pooled payload.
-  bool enqueue(net::MessageRef msg, net::NodeId next_hop);
-  bool enqueue(net::Message msg, net::NodeId next_hop) {
-    return enqueue(net::make_message(std::move(msg)), next_hop);
-  }
-
-  void set_rx_callback(RxCallback cb) { rx_cb_ = std::move(cb); }
-  void set_tx_done_callback(TxDoneCallback cb) { tx_done_cb_ = std::move(cb); }
+  /// Returns false (and counts a drop) when the queue is full.
+  bool enqueue(net::MessageRef msg, net::NodeId next_hop) override;
+  using Mac::enqueue;
 
   /// True when nothing is queued or in flight.
-  bool idle() const { return queue_.empty() && !in_flight_; }
-  std::size_t queue_size() const { return queue_.size(); }
-  const Stats& stats() const { return stats_; }
+  bool idle() const override { return queue_.empty() && !in_flight_; }
+  std::size_t queue_size() const override { return queue_.size(); }
+  const Stats& stats() const override { return stats_; }
   const MacParams& params() const { return params_; }
 
   /// Fails every queued frame (used when the owner powers the radio down
   /// with traffic pending — BCP aborting a session).
-  void flush_queue();
+  void flush_queue() override;
 
   /// Crash reset: cancels every pending timer and silently discards all
   /// state — queued frames (their pooled payload refs included), pending
@@ -91,7 +63,7 @@ class CsmaCaMac {
   /// rebooted node forgets what it delivered). Unlike flush_queue, no
   /// tx_done callbacks fire: the owner is crashing, and its upper layers
   /// are being reset with it. Counted in Stats::crash_drops/crash_resets.
-  void reset_on_crash();
+  void reset_on_crash() override;
 
  private:
   struct Outgoing {
@@ -137,9 +109,6 @@ class CsmaCaMac {
   };
   util::SlidingQueue<PendingAck> pending_acks_;
   sim::Timer ack_tx_timer_;
-
-  RxCallback rx_cb_;
-  TxDoneCallback tx_done_cb_;
 };
 
 }  // namespace bcp::mac

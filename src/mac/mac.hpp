@@ -1,0 +1,95 @@
+// The MAC seam the node assemblies program against.
+//
+// Two families implement it: CsmaCaMac (contention access — B-MAC-style
+// sensor CSMA and 802.11 DCF, one engine) and TdmaMac (sink-coordinated
+// collision-free slotted access). The node assemblies (app/nodes.hpp)
+// hold `Mac&`/`unique_ptr<Mac>` and never name a concrete family; which
+// one a scenario runs is a MacSpec decision (mac/mac_spec.hpp).
+//
+// The seam covers exactly what the assemblies use:
+//   * enqueue toward a next hop (broadcast allowed), with tail-drop;
+//   * the rx / tx-done callback pair the forwarding and BCP layers hook;
+//   * crash teardown (reset_on_crash) and queue abort (flush_queue), so
+//     FaultPlan churn works for any family;
+//   * the shared Stats block, including crash accounting. Families extend
+//     Stats covariantly (CsmaCaMac adds ack counters, TdmaMac beacon/slot
+//     counters); scenario aggregation reads only the base fields.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "net/message.hpp"
+#include "net/message_ref.hpp"
+
+namespace bcp::mac {
+
+class Mac {
+ public:
+  /// Counters every family maintains. Concrete MACs derive from this and
+  /// override stats() covariantly to expose their family-specific extras.
+  struct Stats {
+    std::int64_t enqueued = 0;
+    std::int64_t queue_drops = 0;    ///< tail drops (queue full)
+    std::int64_t tx_attempts = 0;    ///< data frame transmissions started
+    std::int64_t tx_success = 0;     ///< frames delivered to the link layer
+    std::int64_t tx_failed = 0;      ///< frames given up on
+    std::int64_t crash_drops = 0;    ///< frames lost to reset_on_crash
+    std::int64_t crash_resets = 0;   ///< reset_on_crash invocations
+    std::int64_t rx_delivered = 0;
+    std::int64_t rx_duplicates = 0;
+  };
+
+  /// Called for every clean frame delivered to this node.
+  using RxCallback =
+      std::function<void(const net::Message&, net::NodeId from)>;
+  /// Called when a frame leaves the MAC: sent successfully, or dropped
+  /// (retries exhausted, no slot schedule, radio down, queue flush).
+  using TxDoneCallback = std::function<void(
+      const net::Message&, net::NodeId next_hop, bool success)>;
+
+  Mac() = default;
+  Mac(const Mac&) = delete;
+  Mac& operator=(const Mac&) = delete;
+  virtual ~Mac() = default;
+
+  /// Queues a message for `next_hop` (net::kBroadcastNode for broadcast).
+  /// Returns false (and counts a drop) when the queue is full. The ref
+  /// form is the hot path: the queue, the frame on the air and every
+  /// hearer share one pooled payload.
+  virtual bool enqueue(net::MessageRef msg, net::NodeId next_hop) = 0;
+  bool enqueue(net::Message msg, net::NodeId next_hop) {
+    return enqueue(net::make_message(std::move(msg)), next_hop);
+  }
+
+  void set_rx_callback(RxCallback cb) { rx_cb_ = std::move(cb); }
+  void set_tx_done_callback(TxDoneCallback cb) { tx_done_cb_ = std::move(cb); }
+
+  /// True when nothing is queued or in flight.
+  virtual bool idle() const = 0;
+  virtual std::size_t queue_size() const = 0;
+  virtual const Stats& stats() const = 0;
+
+  /// Fails every queued frame (used when the owner powers the radio down
+  /// with traffic pending — BCP aborting a session).
+  virtual void flush_queue() = 0;
+
+  /// Crash reset: cancels every pending timer and silently discards all
+  /// state — queued frames (their pooled payload refs included) and any
+  /// in-progress transmit cycle. Unlike flush_queue, no tx_done callbacks
+  /// fire: the owner is crashing, and its upper layers are being reset
+  /// with it. Counted in Stats::crash_drops/crash_resets.
+  virtual void reset_on_crash() = 0;
+
+  /// Node recovery hook, called after the owner powers its radio back on.
+  /// Contention MACs need nothing (the next enqueue restarts the cycle);
+  /// schedule-driven MACs re-arm their clocks (the TDMA coordinator
+  /// resumes beaconing, members wait to re-sync).
+  virtual void on_recover() {}
+
+ protected:
+  RxCallback rx_cb_;
+  TxDoneCallback tx_done_cb_;
+};
+
+}  // namespace bcp::mac

@@ -8,7 +8,7 @@
 
 namespace bcp::phy {
 
-enum class FrameKind : std::uint8_t { kData, kAck };
+enum class FrameKind : std::uint8_t { kData, kAck, kBeacon };
 
 struct Frame {
   net::NodeId tx_node = net::kInvalidNode;

@@ -70,10 +70,12 @@ constexpr const char* kFig05SliceGolden = R"json({
 stats::ResultSink run_slice(
     int threads,
     phy::PropagationKind propagation = phy::PropagationKind::kAuto,
-    bool capture = false) {
+    bool capture = false,
+    mac::MacFamily sensor_family = mac::MacFamily::kAuto) {
   app::SweepGrid grid;
   grid.axis_ints("cell", {0}).axis_ints("senders", {5, 15});
-  const app::SweepFn fn = [propagation, capture](const app::SweepJob& job) {
+  const app::SweepFn fn = [propagation, capture,
+                           sensor_family](const app::SweepJob& job) {
     const app::SweepPoint scenario_point(
         job.point.index(), {{"senders", job.point.get("senders")},
                             {"burst", 10.0},
@@ -88,6 +90,7 @@ stats::ResultSink run_slice(
     // be inert (the capture-off differential golden pins exactly that),
     // and with the switch on it is the live knob.
     cfg.capture_threshold_db = 3.0;
+    cfg.sensor_mac.family = sensor_family;
     return app::standard_metrics(app::run_scenario(cfg));
   };
   app::SweepOptions options;
@@ -159,6 +162,44 @@ TEST(Determinism, CaptureActuallyChangesTheLossyChannel) {
       run_slice(1, phy::PropagationKind::kLogDistance, /*capture=*/true)
           .to_json("fig05_slice");
   EXPECT_NE(captured, base);
+}
+
+// Differential golden for the mac::Mac seam: requesting CSMA/CA
+// *explicitly* must reproduce the pre-seam golden byte for byte — proving
+// the pluggable-MAC seam is pure (kAuto and kCsmaCa share one code path,
+// one RNG stream, one draw count behind the unique_ptr<Mac> members).
+TEST(Determinism, ExplicitCsmaCaMatchesPreSeamGoldenByteForByte) {
+  const std::string json =
+      run_slice(1, phy::PropagationKind::kAuto, /*capture=*/false,
+                mac::MacFamily::kCsmaCa)
+          .to_json("fig05_slice");
+  EXPECT_EQ(json, std::string(kFig05SliceGolden))
+      << "the mac::Mac seam changed CSMA/CA behaviour";
+}
+
+// ...and the TDMA family must NOT match it — the seam is live, not a stub
+// that quietly ignores the MacSpec.
+TEST(Determinism, TdmaFamilyActuallyChangesTheRun) {
+  const std::string tdma =
+      run_slice(1, phy::PropagationKind::kAuto, /*capture=*/false,
+                mac::MacFamily::kTdma)
+          .to_json("fig05_slice");
+  EXPECT_NE(tdma, std::string(kFig05SliceGolden));
+}
+
+// The TDMA slot schedule is a pure function of the convergecast tree and
+// every per-node drift draw comes from a substream — so a TDMA slice must
+// serialize identically whether the sweep ran serial or on 4 workers.
+TEST(Determinism, TdmaSliceIdenticalAcrossThreadCounts) {
+  const std::string serial =
+      run_slice(1, phy::PropagationKind::kAuto, /*capture=*/false,
+                mac::MacFamily::kTdma)
+          .to_json("fig05_slice");
+  const std::string parallel =
+      run_slice(4, phy::PropagationKind::kAuto, /*capture=*/false,
+                mac::MacFamily::kTdma)
+          .to_json("fig05_slice");
+  EXPECT_EQ(serial, parallel);
 }
 
 }  // namespace
