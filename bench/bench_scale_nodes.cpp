@@ -16,6 +16,10 @@
 #include <string>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "common.hpp"
 #include "net/routing.hpp"
 #include "net/topology.hpp"
@@ -31,6 +35,21 @@ double ms_since(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double, std::milli>(
              std::chrono::steady_clock::now() - start)
       .count();
+}
+
+/// Peak RSS of this process in MiB (0 where getrusage is unavailable).
+double peak_rss_mib() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+#if defined(__APPLE__)
+    return static_cast<double>(usage.ru_maxrss) / (1024.0 * 1024.0);
+#else
+    return static_cast<double>(usage.ru_maxrss) / 1024.0;
+#endif
+  }
+#endif
+  return 0.0;
 }
 
 /// The placement each (generator, node-count) cell runs on.
@@ -91,7 +110,22 @@ int main(int argc, char** argv) {
       .add_double("min-events-per-sec", 0,
                   "fail (exit 2) if the largest grid point's simulation "
                   "dispatches fewer events/sec; 0 disables (CI tripwire, "
-                  "set a generous floor)");
+                  "set a generous floor)")
+      .add_int("headline-nodes", 0,
+               "run one sharded dual-radio simulation on a grid of this "
+               "many nodes (the 100k headline cell; 0 disables) and report "
+               "events/sec + peak RSS")
+      .add_int("headline-shards", 8, "shard count for the headline cell")
+      .add_double("headline-duration", 5.0,
+                  "simulated seconds for the headline cell")
+      .add_double("headline-min-events-per-sec", 0,
+                  "fail (exit 2) if the headline cell dispatches fewer "
+                  "events/sec (wall clock includes scenario construction); "
+                  "0 disables")
+      .add_int("compare-shards", 0,
+               "re-run the largest grid point single-queue vs this many "
+               "shards (sim_threads auto) and report the wall-clock "
+               "speedup plus a thread-count determinism check; 0 disables");
   if (!opt.parse(argc, argv)) return 1;
   const auto t_bench = std::chrono::steady_clock::now();
   const int max_nodes = static_cast<int>(opt.get_int("max-nodes"));
@@ -233,6 +267,102 @@ int main(int argc, char** argv) {
   sink.set_meta("events_per_sec", top_events_per_sec);
   sink.set_meta("lossy_propagation",
                 to_string(phy::PropagationKind::kLogDistance));
+
+  // ---- Sharded-vs-single comparison on the largest grid point ------------
+  // Same scenario three ways: single queue, sharded with auto threads, and
+  // sharded with one inline thread. The last two must agree bit-for-bit
+  // (the engine's determinism contract — exit 2 if they don't); the first
+  // two give the wall-clock speedup on this machine's cores.
+  const int compare_shards = static_cast<int>(opt.get_int("compare-shards"));
+  bool determinism_ok = true;
+  if (compare_shards > 1) {
+    app::ScenarioConfig cfg = app::ScenarioConfig::single_hop(
+        app::EvalModel::kDualRadio, std::min(senders, sizes.back() - 1),
+        burst);
+    cfg.topology = make_spec(net::TopologyKind::kGrid, sizes.back(), seed);
+    cfg.rate_bps = 2000.0;
+    cfg.duration = duration;
+    cfg.seed = seed;
+    auto t0 = std::chrono::steady_clock::now();
+    const app::RunMetrics single = app::run_scenario(cfg);
+    const double single_ms = ms_since(t0);
+    cfg.shards = compare_shards;
+    cfg.sim_threads = 0;  // auto
+    t0 = std::chrono::steady_clock::now();
+    const app::RunMetrics sharded = app::run_scenario(cfg);
+    const double sharded_ms = ms_since(t0);
+    cfg.sim_threads = 1;
+    const app::RunMetrics inline_run = app::run_scenario(cfg);
+    determinism_ok =
+        sharded.delivered == inline_run.delivered &&
+        sharded.generated == inline_run.generated &&
+        sharded.events_processed == inline_run.events_processed &&
+        sharded.boundary_frames == inline_run.boundary_frames &&
+        sharded.goodput == inline_run.goodput &&
+        sharded.mean_delay == inline_run.mean_delay &&
+        sharded.normalized_energy == inline_run.normalized_energy &&
+        sharded.shard_events == inline_run.shard_events;
+    const double speedup = sharded_ms > 0 ? single_ms / sharded_ms : 0;
+    std::printf(
+        "[compare] grid-%d dual-radio: single %.0f ms (%d delivered), "
+        "%d shards %.0f ms (%d delivered, %lld boundary frames) — "
+        "%.2fx, thread-count determinism %s\n",
+        sizes.back(), single_ms, static_cast<int>(single.delivered),
+        compare_shards, sharded_ms, static_cast<int>(sharded.delivered),
+        static_cast<long long>(sharded.boundary_frames), speedup,
+        determinism_ok ? "OK" : "BROKEN");
+    sink.set_meta("compare_shards", static_cast<double>(compare_shards));
+    sink.set_meta("compare_single_ms", single_ms);
+    sink.set_meta("compare_sharded_ms", sharded_ms);
+    sink.set_meta("compare_speedup", speedup);
+  }
+
+  // ---- Headline cell: one sharded simulation at 100k+ nodes --------------
+  const int headline_nodes = static_cast<int>(opt.get_int("headline-nodes"));
+  double headline_events_per_sec = 0;
+  if (headline_nodes > 0) {
+    const int headline_shards =
+        static_cast<int>(opt.get_int("headline-shards"));
+    const int headline_senders =
+        std::max(10, std::min(headline_nodes / 1000, headline_nodes - 1));
+    // Burst threshold 10 (not --burst): a sender fills a burst every
+    // 1.28 s at 2 Kbps, so even a 5 s headline run drives several full
+    // wake-up/transfer cycles per sender instead of idling.
+    app::ScenarioConfig cfg = app::ScenarioConfig::single_hop(
+        app::EvalModel::kDualRadio, headline_senders, /*burst_packets=*/10);
+    cfg.topology =
+        make_spec(net::TopologyKind::kGrid, headline_nodes, seed);
+    cfg.rate_bps = 2000.0;
+    cfg.duration = opt.get_double("headline-duration");
+    cfg.seed = seed;
+    cfg.shards = headline_shards;
+    cfg.sim_threads = 0;  // auto
+    const auto t0 = std::chrono::steady_clock::now();
+    const app::RunMetrics m = app::run_scenario(cfg);
+    const double wall_ms = ms_since(t0);
+    if (wall_ms > 0)
+      headline_events_per_sec =
+          static_cast<double>(m.events_processed) / (wall_ms / 1e3);
+    const double rss = peak_rss_mib();
+    std::printf(
+        "[headline] %d nodes, %d shards, %.1f s simulated: %.0f ms wall, "
+        "%llu events (%.0f events/sec), %lld boundary frames, %d delivered, "
+        "peak RSS %.0f MiB\n",
+        headline_nodes, headline_shards, cfg.duration, wall_ms,
+        static_cast<unsigned long long>(m.events_processed),
+        headline_events_per_sec, static_cast<long long>(m.boundary_frames),
+        static_cast<int>(m.delivered), rss);
+    std::printf("[headline] per-shard events:");
+    for (std::size_t s = 0; s < m.shard_events.size(); ++s)
+      std::printf(" %llu",
+                  static_cast<unsigned long long>(m.shard_events[s]));
+    std::printf("\n");
+    sink.set_meta("headline_nodes", static_cast<double>(headline_nodes));
+    sink.set_meta("headline_shards", static_cast<double>(headline_shards));
+    sink.set_meta("headline_events_per_sec", headline_events_per_sec);
+    sink.set_meta("headline_wall_ms", wall_ms);
+    sink.set_meta("headline_peak_rss_mib", rss);
+  }
   export_json("scale_nodes", sink);
 
   const double elapsed_s = ms_since(t_bench) / 1e3;
@@ -255,6 +385,24 @@ int main(int argc, char** argv) {
                  "event/frame hot path regressed (allocations per event, "
                  "payload copies, or queue churn)\n",
                  top_events_per_sec, floor, sizes.back());
+    return 2;
+  }
+  const double headline_floor = opt.get_double("headline-min-events-per-sec");
+  if (headline_floor > 0 && headline_nodes > 0 &&
+      headline_events_per_sec < headline_floor) {
+    std::fprintf(stderr,
+                 "EVENTS/SEC FLOOR MISSED: %.0f < %.0f at the %d-node "
+                 "headline cell — the sharded engine (window barriers, "
+                 "mailbox exchange, or the per-shard hot path) or scenario "
+                 "construction at scale regressed\n",
+                 headline_events_per_sec, headline_floor, headline_nodes);
+    return 2;
+  }
+  if (!determinism_ok) {
+    std::fprintf(stderr,
+                 "DETERMINISM BROKEN: sharded metrics differ across "
+                 "sim_threads at a fixed shard count — a cross-shard "
+                 "ordering or thread-affinity bug in the parallel engine\n");
     return 2;
   }
   return 0;

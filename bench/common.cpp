@@ -132,6 +132,13 @@ void set_scenario_meta(stats::ResultSink& sink,
   };
   mac_meta("sensor", config.sensor_mac);
   mac_meta("wifi", config.wifi_mac);
+  // Sharded-engine identity — only when the run leaves the single-queue
+  // default, so every historical export stays byte-identical.
+  if (config.shards > 1) {
+    sink.set_meta("shards", static_cast<double>(config.shards));
+    sink.set_meta("sim_threads", static_cast<double>(config.sim_threads));
+    sink.set_meta("shard_window_s", config.shard_window);
+  }
   if (!config.faults.empty()) {
     sink.set_meta("fault_seed", static_cast<double>(config.faults.seed));
     sink.set_meta("fault_crashes",

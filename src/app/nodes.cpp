@@ -21,18 +21,6 @@ std::unique_ptr<mac::Mac> make_mac(sim::Simulator& sim, phy::Radio& radio,
   return std::make_unique<mac::CsmaCaMac>(sim, radio, choice.csma, seed);
 }
 
-namespace {
-
-/// The deprecated typed accessors' downcast, shared by both assemblies.
-mac::CsmaCaMac& as_csma(mac::Mac& m) {
-  auto* csma = dynamic_cast<mac::CsmaCaMac*>(&m);
-  BCP_ENSURE_MSG(csma != nullptr,
-                 "typed CSMA accessor used on a non-CSMA MAC family");
-  return *csma;
-}
-
-}  // namespace
-
 // ---------------------------------------------------------- ForwardingNode
 
 ForwardingNode::ForwardingNode(sim::Simulator& sim, phy::Channel& channel,
@@ -57,8 +45,6 @@ ForwardingNode::ForwardingNode(sim::Simulator& sim, phy::Channel& channel,
       delivery_->dropped(std::get<net::DataPacket>(m.body), "mac-failed");
   });
 }
-
-mac::CsmaCaMac& ForwardingNode::csma_mac() { return as_csma(*mac_); }
 
 void ForwardingNode::send(const net::DataPacket& packet) {
   if (!up_) {
@@ -201,10 +187,6 @@ void DualRadioNode::recover() {
   low_radio_.power_on();
   low_mac_->on_recover();
 }
-
-mac::CsmaCaMac& DualRadioNode::sensor_csma_mac() { return as_csma(*low_mac_); }
-
-mac::CsmaCaMac& DualRadioNode::wifi_csma_mac() { return as_csma(*high_mac_); }
 
 core::BcpHost::TimerId DualRadioNode::set_timer(
     util::Seconds delay, core::BcpHost::TimerCallback callback) {

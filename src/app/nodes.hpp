@@ -79,9 +79,6 @@ class ForwardingNode {
   const phy::Radio& radio() const { return radio_; }
   mac::Mac& mac() { return *mac_; }
   const mac::Mac& mac() const { return *mac_; }
-  /// Deprecated typed view for tests that read CSMA-specific stats (ack
-  /// counters); throws std::logic_error when the node runs another family.
-  mac::CsmaCaMac& csma_mac();
   net::NodeId self() const { return self_; }
 
  private:
@@ -144,10 +141,6 @@ class DualRadioNode final : public core::BcpHost {
   const mac::Mac& sensor_mac() const { return *low_mac_; }
   mac::Mac& wifi_mac() { return *high_mac_; }
   const mac::Mac& wifi_mac() const { return *high_mac_; }
-  /// Deprecated typed views for tests that read CSMA-specific stats;
-  /// throw std::logic_error when the radio runs another family.
-  mac::CsmaCaMac& sensor_csma_mac();
-  mac::CsmaCaMac& wifi_csma_mac();
 
   // core::BcpHost:
   net::NodeId self() const override { return self_; }

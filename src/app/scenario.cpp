@@ -7,6 +7,7 @@
 
 #include "app/duty_cycle.hpp"
 #include "app/nodes.hpp"
+#include "app/scenario_detail.hpp"
 #include "app/workload.hpp"
 #include "mac/mac_params.hpp"
 #include "mac/tdma_mac.hpp"
@@ -57,7 +58,7 @@ ScenarioConfig ScenarioConfig::multi_hop(EvalModel model, int senders,
   return cfg;
 }
 
-namespace {
+namespace detail {
 
 void accumulate(RadioEnergyTotals& t, const energy::EnergyMeter& meter) {
   using energy::EnergyCategory;
@@ -73,15 +74,19 @@ double per_kbit(util::Joules e, util::Bits delivered_bits) {
   return e / (static_cast<double>(delivered_bits) / 1000.0);
 }
 
-}  // namespace
+void classify_drop(RunMetrics& m, const char* reason) {
+  if (std::strcmp(reason, "buffer-full") == 0)
+    ++m.dropped_buffer;
+  else if (std::strcmp(reason, "queue-full") == 0)
+    ++m.dropped_queue;
+  else if (std::strcmp(reason, "mac-failed") == 0)
+    ++m.dropped_mac;
+  else if (std::strcmp(reason, "node-down") == 0)
+    ++m.dropped_node_down;
+  else
+    ++m.dropped_no_route;
+}
 
-namespace {
-
-/// Builds one radio graph's routes, rejecting placements where any node
-/// is cut off from the sink — a silent kInvalidNode route at runtime
-/// would just bleed packets as "no-route" drops. A non-null `links`
-/// (fault-injection runs) swaps in the membership-aware DynamicRouting,
-/// reported back through `dyn_out` for rebuild accounting.
 std::unique_ptr<net::Router> build_routes(
     const net::ConnectivityGraph& graph, net::NodeId sink, bool all_pairs,
     const char* radio_name, const net::LinkState* links,
@@ -105,9 +110,131 @@ std::unique_ptr<net::Router> build_routes(
   return std::make_unique<net::ConvergecastRouting>(graph, sink);
 }
 
-}  // namespace
+std::vector<net::NodeId> pick_senders(std::uint64_t seed, int n,
+                                      net::NodeId sink, int n_senders) {
+  std::vector<net::NodeId> candidates;
+  for (net::NodeId id = 0; id < n; ++id)
+    if (id != sink) candidates.push_back(id);
+  util::Xoshiro256 pick_rng(util::substream(seed, 3, 0x53454Eu));
+  for (std::size_t i = candidates.size(); i > 1; --i)
+    std::swap(candidates[i - 1], candidates[pick_rng.uniform_int(i)]);
+  candidates.resize(static_cast<std::size_t>(n_senders));
+  std::sort(candidates.begin(), candidates.end());
+  return candidates;
+}
+
+phy::Channel::Params channel_params(const ScenarioConfig& config,
+                                    const energy::RadioEnergyModel& radio) {
+  phy::Channel::Params params{config.frame_loss_prob, config.propagation};
+  params.capture.enabled = config.capture_enabled;
+  params.capture.threshold_db = config.capture_threshold_db;
+  params.capture.noise_floor_dbm = radio.noise_floor_dbm;
+  return params;
+}
+
+void add_channel_stats(RunMetrics& m, const phy::Channel& channel) {
+  m.chan_frames += channel.stats().frames;
+  m.chan_rx_starts += channel.stats().rx_starts;
+  m.chan_rx_ends += channel.stats().deliveries_clean +
+                    channel.stats().deliveries_corrupt;
+  m.chan_rx_live_at_end += channel.live_arrivals();
+}
+
+void add_tdma_stats(RunMetrics& m, const mac::Mac& mc) {
+  if (const auto* tdma = dynamic_cast<const mac::TdmaMac*>(&mc)) {
+    m.tdma_beacons_sent += tdma->stats().beacons_sent;
+    m.tdma_beacons_heard += tdma->stats().beacons_heard;
+    m.tdma_slots_skipped += tdma->stats().slots_skipped_unsynced;
+  }
+}
+
+void collect_forwarding(RunMetrics& m, ForwardingNode& node,
+                        bool charge_sensor, util::Seconds end) {
+  energy::EnergyMeter& meter = node.radio().meter();
+  meter.finalize(end);
+  accumulate(charge_sensor ? m.sensor_energy : m.wifi_energy, meter);
+  m.mac_tx_attempts += node.mac().stats().tx_attempts;
+  m.mac_tx_failed += node.mac().stats().tx_failed;
+  m.mac_crash_drops += node.mac().stats().crash_drops;
+  add_tdma_stats(m, node.mac());
+}
+
+void collect_duty(RunMetrics& m, DutyCycledWifiNode& node,
+                  util::Seconds end) {
+  energy::EnergyMeter& meter = node.radio().meter();
+  meter.finalize(end);
+  accumulate(m.wifi_energy, meter);
+  m.mac_tx_attempts += node.mac().stats().tx_attempts;
+  m.mac_tx_failed += node.mac().stats().tx_failed;
+  m.wifi_wakeup_transitions += meter.wakeup_count();
+  using energy::EnergyCategory;
+  m.wifi_on_seconds += meter.duration(EnergyCategory::kIdle) +
+                       meter.duration(EnergyCategory::kRx) +
+                       meter.duration(EnergyCategory::kOverhear) +
+                       meter.duration(EnergyCategory::kTx);
+}
+
+void collect_dual(RunMetrics& m, DualRadioNode& node, util::Seconds end) {
+  node.sensor_radio().meter().finalize(end);
+  node.wifi_radio().meter().finalize(end);
+  accumulate(m.sensor_energy, node.sensor_radio().meter());
+  accumulate(m.wifi_energy, node.wifi_radio().meter());
+  m.mac_tx_attempts += node.sensor_mac().stats().tx_attempts +
+                       node.wifi_mac().stats().tx_attempts;
+  m.mac_tx_failed += node.sensor_mac().stats().tx_failed +
+                     node.wifi_mac().stats().tx_failed;
+  m.mac_crash_drops += node.sensor_mac().stats().crash_drops +
+                       node.wifi_mac().stats().crash_drops;
+  add_tdma_stats(m, node.sensor_mac());
+  const auto& astats = node.agent().stats();
+  m.bcp_packets_lost_to_crash += astats.packets_lost_to_crash;
+  m.bcp_wakeups += astats.wakeups_sent;
+  m.bcp_handshakes_failed += astats.handshakes_failed;
+  m.bcp_sender_sessions += astats.sender_sessions_completed;
+  m.bcp_receiver_timeouts += astats.receiver_sessions_timed_out;
+  m.wifi_wakeup_transitions += node.wifi_radio().meter().wakeup_count();
+  using energy::EnergyCategory;
+  const auto& wm = node.wifi_radio().meter();
+  m.wifi_on_seconds += wm.duration(EnergyCategory::kIdle) +
+                       wm.duration(EnergyCategory::kRx) +
+                       wm.duration(EnergyCategory::kOverhear) +
+                       wm.duration(EnergyCategory::kTx);
+}
+
+void finalize_metrics(RunMetrics& m, const ScenarioConfig& config,
+                      double delay_sum) {
+  m.goodput = m.generated > 0
+                  ? static_cast<double>(m.delivered) /
+                        static_cast<double>(m.generated)
+                  : 0.0;
+  m.mean_delay = m.delivered > 0
+                     ? delay_sum / static_cast<double>(m.delivered)
+                     : 0.0;
+  const util::Bits delivered_bits = m.delivered * config.packet_bits;
+  m.normalized_energy_sensor_ideal =
+      per_kbit(m.sensor_energy.ideal(), delivered_bits);
+  m.normalized_energy_sensor_header = per_kbit(
+      m.sensor_energy.ideal() + m.sensor_energy.overhear, delivered_bits);
+  switch (config.model) {
+    case EvalModel::kSensor:
+      m.normalized_energy = m.normalized_energy_sensor_ideal;
+      break;
+    case EvalModel::kWifi:
+    case EvalModel::kWifiDutyCycled:
+      m.normalized_energy = per_kbit(m.wifi_energy.full(), delivered_bits);
+      break;
+    case EvalModel::kDualRadio:
+      // Sensor radio at its ideal (tx+rx) charge + 802.11 fully charged.
+      m.normalized_energy = per_kbit(
+          m.sensor_energy.ideal() + m.wifi_energy.full(), delivered_bits);
+      break;
+  }
+}
+
+}  // namespace detail
 
 RunMetrics run_scenario(const ScenarioConfig& config) {
+  if (config.shards > 1) return run_scenario_sharded(config);
   BCP_REQUIRE(config.topology.node_count() >= 2);
   BCP_REQUIRE(config.duration > 0);
   BCP_REQUIRE(config.rate_bps > 0);
@@ -133,16 +260,7 @@ RunMetrics run_scenario(const ScenarioConfig& config) {
     delay_sum += simulator.now() - p.created_at;
   };
   delivery.dropped = [&](const net::DataPacket&, const char* reason) {
-    if (std::strcmp(reason, "buffer-full") == 0)
-      ++m.dropped_buffer;
-    else if (std::strcmp(reason, "queue-full") == 0)
-      ++m.dropped_queue;
-    else if (std::strcmp(reason, "mac-failed") == 0)
-      ++m.dropped_mac;
-    else if (std::strcmp(reason, "node-down") == 0)
-      ++m.dropped_node_down;
-    else
-      ++m.dropped_no_route;
+    detail::classify_drop(m, reason);
   };
 
   const bool needs_low = config.model == EvalModel::kSensor ||
@@ -188,38 +306,31 @@ RunMetrics run_scenario(const ScenarioConfig& config) {
   // runs additionally share one LinkState per radio class between the
   // channel (hearing) and the router (convergecast tree). Each channel's
   // capture (SINR) noise floor is its radio's datasheet value.
-  const auto channel_params = [&](const energy::RadioEnergyModel& radio) {
-    phy::Channel::Params params{config.frame_loss_prob, config.propagation};
-    params.capture.enabled = config.capture_enabled;
-    params.capture.threshold_db = config.capture_threshold_db;
-    params.capture.noise_floor_dbm = radio.noise_floor_dbm;
-    return params;
-  };
   if (needs_low) {
     low_channel.emplace(
         simulator, topo.positions, config.sensor_radio.range,
-        channel_params(config.sensor_radio),
+        detail::channel_params(config, config.sensor_radio),
         util::substream(config.seed, 1, 0x4C4348u));
     if (has_faults) {
       low_links.emplace(n);
       low_channel->set_link_state(&*low_links);
     }
-    low_routes = build_routes(low_channel->graph(), sink, all_pairs,
-                              "sensor", has_faults ? &*low_links : nullptr,
-                              &low_dyn);
+    low_routes = detail::build_routes(
+        low_channel->graph(), sink, all_pairs, "sensor",
+        has_faults ? &*low_links : nullptr, &low_dyn);
   }
   if (needs_high) {
     high_channel.emplace(
         simulator, topo.positions, wifi_range,
-        channel_params(config.wifi_radio),
+        detail::channel_params(config, config.wifi_radio),
         util::substream(config.seed, 2, 0x484348u));
     if (has_faults) {
       high_links.emplace(n);
       high_channel->set_link_state(&*high_links);
     }
-    high_routes = build_routes(high_channel->graph(), sink, all_pairs,
-                               "wifi", has_faults ? &*high_links : nullptr,
-                               &high_dyn);
+    high_routes = detail::build_routes(
+        high_channel->graph(), sink, all_pairs, "wifi",
+        has_faults ? &*high_links : nullptr, &high_dyn);
   }
 
   core::BcpConfig bcp = config.bcp;
@@ -311,14 +422,8 @@ RunMetrics run_scenario(const ScenarioConfig& config) {
   }
 
   // Pick the senders: a seed-determined subset of the non-sink nodes.
-  std::vector<net::NodeId> candidates;
-  for (net::NodeId id = 0; id < n; ++id)
-    if (id != sink) candidates.push_back(id);
-  util::Xoshiro256 pick_rng(util::substream(config.seed, 3, 0x53454Eu));
-  for (std::size_t i = candidates.size(); i > 1; --i)
-    std::swap(candidates[i - 1], candidates[pick_rng.uniform_int(i)]);
-  candidates.resize(static_cast<std::size_t>(config.n_senders));
-  std::sort(candidates.begin(), candidates.end());
+  const std::vector<net::NodeId> candidates =
+      detail::pick_senders(config.seed, n, sink, config.n_senders);
 
   std::vector<std::unique_ptr<CbrWorkload>> workloads;
   for (const net::NodeId sender : candidates) {
@@ -404,103 +509,18 @@ RunMetrics run_scenario(const ScenarioConfig& config) {
   m.events_processed = simulator.processed_count();
   m.route_rebuilds = (low_dyn != nullptr ? low_dyn->rebuild_count() : 0) +
                      (high_dyn != nullptr ? high_dyn->rebuild_count() : 0);
-  const auto add_tdma_stats = [&m](const mac::Mac& mc) {
-    if (const auto* tdma = dynamic_cast<const mac::TdmaMac*>(&mc)) {
-      m.tdma_beacons_sent += tdma->stats().beacons_sent;
-      m.tdma_beacons_heard += tdma->stats().beacons_heard;
-      m.tdma_slots_skipped += tdma->stats().slots_skipped_unsynced;
-    }
-  };
-  const auto add_channel_stats = [&m](const phy::Channel& channel) {
-    m.chan_frames += channel.stats().frames;
-    m.chan_rx_starts += channel.stats().rx_starts;
-    m.chan_rx_ends += channel.stats().deliveries_clean +
-                      channel.stats().deliveries_corrupt;
-    m.chan_rx_live_at_end += channel.live_arrivals();
-  };
-  if (low_channel) add_channel_stats(*low_channel);
-  if (high_channel) add_channel_stats(*high_channel);
+  if (low_channel) detail::add_channel_stats(m, *low_channel);
+  if (high_channel) detail::add_channel_stats(m, *high_channel);
   for (const auto& w : workloads) m.generated += w->generated();
-  m.goodput = m.generated > 0
-                  ? static_cast<double>(m.delivered) /
-                        static_cast<double>(m.generated)
-                  : 0.0;
-  m.mean_delay = m.delivered > 0
-                     ? delay_sum / static_cast<double>(m.delivered)
-                     : 0.0;
 
   const util::Seconds end = config.duration;
-  for (const auto& node : fwd_nodes) {
-    energy::EnergyMeter& meter = node->radio().meter();
-    meter.finalize(end);
-    if (config.model == EvalModel::kSensor)
-      accumulate(m.sensor_energy, meter);
-    else
-      accumulate(m.wifi_energy, meter);
-    m.mac_tx_attempts += node->mac().stats().tx_attempts;
-    m.mac_tx_failed += node->mac().stats().tx_failed;
-    m.mac_crash_drops += node->mac().stats().crash_drops;
-    add_tdma_stats(node->mac());
-  }
-  for (const auto& node : duty_nodes) {
-    energy::EnergyMeter& meter = node->radio().meter();
-    meter.finalize(end);
-    accumulate(m.wifi_energy, meter);
-    m.mac_tx_attempts += node->mac().stats().tx_attempts;
-    m.mac_tx_failed += node->mac().stats().tx_failed;
-    m.wifi_wakeup_transitions += meter.wakeup_count();
-    using energy::EnergyCategory;
-    m.wifi_on_seconds += meter.duration(EnergyCategory::kIdle) +
-                         meter.duration(EnergyCategory::kRx) +
-                         meter.duration(EnergyCategory::kOverhear) +
-                         meter.duration(EnergyCategory::kTx);
-  }
-  for (const auto& node : dual_nodes) {
-    node->sensor_radio().meter().finalize(end);
-    node->wifi_radio().meter().finalize(end);
-    accumulate(m.sensor_energy, node->sensor_radio().meter());
-    accumulate(m.wifi_energy, node->wifi_radio().meter());
-    m.mac_tx_attempts += node->sensor_mac().stats().tx_attempts +
-                         node->wifi_mac().stats().tx_attempts;
-    m.mac_tx_failed += node->sensor_mac().stats().tx_failed +
-                       node->wifi_mac().stats().tx_failed;
-    m.mac_crash_drops += node->sensor_mac().stats().crash_drops +
-                         node->wifi_mac().stats().crash_drops;
-    add_tdma_stats(node->sensor_mac());
-    const auto& astats = node->agent().stats();
-    m.bcp_packets_lost_to_crash += astats.packets_lost_to_crash;
-    m.bcp_wakeups += astats.wakeups_sent;
-    m.bcp_handshakes_failed += astats.handshakes_failed;
-    m.bcp_sender_sessions += astats.sender_sessions_completed;
-    m.bcp_receiver_timeouts += astats.receiver_sessions_timed_out;
-    m.wifi_wakeup_transitions += node->wifi_radio().meter().wakeup_count();
-    using energy::EnergyCategory;
-    const auto& wm = node->wifi_radio().meter();
-    m.wifi_on_seconds += wm.duration(EnergyCategory::kIdle) +
-                         wm.duration(EnergyCategory::kRx) +
-                         wm.duration(EnergyCategory::kOverhear) +
-                         wm.duration(EnergyCategory::kTx);
-  }
+  for (const auto& node : fwd_nodes)
+    detail::collect_forwarding(m, *node,
+                               config.model == EvalModel::kSensor, end);
+  for (const auto& node : duty_nodes) detail::collect_duty(m, *node, end);
+  for (const auto& node : dual_nodes) detail::collect_dual(m, *node, end);
 
-  const util::Bits delivered_bits = m.delivered * config.packet_bits;
-  m.normalized_energy_sensor_ideal =
-      per_kbit(m.sensor_energy.ideal(), delivered_bits);
-  m.normalized_energy_sensor_header = per_kbit(
-      m.sensor_energy.ideal() + m.sensor_energy.overhear, delivered_bits);
-  switch (config.model) {
-    case EvalModel::kSensor:
-      m.normalized_energy = m.normalized_energy_sensor_ideal;
-      break;
-    case EvalModel::kWifi:
-    case EvalModel::kWifiDutyCycled:
-      m.normalized_energy = per_kbit(m.wifi_energy.full(), delivered_bits);
-      break;
-    case EvalModel::kDualRadio:
-      // Sensor radio at its ideal (tx+rx) charge + 802.11 fully charged.
-      m.normalized_energy = per_kbit(
-          m.sensor_energy.ideal() + m.wifi_energy.full(), delivered_bits);
-      break;
-  }
+  detail::finalize_metrics(m, config, delay_sum);
   return m;
 }
 

@@ -1,6 +1,7 @@
 #include "app/scenario_registry.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "util/assert.hpp"
@@ -324,6 +325,50 @@ ScenarioRegistry make_builtin() {
           std::string("dual-radio BCP, single-hop") + churn_tail,
           [churn_config](const SweepPoint& p) {
             return churn_config(false, EvalModel::kDualRadio, p);
+          });
+  }
+  // Sharded parallel-engine variants: the same scenarios on the
+  // spatially-sharded single-run engine (its own metrics contract — see
+  // ScenarioConfig::shards). Axes (all optional): shards (default 4),
+  // sim_threads (default 0 = auto), shard_window_s (default 0.02),
+  // nodes/area/topo_seed for the grid placement.
+  {
+    const auto sharded_config = [](bool mh, EvalModel model,
+                                   const SweepPoint& p) {
+      ScenarioConfig cfg = base_config(mh, model, p);
+      const int nodes = static_cast<int>(p.get_or("nodes", 0));
+      if (nodes > 0) {
+        net::TopologySpec spec;
+        spec.kind = net::TopologyKind::kGrid;
+        spec.nodes = nodes;
+        const int side = static_cast<int>(
+            std::lround(std::sqrt(static_cast<double>(nodes))));
+        spec.grid_side = side;
+        spec.area = p.get_or("area", cfg.sensor_radio.range * (side - 1));
+        cfg.topology = spec;
+      }
+      cfg.shards = static_cast<int>(p.get_or("shards", 4));
+      cfg.sim_threads = static_cast<int>(p.get_or("sim_threads", 0));
+      cfg.shard_window = p.get_or("shard_window_s", 0.02);
+      return cfg;
+    };
+    const char* sharded_tail =
+        " on the sharded parallel engine; axes: shards, sim_threads, "
+        "shard_window_s, nodes, area";
+    r.add("sharded-sh/dual",
+          std::string("dual-radio BCP, single-hop") + sharded_tail,
+          [sharded_config](const SweepPoint& p) {
+            return sharded_config(false, EvalModel::kDualRadio, p);
+          });
+    r.add("sharded-mh/dual",
+          std::string("dual-radio BCP, multi-hop") + sharded_tail,
+          [sharded_config](const SweepPoint& p) {
+            return sharded_config(true, EvalModel::kDualRadio, p);
+          });
+    r.add("sharded-mh/sensor",
+          std::string("pure sensor network, multi-hop") + sharded_tail,
+          [sharded_config](const SweepPoint& p) {
+            return sharded_config(true, EvalModel::kSensor, p);
           });
   }
   // §5 delay-constrained buffering policies (the open-question ablation).

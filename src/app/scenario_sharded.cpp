@@ -1,0 +1,329 @@
+// The config.shards > 1 path of run_scenario: one simulation advanced by
+// sim::ShardedSimulator over phy::ShardedMedium partitions.
+//
+// Node/shard lifecycle discipline: pooled message payloads
+// (net::MessagePool) are thread-local, so everything a shard owns —
+// nodes, workloads, channel partitions, pending events — is constructed,
+// run, and destroyed on the shard's pinned worker thread via
+// for_each_shard phases (setup → run → teardown). Metrics are read on
+// the caller's thread between the run and teardown phases (the engine's
+// barriers order those reads) and merged in ascending shard order, so
+// the result is a pure function of (config, shard count) — sim_threads
+// never changes a byte of output.
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "app/scenario.hpp"
+#include "app/scenario_detail.hpp"
+#include "app/workload.hpp"
+#include "mac/mac_params.hpp"
+#include "net/routing.hpp"
+#include "net/topology.hpp"
+#include "phy/sharded_channel.hpp"
+#include "sim/sharded_simulator.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace bcp::app {
+
+namespace {
+
+/// Everything one shard owns. Vectors are indexed by node id with null
+/// holes at non-owned nodes, so sender emit hooks stay O(1) lookups.
+struct ShardState {
+  RunMetrics m;
+  double delay_sum = 0;
+  DeliverySink delivery;
+  std::vector<std::unique_ptr<ForwardingNode>> fwd;
+  std::vector<std::unique_ptr<DualRadioNode>> dual;
+  std::vector<std::unique_ptr<DutyCycledWifiNode>> duty;
+  std::vector<std::unique_ptr<CbrWorkload>> workloads;
+};
+
+void merge_energy(RadioEnergyTotals& total, const RadioEnergyTotals& part) {
+  total.tx += part.tx;
+  total.rx += part.rx;
+  total.overhear += part.overhear;
+  total.idle += part.idle;
+  total.wakeup += part.wakeup;
+}
+
+/// Adds every additive counter of `part` into `total` (the derived
+/// ratios — goodput, delays, normalized energies — are recomputed from
+/// the merged sums by detail::finalize_metrics).
+void merge_metrics(RunMetrics& total, const RunMetrics& part) {
+  total.generated += part.generated;
+  total.delivered += part.delivered;
+  total.dropped_buffer += part.dropped_buffer;
+  total.dropped_queue += part.dropped_queue;
+  total.dropped_mac += part.dropped_mac;
+  total.dropped_no_route += part.dropped_no_route;
+  total.dropped_node_down += part.dropped_node_down;
+  merge_energy(total.sensor_energy, part.sensor_energy);
+  merge_energy(total.wifi_energy, part.wifi_energy);
+  total.mac_tx_attempts += part.mac_tx_attempts;
+  total.mac_tx_failed += part.mac_tx_failed;
+  total.bcp_wakeups += part.bcp_wakeups;
+  total.bcp_handshakes_failed += part.bcp_handshakes_failed;
+  total.bcp_sender_sessions += part.bcp_sender_sessions;
+  total.bcp_receiver_timeouts += part.bcp_receiver_timeouts;
+  total.wifi_wakeup_transitions += part.wifi_wakeup_transitions;
+  total.wifi_on_seconds += part.wifi_on_seconds;
+  total.mac_crash_drops += part.mac_crash_drops;
+  total.chan_frames += part.chan_frames;
+  total.chan_rx_starts += part.chan_rx_starts;
+  total.chan_rx_ends += part.chan_rx_ends;
+  total.chan_rx_live_at_end += part.chan_rx_live_at_end;
+}
+
+}  // namespace
+
+RunMetrics run_scenario_sharded(const ScenarioConfig& config) {
+  BCP_REQUIRE(config.shards >= 2);
+  BCP_REQUIRE(config.topology.node_count() >= 2);
+  BCP_REQUIRE(config.duration > 0);
+  BCP_REQUIRE(config.rate_bps > 0);
+  BCP_REQUIRE(config.packet_bits > 0);
+  BCP_REQUIRE(config.burst_packets > 0);
+  BCP_REQUIRE(config.shard_window > 0);
+  BCP_REQUIRE_MSG(config.faults.empty(),
+                  "fault injection is not supported on the sharded engine "
+                  "(DynamicRouting/LinkState are single-threaded)");
+  config.sensor_mac.validate();
+  config.wifi_mac.validate();
+  BCP_REQUIRE_MSG(!config.sensor_mac.is_tdma() && !config.wifi_mac.is_tdma(),
+                  "TDMA is not supported on the sharded engine (beacon "
+                  "relay across stripes would race the slot clock)");
+
+  const net::Topology topo = config.topology.build();
+  const net::NodeId sink = topo.sink;
+  const int n = topo.node_count();
+  BCP_REQUIRE_MSG(config.n_senders >= 1 && config.n_senders <= n - 1,
+                  "sender count must be in [1, nodes-1]");
+
+  const bool needs_low = config.model == EvalModel::kSensor ||
+                         config.model == EvalModel::kDualRadio;
+  const bool needs_high = config.model != EvalModel::kSensor;
+  const bool all_pairs =
+      config.routing == RoutingMode::kAllPairs ||
+      (config.routing == RoutingMode::kAuto && n <= kAllPairsNodeLimit);
+  const util::Metres wifi_range = config.wifi_range_override > 0
+                                      ? config.wifi_range_override
+                                      : config.wifi_radio.range;
+  if (config.model == EvalModel::kWifiDutyCycled) {
+    BCP_REQUIRE_MSG(config.duty_cycle > 0 && config.duty_cycle <= 1.0,
+                    "duty cycle must be in (0, 1]");
+    BCP_REQUIRE_MSG(config.duty_period > 0, "duty period must be positive");
+  }
+
+  const phy::ShardMap map = phy::ShardMap::stripes(topo.positions,
+                                                   config.shards);
+  const int shard_count = map.count;
+
+  // Shared read-only structures: one connectivity graph per radio class
+  // (each partition holds a reference, not a copy — O(n + e) once) and
+  // one Router per class (RoutingTable/ConvergecastRouting queries are
+  // const and thread-safe).
+  std::shared_ptr<const net::ConnectivityGraph> low_graph;
+  std::shared_ptr<const net::ConnectivityGraph> high_graph;
+  std::unique_ptr<net::Router> low_routes;
+  std::unique_ptr<net::Router> high_routes;
+  const net::DynamicRouting* unused_dyn = nullptr;
+  if (needs_low) {
+    low_graph = std::make_shared<net::ConnectivityGraph>(
+        topo.positions, config.sensor_radio.range);
+    low_routes = detail::build_routes(*low_graph, sink, all_pairs, "sensor",
+                                      nullptr, &unused_dyn);
+  }
+  if (needs_high) {
+    high_graph =
+        std::make_shared<net::ConnectivityGraph>(topo.positions, wifi_range);
+    high_routes = detail::build_routes(*high_graph, sink, all_pairs, "wifi",
+                                       nullptr, &unused_dyn);
+  }
+
+  core::BcpConfig bcp = config.bcp;
+  bcp.set_burst_packets(config.burst_packets, config.packet_bits);
+
+  const std::vector<net::NodeId> senders =
+      detail::pick_senders(config.seed, n, sink, config.n_senders);
+
+  // States are declared before the engine/mediums so teardown (which
+  // runs as engine phases) happens before either is destroyed.
+  std::vector<ShardState> states(static_cast<std::size_t>(shard_count));
+
+  sim::ShardedSimulator::Params engine_params;
+  engine_params.shards = shard_count;
+  engine_params.threads = config.sim_threads;
+  engine_params.window = config.shard_window;
+  sim::ShardedSimulator engine(engine_params);
+
+  std::optional<phy::ShardedMedium> low_medium;
+  std::optional<phy::ShardedMedium> high_medium;
+  if (needs_low)
+    low_medium.emplace(engine, low_graph, map,
+                       detail::channel_params(config, config.sensor_radio),
+                       util::substream(config.seed, 1, 0x4C4348u));
+  if (needs_high)
+    high_medium.emplace(engine, high_graph, map,
+                        detail::channel_params(config, config.wifi_radio),
+                        util::substream(config.seed, 2, 0x484348u));
+  for (int s = 0; s < shard_count; ++s)
+    engine.set_drain(s, [&low_medium, &high_medium, s](std::int64_t window) {
+      if (low_medium) low_medium->drain(s, window);
+      if (high_medium) high_medium->drain(s, window);
+    });
+
+  // ---- Setup phase: each shard builds its nodes on its pinned thread.
+  engine.for_each_shard([&](int s) {
+    ShardState& st = states[static_cast<std::size_t>(s)];
+    sim::Simulator& ssim = engine.shard(s);
+    st.delivery.delivered = [&st, sim = &ssim](const net::DataPacket& p) {
+      ++st.m.delivered;
+      st.delay_sum += sim->now() - p.created_at;
+    };
+    st.delivery.dropped = [&st](const net::DataPacket&, const char* reason) {
+      detail::classify_drop(st.m, reason);
+    };
+    const auto owned = [&](net::NodeId id) {
+      return map.shard_of[static_cast<std::size_t>(id)] == s;
+    };
+    switch (config.model) {
+      case EvalModel::kSensor: {
+        const MacChoice choice{mac::sensor_mac_params(),
+                               config.sensor_mac.family,
+                               {},
+                               nullptr};
+        st.fwd.resize(static_cast<std::size_t>(n));
+        for (net::NodeId id = 0; id < n; ++id) {
+          if (!owned(id)) continue;
+          st.fwd[static_cast<std::size_t>(id)] =
+              std::make_unique<ForwardingNode>(
+                  ssim, low_medium->shard(s), *low_routes, id, sink,
+                  config.sensor_radio, phy::OverhearMode::kHeaderOnly,
+                  choice, config.seed, &st.delivery);
+        }
+        break;
+      }
+      case EvalModel::kWifi: {
+        const MacChoice choice{mac::dcf_mac_params(),
+                               config.wifi_mac.family,
+                               {},
+                               nullptr};
+        st.fwd.resize(static_cast<std::size_t>(n));
+        for (net::NodeId id = 0; id < n; ++id) {
+          if (!owned(id)) continue;
+          st.fwd[static_cast<std::size_t>(id)] =
+              std::make_unique<ForwardingNode>(
+                  ssim, high_medium->shard(s), *high_routes, id, sink,
+                  config.wifi_radio, phy::OverhearMode::kFull, choice,
+                  config.seed, &st.delivery);
+        }
+        break;
+      }
+      case EvalModel::kWifiDutyCycled: {
+        DutyCycledWifiNode::Schedule schedule;
+        schedule.period = config.duty_period;
+        schedule.duty = config.duty_cycle;
+        st.duty.resize(static_cast<std::size_t>(n));
+        for (net::NodeId id = 0; id < n; ++id) {
+          if (!owned(id)) continue;
+          st.duty[static_cast<std::size_t>(id)] =
+              std::make_unique<DutyCycledWifiNode>(
+                  ssim, high_medium->shard(s), *high_routes, id, sink,
+                  config.wifi_radio, schedule, config.seed, &st.delivery);
+        }
+        break;
+      }
+      case EvalModel::kDualRadio: {
+        const MacChoice low_choice{mac::sensor_mac_params(),
+                                   config.sensor_mac.family,
+                                   {},
+                                   nullptr};
+        const MacChoice high_choice{mac::dcf_mac_params(),
+                                    mac::MacFamily::kAuto,
+                                    {},
+                                    nullptr};
+        st.dual.resize(static_cast<std::size_t>(n));
+        for (net::NodeId id = 0; id < n; ++id) {
+          if (!owned(id)) continue;
+          st.dual[static_cast<std::size_t>(id)] =
+              std::make_unique<DualRadioNode>(
+                  ssim, low_medium->shard(s), high_medium->shard(s),
+                  *low_routes, *high_routes, id, config.sensor_radio,
+                  config.wifi_radio, bcp,
+                  config.wifi_promiscuous ? phy::OverhearMode::kFull
+                                          : phy::OverhearMode::kNone,
+                  config.seed, &st.delivery, low_choice, high_choice);
+        }
+        break;
+      }
+    }
+    for (const net::NodeId sender : senders) {
+      if (!owned(sender)) continue;
+      auto emit = [&st, &config, sender](net::DataPacket p) {
+        if (config.model == EvalModel::kDualRadio)
+          st.dual[static_cast<std::size_t>(sender)]->send(p);
+        else if (config.model == EvalModel::kWifiDutyCycled)
+          st.duty[static_cast<std::size_t>(sender)]->send(p);
+        else
+          st.fwd[static_cast<std::size_t>(sender)]->send(p);
+      };
+      st.workloads.push_back(std::make_unique<CbrWorkload>(
+          ssim, sender, sink, config.packet_bits, config.rate_bps,
+          util::substream(config.seed, static_cast<std::uint64_t>(sender),
+                          0x574Bu),
+          std::move(emit)));
+      st.workloads.back()->start();
+    }
+  });
+
+  engine.run(config.duration);
+
+  // ---- Collect on the caller's thread (the run's final barrier ordered
+  // every shard's state before us), in ascending shard order.
+  RunMetrics total;
+  double delay_sum = 0;
+  for (int s = 0; s < shard_count; ++s) {
+    ShardState& st = states[static_cast<std::size_t>(s)];
+    st.m.events_processed = engine.shard(s).processed_count();
+    for (const auto& w : st.workloads) st.m.generated += w->generated();
+    if (low_medium) detail::add_channel_stats(st.m, low_medium->shard(s));
+    if (high_medium) detail::add_channel_stats(st.m, high_medium->shard(s));
+    const util::Seconds end = config.duration;
+    for (const auto& node : st.fwd)
+      if (node)
+        detail::collect_forwarding(st.m, *node,
+                                   config.model == EvalModel::kSensor, end);
+    for (const auto& node : st.duty)
+      if (node) detail::collect_duty(st.m, *node, end);
+    for (const auto& node : st.dual)
+      if (node) detail::collect_dual(st.m, *node, end);
+    merge_metrics(total, st.m);
+    total.shard_events.push_back(st.m.events_processed);
+    total.events_processed += st.m.events_processed;
+    delay_sum += st.delay_sum;
+  }
+  total.boundary_frames =
+      (low_medium ? low_medium->boundary_exports() : 0) +
+      (high_medium ? high_medium->boundary_exports() : 0);
+  detail::finalize_metrics(total, config, delay_sum);
+
+  // ---- Teardown phase: release every shard's pooled payloads (node
+  // queues, in-flight channel records, pending event captures) on the
+  // thread whose pool owns them, before the workers exit with the engine.
+  engine.for_each_shard([&](int s) {
+    ShardState& st = states[static_cast<std::size_t>(s)];
+    st.workloads.clear();
+    st.fwd.clear();
+    st.duty.clear();
+    st.dual.clear();
+    if (low_medium) low_medium->reset_shard(s);
+    if (high_medium) high_medium->reset_shard(s);
+    engine.shard(s).clear();
+  });
+  return total;
+}
+
+}  // namespace bcp::app

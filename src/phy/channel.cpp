@@ -10,10 +10,19 @@ namespace bcp::phy {
 
 Channel::Channel(sim::Simulator& sim, std::vector<net::Position> positions,
                  util::Metres range, Params params, std::uint64_t seed)
+    : Channel(sim,
+              std::make_shared<net::ConnectivityGraph>(std::move(positions),
+                                                       range),
+              std::move(params), seed) {}
+
+Channel::Channel(sim::Simulator& sim,
+                 std::shared_ptr<const net::ConnectivityGraph> graph,
+                 Params params, std::uint64_t seed)
     : sim_(sim),
-      graph_(std::move(positions), range),
+      graph_(std::move(graph)),
       params_(std::move(params)),
       rng_(util::substream(seed, 0, /*salt=*/0x43484E4C)) {
+  BCP_REQUIRE(graph_ != nullptr);
   // The closed interval: frame_loss_prob == 1.0 is a legitimate
   // "fully lossy link" configuration (every delivery corrupt, MAC retries
   // exhaust) — see the full-loss regression test.
@@ -27,23 +36,39 @@ Channel::Channel(sim::Simulator& sim, std::vector<net::Position> positions,
   BCP_REQUIRE(std::isfinite(noise_mw_) && noise_mw_ > 0.0);
   capture_ = params_.capture.enabled;
   min_sinr_ = util::db_to_ratio(params_.capture.threshold_db);
-  model_ = make_propagation_model(params_.propagation, graph_,
+  model_ = make_propagation_model(params_.propagation, *graph_,
                                   params_.frame_loss_prob,
                                   util::substream(seed, 7, 0x50524F50u));
   uniform_loss_ = model_->uniform();
   unit_loss_ = uniform_loss_ ? model_->loss_prob(0, 0, 0) : 0.0;
   unit_rx_mw_ = uniform_loss_ ? model_->rx_power_mw(0, 0, 0) : 0.0;
-  const auto n = static_cast<std::size_t>(graph_.node_count());
+  const auto n = static_cast<std::size_t>(graph_->node_count());
   listeners_.resize(n, nullptr);
   arrivals_.resize(n);
   arrival_power_mw_.resize(n, 0.0);
   transmitting_.resize(n, 0);
   own_tx_end_.resize(n, 0.0);
+  own_tx_start_.resize(n, 0.0);
   arrival_max_end_.resize(n, 0.0);
 }
 
+void Channel::enable_sharding(const std::int32_t* shard_of,
+                              std::int32_t my_shard,
+                              std::int32_t shard_count, BoundaryEmit emit) {
+  BCP_REQUIRE(shard_of != nullptr && emit != nullptr);
+  BCP_REQUIRE(my_shard >= 0 && my_shard < shard_count);
+  BCP_REQUIRE_MSG(links_ == nullptr,
+                  "dynamic link state is not supported on sharded channels");
+  shard_of_ = shard_of;
+  my_shard_ = my_shard;
+  boundary_emit_ = std::move(emit);
+  remote_seen_.assign(static_cast<std::size_t>(shard_count), 0);
+  remote_dsts_.clear();
+  remote_dsts_.reserve(static_cast<std::size_t>(shard_count));
+}
+
 void Channel::attach(net::NodeId node, ChannelListener* listener) {
-  BCP_REQUIRE(node >= 0 && node < graph_.node_count());
+  BCP_REQUIRE(node >= 0 && node < graph().node_count());
   BCP_REQUIRE(listener != nullptr);
   BCP_REQUIRE_MSG(listeners_[static_cast<std::size_t>(node)] == nullptr,
                   "listener already attached");
@@ -54,42 +79,58 @@ std::vector<Channel::Arrival>& Channel::arrivals(net::NodeId node) {
   return arrivals_[static_cast<std::size_t>(node)];
 }
 
+std::uint32_t Channel::acquire_tx_slot() {
+  if (tx_free_head_ != kNoSlot) {
+    const std::uint32_t slot = tx_free_head_;
+    tx_free_head_ = tx_slots_[slot].next_free;
+    tx_slots_[slot].next_free = kNoSlot;
+    return slot;
+  }
+  const auto slot = static_cast<std::uint32_t>(tx_slots_.size());
+  BCP_ENSURE_MSG(slot != kNoSlot, "transmission slot space exhausted");
+  tx_slots_.emplace_back();
+  return slot;
+}
+
 void Channel::start_tx(net::NodeId src, const Frame& frame,
                        util::Seconds duration) {
-  BCP_REQUIRE(src >= 0 && src < graph_.node_count());
+  BCP_REQUIRE(src >= 0 && src < graph().node_count());
   BCP_REQUIRE(duration > 0);
   BCP_REQUIRE_MSG(transmitting_[static_cast<std::size_t>(src)] == 0,
                   "node already transmitting");
   BCP_REQUIRE(frame.rx_node != src);
 
-  std::uint32_t slot;
-  if (tx_free_head_ != kNoSlot) {
-    slot = tx_free_head_;
-    tx_free_head_ = tx_slots_[slot].next_free;
-    tx_slots_[slot].next_free = kNoSlot;
-  } else {
-    slot = static_cast<std::uint32_t>(tx_slots_.size());
-    BCP_ENSURE_MSG(slot != kNoSlot, "transmission slot space exhausted");
-    tx_slots_.emplace_back();
-  }
-  const util::Seconds end = sim_.now() + duration;
+  const std::uint32_t slot = acquire_tx_slot();
+  const util::Seconds now = sim_.now();
+  const util::Seconds end = now + duration;
   const std::uint64_t tx_id =
       (static_cast<std::uint64_t>(tx_slots_[slot].gen) << 32) | slot;
   // Copying the frame shares its pooled message payload — no deep copy.
-  tx_slots_[slot].tx = Transmission{src, frame, end};
+  tx_slots_[slot].tx = Transmission{src, frame, end, now, false};
   transmitting_[static_cast<std::size_t>(src)] = tx_id;
   own_tx_end_[static_cast<std::size_t>(src)] = end;
+  own_tx_start_[static_cast<std::size_t>(src)] = now;
   ++stats_.frames;
 
   // Half-duplex: whatever the transmitter was hearing is lost to it.
   for (auto& a : arrivals(src)) a.clean = false;
 
-  const auto& nbrs = graph_.neighbors(src);
+  const auto& nbrs = graph().neighbors(src);
   for (std::size_t i = 0; i < nbrs.size(); ++i) {
     const net::NodeId r = nbrs[i];
     // A down link (or endpoint) suppresses the hearer entirely: no
     // arrival, no callbacks, no RNG draw.
     if (links_ != nullptr && !links_->link_up(src, r)) continue;
+    // A hearer owned by another shard gets the frame via that shard's
+    // mailbox instead (exported once per destination shard below).
+    if (shard_of_ != nullptr && !owned(r)) {
+      const std::int32_t dst = shard_of_[r];
+      if (!remote_seen_[static_cast<std::size_t>(dst)]) {
+        remote_seen_[static_cast<std::size_t>(dst)] = 1;
+        remote_dsts_.push_back(dst);
+      }
+      continue;
+    }
     auto& at_r = arrivals(r);
     const double loss =
         uniform_loss_ ? unit_loss_ : model_->loss_prob(src, i, r);
@@ -121,7 +162,7 @@ void Channel::start_tx(net::NodeId src, const Frame& frame,
       clean = transmitting_[static_cast<std::size_t>(r)] == 0 &&
               !rng_.chance(loss);
     }
-    at_r.push_back(Arrival{tx_id, clean, end, rx_mw, interference_mw});
+    at_r.push_back(Arrival{tx_id, clean, end, rx_mw, interference_mw, now});
     auto& max_end = arrival_max_end_[static_cast<std::size_t>(r)];
     max_end = std::max(max_end, end);
     ++stats_.rx_starts;
@@ -129,8 +170,121 @@ void Channel::start_tx(net::NodeId src, const Frame& frame,
       l->on_rx_start(tx_id, frame, duration);
   }
 
+  if (!remote_dsts_.empty()) {
+    for (const std::int32_t dst : remote_dsts_) {
+      RemoteFrame rf;
+      rf.src = src;
+      rf.frame = frame;
+      // Pooled refs are thread-local: detach and ship the payload by
+      // value, one deep copy per destination shard.
+      rf.frame.message = net::MessageRef{};
+      if (frame.message) {
+        rf.payload = *frame.message;
+        rf.has_payload = true;
+      }
+      rf.start = now;
+      rf.end = end;
+      boundary_emit_(dst, std::move(rf));
+      ++boundary_exports_;
+      remote_seen_[static_cast<std::size_t>(dst)] = 0;
+    }
+    remote_dsts_.clear();
+  }
+
   tx_slots_[slot].finish_event =
       sim_.schedule_at(end, [this, tx_id] { finish_tx(tx_id); });
+}
+
+void Channel::inject_remote(RemoteFrame rf) {
+  BCP_REQUIRE(shard_of_ != nullptr);
+  BCP_REQUIRE(rf.src >= 0 && rf.src < graph().node_count());
+  BCP_REQUIRE(!owned(rf.src));
+  BCP_REQUIRE(rf.end > rf.start);
+  const std::uint32_t slot = acquire_tx_slot();
+  const std::uint64_t tx_id =
+      (static_cast<std::uint64_t>(tx_slots_[slot].gen) << 32) | slot;
+  Transmission tx;
+  tx.src = rf.src;
+  tx.frame = rf.frame;
+  if (rf.has_payload)
+    tx.frame.message = net::make_message(std::move(rf.payload));
+  tx.start = rf.start;
+  tx.end = rf.end;
+  tx.remote = true;
+  tx_slots_[slot].tx = std::move(tx);
+  if (rf.start > sim_.now()) {
+    // Still in this shard's future (the exact-replay case: an even shard
+    // exported it within the window the odd shard is about to run).
+    tx_slots_[slot].finish_event =
+        sim_.schedule_at(rf.start, [this, tx_id] { begin_remote(tx_id); });
+  } else {
+    begin_remote(tx_id);
+  }
+}
+
+void Channel::begin_remote(std::uint64_t tx_id) {
+  const auto slot = static_cast<std::uint32_t>(tx_id);
+  // Copy the timing fields: finish_tx (the fully-ended case below) moves
+  // the transmission out of the slot.
+  const net::NodeId src = tx_slots_[slot].tx.src;
+  const Frame frame = tx_slots_[slot].tx.frame;
+  const util::Seconds s = tx_slots_[slot].tx.start;
+  const util::Seconds e = tx_slots_[slot].tx.end;
+  const util::Seconds now = sim_.now();
+  const util::Seconds remaining = std::max(0.0, e - now);
+
+  const auto& nbrs = graph().neighbors(src);
+  for (std::size_t i = 0; i < nbrs.size(); ++i) {
+    const net::NodeId r = nbrs[i];
+    if (!owned(r)) continue;
+    auto& at_r = arrivals(r);
+    const double loss =
+        uniform_loss_ ? unit_loss_ : model_->loss_prob(src, i, r);
+    // Half-duplex over the true interval: the hearer's own transmission
+    // collides only if it actually shared air time with [s, e).
+    const bool tx_overlap =
+        transmitting_[static_cast<std::size_t>(r)] != 0 &&
+        own_tx_start_[static_cast<std::size_t>(r)] < e;
+    bool clean;
+    double rx_mw = 0.0;
+    double interference_mw = 0.0;
+    if (!capture_) {
+      bool overlap = tx_overlap;
+      for (auto& a : at_r) {
+        if (a.start < e && s < a.end) {
+          a.clean = false;
+          overlap = true;
+        }
+      }
+      clean = !overlap && !rng_.chance(loss);
+    } else {
+      rx_mw = uniform_loss_ ? unit_rx_mw_ : model_->rx_power_mw(src, i, r);
+      double& power_sum = arrival_power_mw_[static_cast<std::size_t>(r)];
+      for (auto& a : at_r) {
+        if (a.start < e && s < a.end) {
+          a.peak_interference_mw = std::max(
+              a.peak_interference_mw, power_sum - a.rx_power_mw + rx_mw);
+          interference_mw += a.rx_power_mw;
+        }
+      }
+      power_sum += rx_mw;
+      clean = !tx_overlap && !rng_.chance(loss);
+    }
+    at_r.push_back(Arrival{tx_id, clean, e, rx_mw, interference_mw, s});
+    auto& max_end = arrival_max_end_[static_cast<std::size_t>(r)];
+    max_end = std::max(max_end, e);
+    ++stats_.rx_starts;
+    if (auto* l = listeners_[static_cast<std::size_t>(r)]; l != nullptr)
+      l->on_rx_start(tx_id, frame, remaining);
+  }
+
+  if (e > now)
+    tx_slots_[slot].finish_event =
+        sim_.schedule_at(e, [this, tx_id] { finish_tx(tx_id); });
+  else
+    // Fully in the past (late by < one exchange window): rx_start and
+    // rx_end land back-to-back, still exactly once per hearer.
+    finish_tx(tx_id);
 }
 
 void Channel::finish_tx(std::uint64_t tx_id) {
@@ -144,11 +298,17 @@ void Channel::finish_tx(std::uint64_t tx_id) {
   tx_free_head_ = slot;
   // Exactly-once by construction: abort_tx_of cancels the scheduled
   // completion before finishing early, so whoever reaches here is still
-  // the transmission's owner.
-  BCP_ENSURE(transmitting_[static_cast<std::size_t>(tx.src)] == tx_id);
-  transmitting_[static_cast<std::size_t>(tx.src)] = 0;
+  // the transmission's owner. Remote frames never owned the mask.
+  if (!tx.remote) {
+    BCP_ENSURE(transmitting_[static_cast<std::size_t>(tx.src)] == tx_id);
+    transmitting_[static_cast<std::size_t>(tx.src)] = 0;
+  }
 
-  for (const net::NodeId r : graph_.neighbors(tx.src)) {
+  for (const net::NodeId r : graph().neighbors(tx.src)) {
+    // Sharded: hearers owned by other shards were fed from their own
+    // copy of the frame (and a remote src's own-shard hearers were local
+    // there) — nothing to deliver here.
+    if (shard_of_ != nullptr && !owned(r)) continue;
     auto& at_r = arrivals(r);
     // Arrival order within a node's list carries no meaning (collision
     // marking and clear_at are order-independent), so swap-remove.
@@ -196,11 +356,11 @@ std::int64_t Channel::live_arrivals() const {
 }
 
 void Channel::abort_tx_of(net::NodeId src) {
-  BCP_REQUIRE(src >= 0 && src < graph_.node_count());
+  BCP_REQUIRE(src >= 0 && src < graph().node_count());
   const std::uint64_t tx_id = transmitting_[static_cast<std::size_t>(src)];
   if (tx_id == 0) return;
   // Truncation corrupts the frame for every hearer…
-  for (const net::NodeId r : graph_.neighbors(src))
+  for (const net::NodeId r : graph().neighbors(src))
     for (auto& a : arrivals(r))
       if (a.tx_id == tx_id) a.clean = false;
   // …and the carrier dies with the node: finish the transmission NOW so
@@ -216,13 +376,13 @@ void Channel::abort_tx_of(net::NodeId src) {
 }
 
 bool Channel::busy_at(net::NodeId node) const {
-  BCP_REQUIRE(node >= 0 && node < graph_.node_count());
+  BCP_REQUIRE(node >= 0 && node < graph().node_count());
   const auto i = static_cast<std::size_t>(node);
   return transmitting_[i] != 0 || !arrivals_[i].empty();
 }
 
 util::Seconds Channel::clear_at(net::NodeId node) const {
-  BCP_REQUIRE(node >= 0 && node < graph_.node_count());
+  BCP_REQUIRE(node >= 0 && node < graph().node_count());
   const auto i = static_cast<std::size_t>(node);
   util::Seconds t = sim_.now();
   if (transmitting_[i] != 0) t = std::max(t, own_tx_end_[i]);

@@ -23,6 +23,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -108,6 +109,13 @@ class Channel {
   Channel(sim::Simulator& sim, std::vector<net::Position> positions,
           util::Metres range, Params params, std::uint64_t seed);
 
+  /// Shared-graph constructor: several channel partitions of one sharded
+  /// run (or any other co-located consumers) reuse a single connectivity
+  /// graph instead of rebuilding O(n + e) adjacency per partition.
+  Channel(sim::Simulator& sim,
+          std::shared_ptr<const net::ConnectivityGraph> graph, Params params,
+          std::uint64_t seed);
+
   /// Registers the listener for a node. At most one per node.
   void attach(net::NodeId node, ChannelListener* listener);
 
@@ -123,15 +131,15 @@ class Channel {
   util::Seconds clear_at(net::NodeId node) const;
 
   bool in_range(net::NodeId a, net::NodeId b) const {
-    return graph_.connected(a, b);
+    return graph().connected(a, b);
   }
 
   /// The disc connectivity graph the channel propagates over. Routing for
   /// the same radio class builds on this instead of re-deriving an
   /// identical graph from the positions.
-  const net::ConnectivityGraph& graph() const { return graph_; }
+  const net::ConnectivityGraph& graph() const { return *graph_; }
 
-  int node_count() const { return graph_.node_count(); }
+  int node_count() const { return graph().node_count(); }
   const Stats& stats() const { return stats_; }
 
   /// Arrivals currently on the air (rx_start delivered, rx_end pending)
@@ -147,6 +155,54 @@ class Channel {
   /// it; frames already in flight complete normally. Not owned; must
   /// outlive the channel while attached.
   void set_link_state(const net::LinkState* links) { links_ = links; }
+
+  // ---- Sharded operation (sim/sharded_simulator.hpp) ----
+  //
+  // A sharded run partitions the node plane: each shard owns one Channel
+  // over the *shared* full graph but only delivers to nodes it owns.
+  // A transmission whose hearer set crosses a shard edge is exported once
+  // per remote shard as a RemoteFrame (payload deep-copied — pooled
+  // MessageRefs are thread-local and must never cross shards) and
+  // re-enacted in the destination shard by inject_remote at the next
+  // window drain.
+
+  /// A boundary frame crossing to another shard. `frame.message` is
+  /// detached; the payload (if any) travels by value and is re-pooled on
+  /// the destination shard's thread at injection.
+  struct RemoteFrame {
+    net::NodeId src = net::kInvalidNode;
+    Frame frame;
+    net::Message payload;
+    bool has_payload = false;
+    util::Seconds start = 0;
+    util::Seconds end = 0;
+  };
+  using BoundaryEmit =
+      std::function<void(std::int32_t dst_shard, RemoteFrame&& rf)>;
+
+  /// Marks this channel as shard `my_shard` of a partitioned medium:
+  /// local deliveries are restricted to nodes with shard_of[id] ==
+  /// my_shard, and every transmission heard by other shards is handed to
+  /// `emit` (once per destination shard). `shard_of` is not owned and
+  /// must outlive the channel. Incompatible with set_link_state.
+  void enable_sharding(const std::int32_t* shard_of, std::int32_t my_shard,
+                       std::int32_t shard_count, BoundaryEmit emit);
+
+  /// Re-enacts a frame exported by a neighboring shard. A frame whose
+  /// start is still in this shard's future is replayed with its exact
+  /// original timing; one already begun (late by less than the exchange
+  /// window) is begun now over its true [start, end) interval — collision
+  /// marking uses real air-time overlap, so a late frame only corrupts
+  /// (and is corrupted by) transmissions it genuinely shared the air
+  /// with. A frame that already ended delivers rx_start and rx_end
+  /// back-to-back. Remote frames never count toward stats().frames (the
+  /// origin shard counted the transmission); their arrivals land in
+  /// rx_starts/deliveries/live as usual, so the per-shard conservation
+  /// law rx_starts == rx_ends + live still holds exactly.
+  void inject_remote(RemoteFrame rf);
+
+  /// Boundary frames this shard exported (0 when sharding is off).
+  std::int64_t boundary_exports() const { return boundary_exports_; }
 
   /// Crash support: the node's in-flight transmission (if any) is
   /// truncated mid-air — corrupt for every hearer, and the carrier dies
@@ -173,12 +229,20 @@ class Channel {
     // arrival powers at this hearer) observed over the frame's lifetime.
     double rx_power_mw = 0.0;
     double peak_interference_mw = 0.0;
+    /// True air start — late-injected remote frames test real interval
+    /// overlap against it (local frames start at their rx_start instant).
+    util::Seconds start = 0.0;
   };
 
   struct Transmission {
     net::NodeId src = net::kInvalidNode;
     Frame frame;
     util::Seconds end = 0;
+    util::Seconds start = 0;
+    /// Injected from another shard: src is not owned here, so the
+    /// transmitter-side bookkeeping (transmitting_ mask, stats_.frames,
+    /// half-duplex self-corruption) is skipped.
+    bool remote = false;
   };
 
   /// In-flight transmission slot: generation-stamped and free-listed like
@@ -197,9 +261,17 @@ class Channel {
 
   void finish_tx(std::uint64_t tx_id);
   std::vector<Arrival>& arrivals(net::NodeId node);
+  std::uint32_t acquire_tx_slot();
+  bool owned(net::NodeId node) const {
+    return shard_of_ == nullptr || shard_of_[node] == my_shard_;
+  }
+  /// Begins a remote frame's reception in this shard: records arrivals at
+  /// owned hearers over the true [start, end) interval and schedules (or,
+  /// for already-ended frames, performs) the finish.
+  void begin_remote(std::uint64_t tx_id);
 
   sim::Simulator& sim_;
-  net::ConnectivityGraph graph_;
+  std::shared_ptr<const net::ConnectivityGraph> graph_;
   Params params_;
   util::Xoshiro256 rng_;
   Stats stats_;
@@ -230,6 +302,16 @@ class Channel {
   std::vector<double> arrival_power_mw_;
   std::vector<std::uint64_t> transmitting_;      // per node: own tx id or 0
   std::vector<util::Seconds> own_tx_end_;        // valid when transmitting_
+  std::vector<util::Seconds> own_tx_start_;      // valid when transmitting_
+
+  // Sharded operation (null/empty when off).
+  const std::int32_t* shard_of_ = nullptr;
+  std::int32_t my_shard_ = 0;
+  BoundaryEmit boundary_emit_;
+  std::int64_t boundary_exports_ = 0;
+  // start_tx scratch: destination shards of the current frame (deduped).
+  std::vector<std::uint8_t> remote_seen_;
+  std::vector<std::int32_t> remote_dsts_;
   // Per node: running max of every arrival end ever pushed. Expired
   // arrivals are pruned lazily — entries removed at their end time can
   // only leave a stale max <= now, so clear_at() is an O(1) max instead

@@ -1,0 +1,144 @@
+#include "phy/sharded_channel.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace bcp::phy {
+
+ShardMap ShardMap::stripes(const std::vector<net::Position>& positions,
+                           int shards) {
+  const auto n = positions.size();
+  BCP_REQUIRE(n > 0);
+  BCP_REQUIRE(shards >= 1);
+  ShardMap map;
+  map.count = std::min<int>(shards, static_cast<int>(n));
+  map.shard_of.assign(n, 0);
+  if (map.count == 1) return map;
+  std::vector<std::int32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::int32_t a, std::int32_t b) {
+    const auto ai = static_cast<std::size_t>(a);
+    const auto bi = static_cast<std::size_t>(b);
+    if (positions[ai].x != positions[bi].x)
+      return positions[ai].x < positions[bi].x;
+    return a < b;
+  });
+  for (int s = 0; s < map.count; ++s) {
+    const auto lo = n * static_cast<std::size_t>(s) /
+                    static_cast<std::size_t>(map.count);
+    const auto hi = n * (static_cast<std::size_t>(s) + 1) /
+                    static_cast<std::size_t>(map.count);
+    for (std::size_t i = lo; i < hi; ++i)
+      map.shard_of[static_cast<std::size_t>(order[i])] =
+          static_cast<std::int32_t>(s);
+  }
+  return map;
+}
+
+int ShardMap::owned_count(int shard) const {
+  int total = 0;
+  for (const std::int32_t s : shard_of)
+    if (s == shard) ++total;
+  return total;
+}
+
+ShardedMedium::ShardedMedium(
+    sim::ShardedSimulator& engine,
+    std::shared_ptr<const net::ConnectivityGraph> graph, const ShardMap& map,
+    Channel::Params params, std::uint64_t seed)
+    : engine_(engine), map_(map), count_(map.count) {
+  BCP_REQUIRE(count_ == engine.shard_count());
+  BCP_REQUIRE(graph != nullptr &&
+              graph->node_count() == static_cast<int>(map.shard_of.size()));
+  mail_.resize(static_cast<std::size_t>(count_) *
+               static_cast<std::size_t>(count_));
+  scratch_.resize(static_cast<std::size_t>(count_));
+  channels_.resize(static_cast<std::size_t>(count_));
+  for (int s = 0; s < count_; ++s) {
+    auto channel = std::make_unique<Channel>(
+        engine.shard(s), graph, params,
+        util::substream(seed, static_cast<std::uint64_t>(s), 0x53484152u));
+    channel->enable_sharding(
+        map_.shard_of.data(), s, count_,
+        [this, s](std::int32_t dst, Channel::RemoteFrame&& rf) {
+          // Double-buffered by the parity of the window being executed;
+          // only shard s's pinned thread writes (src, dst) buffers.
+          const auto parity =
+              static_cast<std::size_t>(engine_.current_window() & 1);
+          mail(s, dst).buf[parity].push_back(std::move(rf));
+        });
+    channels_[static_cast<std::size_t>(s)] = std::move(channel);
+  }
+}
+
+void ShardedMedium::drain(int s, std::int64_t window) {
+  auto& scratch = scratch_[static_cast<std::size_t>(s)];
+  scratch.clear();
+  for (int src = 0; src < count_; ++src) {
+    if (src == s) continue;
+    // Which buffer of (src → s) is quiescent while s runs window k?
+    // Even writers fill buf[k&1] during the even phase of window k; an
+    // odd reader draining in the same window's odd phase takes exactly
+    // that buffer (the exact-timing path — the barrier between phases
+    // makes it safe). Every other direction reads the previous window's
+    // buffer: the writer is either running the same phase (and writing
+    // buf[k&1]) or ran after the reader's parity last window — both
+    // leave buf[(k-1)&1] untouched this phase. Each buffer is drained
+    // exactly one window after it is filled, before its writer cycles
+    // back to it.
+    const std::int64_t w =
+        (src % 2 == 0 && s % 2 == 1) ? window : window - 1;
+    auto& buf = mail(src, s).buf[static_cast<std::size_t>(w & 1)];
+    for (auto& rf : buf) scratch.push_back(Tagged{std::move(rf), src});
+    buf.clear();
+  }
+  if (scratch.empty()) return;
+  // Canonical merge order: frames from one source shard are already in
+  // emission (time) order; a stable sort by (start, source shard) makes
+  // the injection sequence independent of mailbox iteration details.
+  std::stable_sort(scratch.begin(), scratch.end(),
+                   [](const Tagged& a, const Tagged& b) {
+                     if (a.rf.start != b.rf.start)
+                       return a.rf.start < b.rf.start;
+                     return a.src_shard < b.src_shard;
+                   });
+  Channel& channel = shard(s);
+  for (auto& t : scratch) channel.inject_remote(std::move(t.rf));
+  scratch.clear();
+}
+
+void ShardedMedium::reset_shard(int s) {
+  channels_[static_cast<std::size_t>(s)].reset();
+}
+
+Channel::Stats ShardedMedium::total_stats() const {
+  Channel::Stats total;
+  for (const auto& c : channels_) {
+    if (c == nullptr) continue;
+    total.frames += c->stats().frames;
+    total.rx_starts += c->stats().rx_starts;
+    total.deliveries_clean += c->stats().deliveries_clean;
+    total.deliveries_corrupt += c->stats().deliveries_corrupt;
+  }
+  return total;
+}
+
+std::int64_t ShardedMedium::total_live_arrivals() const {
+  std::int64_t total = 0;
+  for (const auto& c : channels_)
+    if (c != nullptr) total += c->live_arrivals();
+  return total;
+}
+
+std::int64_t ShardedMedium::boundary_exports() const {
+  std::int64_t total = 0;
+  for (const auto& c : channels_)
+    if (c != nullptr) total += c->boundary_exports();
+  return total;
+}
+
+}  // namespace bcp::phy

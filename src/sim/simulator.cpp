@@ -130,6 +130,14 @@ void Simulator::run() {
   while (!heap_.empty() && !stopped_) dispatch_one();
 }
 
+void Simulator::clear() {
+  for (const HeapEntry& e : heap_) {
+    slots_[e.slot].cb.reset();
+    release_slot(e.slot);
+  }
+  heap_.clear();
+}
+
 void Simulator::run_until(TimePoint end) {
   BCP_REQUIRE(end >= now_);
   stopped_ = false;

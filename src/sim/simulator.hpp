@@ -81,6 +81,14 @@ class Simulator {
   /// Makes run()/run_until() return after the current callback completes.
   void stop() { stopped_ = true; }
 
+  /// Drops every pending event without running it: captured state is
+  /// destroyed on the calling thread and all outstanding handles die. The
+  /// clock and processed count are preserved. The sharded engine tears a
+  /// shard down on its pinned worker thread — pending captures may hold
+  /// thread-local pooled payloads that must be released there, not on
+  /// whichever thread destroys the Simulator object.
+  void clear();
+
   /// Number of callbacks executed so far (cancelled events excluded).
   std::uint64_t processed_count() const { return processed_; }
 

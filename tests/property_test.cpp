@@ -232,6 +232,10 @@ struct CrossModelCase {
   bool multi_hop;
   app::EvalModel model;
   bool capture = false;  ///< SINR/capture collision resolution on
+  /// > 1 runs the case on the sharded parallel engine (fault-free cases
+  /// only — the sharded path rejects fault plans). The conservation laws
+  /// must hold per-shard and therefore summed.
+  int shards = 0;
 };
 
 class CrossModelInvariants
@@ -254,6 +258,7 @@ TEST_P(CrossModelInvariants, ConservationLawsHold) {
   cfg.faults.mean_downtime = 40.0;
   cfg.faults.mean_link_downtime = 30.0;
   cfg.faults.seed = 3;
+  if (c.shards > 1) cfg.shards = c.shards;
   const auto m = app::run_scenario(cfg);
   const int n = cfg.topology.node_count();
 
@@ -359,7 +364,18 @@ INSTANTIATE_TEST_SUITE_P(
                        app::EvalModel::kSensor},
         CrossModelCase{"dper_churn_sh_dual",
                        phy::PropagationKind::kDistancePer, 0.0, 2, 0, false,
-                       app::EvalModel::kDualRadio}),
+                       app::EvalModel::kDualRadio},
+        // Sharded parallel engine (fault-free): the same conservation laws
+        // through cross-shard boundary frames, with and without capture.
+        CrossModelCase{"sharded_disc_mh_dual",
+                       phy::PropagationKind::kUnitDisc, 0.0, 0, 0, true,
+                       app::EvalModel::kDualRadio, false, 4},
+        CrossModelCase{"sharded_logd_lossy_sh_sensor",
+                       phy::PropagationKind::kLogDistance, 0.1, 0, 0, false,
+                       app::EvalModel::kSensor, false, 3},
+        CrossModelCase{"sharded_disc_capture_mh_wifi",
+                       phy::PropagationKind::kUnitDisc, 0.0, 0, 0, true,
+                       app::EvalModel::kWifi, true, 2}),
     [](const auto& param_info) { return std::string(param_info.param.name); });
 
 /// Goodput is monotonically non-increasing in the extra-loss knob under

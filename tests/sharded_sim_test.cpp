@@ -1,0 +1,404 @@
+// The parallel engine's contracts:
+//   * ShardMap stripes are equal-population and ordered left to right;
+//   * ShardedSimulator runs every shard to the horizon, phases parity
+//     correctly, and propagates shard exceptions;
+//   * boundary frames from an even stripe reach the adjacent odd stripe
+//     with their EXACT original timing (the differential test diffs a
+//     2-shard run against the single-queue Channel event for event), and
+//     frames in every other direction arrive late by less than one window;
+//   * a sharded run's metrics are a pure function of (config, shard
+//     count): byte-identical across sim_threads and across repeats;
+//   * the rx conservation law holds per-shard and summed;
+//   * fault plans and TDMA are rejected when sharded.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "app/scenario.hpp"
+#include "net/topology.hpp"
+#include "phy/channel.hpp"
+#include "phy/frame.hpp"
+#include "phy/sharded_channel.hpp"
+#include "sim/sharded_simulator.hpp"
+#include "util/units.hpp"
+
+namespace bcp {
+namespace {
+
+TEST(ShardMap, StripesAreBalancedAndOrderedLeftToRight) {
+  std::vector<net::Position> positions;
+  for (int i = 0; i < 12; ++i)
+    positions.push_back({static_cast<double>(11 - i) * 10.0, 0.0});
+  const phy::ShardMap map = phy::ShardMap::stripes(positions, 4);
+  ASSERT_EQ(map.count, 4);
+  for (int s = 0; s < 4; ++s) EXPECT_EQ(map.owned_count(s), 3);
+  // Node i sits at x = (11-i)*10: the *rightmost* node is id 0, so stripe
+  // numbers must decrease with id (stripes are ordered by x, not by id).
+  for (int i = 0; i + 1 < 12; ++i)
+    EXPECT_GE(map.shard_of[static_cast<std::size_t>(i)],
+              map.shard_of[static_cast<std::size_t>(i + 1)]);
+}
+
+TEST(ShardMap, MoreShardsThanNodesClampsToNodeCount) {
+  const std::vector<net::Position> positions{{0, 0}, {10, 0}, {20, 0}};
+  const phy::ShardMap map = phy::ShardMap::stripes(positions, 8);
+  EXPECT_EQ(map.count, 3);
+  for (int s = 0; s < 3; ++s) EXPECT_EQ(map.owned_count(s), 1);
+}
+
+TEST(ShardedSimulator, RunsEveryShardToTheHorizonInWindows) {
+  sim::ShardedSimulator::Params params;
+  params.shards = 4;
+  params.threads = 1;
+  params.window = 0.5;
+  sim::ShardedSimulator engine(params);
+  std::vector<int> fired(4, 0);
+  engine.for_each_shard([&](int s) {
+    for (int k = 0; k < 5; ++k)
+      engine.shard(s).schedule_at(0.3 + k, [&fired, s] { ++fired[s]; });
+  });
+  engine.run(10.0);
+  for (int s = 0; s < 4; ++s) {
+    EXPECT_EQ(fired[s], 5) << "shard " << s;
+    EXPECT_DOUBLE_EQ(engine.shard(s).now(), 10.0);
+  }
+  EXPECT_EQ(engine.total_processed(), 20u);
+}
+
+TEST(ShardedSimulator, DrainHookSeesEveryWindowInOrder) {
+  sim::ShardedSimulator::Params params;
+  params.shards = 2;
+  params.threads = 1;
+  params.window = 1.0;
+  sim::ShardedSimulator engine(params);
+  std::vector<std::int64_t> windows;
+  engine.set_drain(1, [&](std::int64_t w) { windows.push_back(w); });
+  engine.run(3.0);
+  // 3 real windows plus two settlement rounds at the horizon.
+  ASSERT_EQ(windows.size(), 5u);
+  for (std::size_t i = 0; i < windows.size(); ++i)
+    EXPECT_EQ(windows[i], static_cast<std::int64_t>(i));
+}
+
+TEST(ShardedSimulator, ShardExceptionPropagatesToTheCaller) {
+  sim::ShardedSimulator::Params params;
+  params.shards = 2;
+  params.threads = 1;
+  sim::ShardedSimulator engine(params);
+  EXPECT_THROW(engine.for_each_shard([](int s) {
+    if (s == 1) throw std::runtime_error("boom");
+  }),
+               std::runtime_error);
+}
+
+// ---- Differential boundary-frame tests ------------------------------------
+
+struct RxEvent {
+  net::NodeId hearer;
+  net::NodeId tx_node;
+  double t_start;
+  double t_end;
+  bool clean;
+};
+
+/// Records every delivery at one node with the owning simulator's clock.
+class Recorder final : public phy::ChannelListener {
+ public:
+  Recorder(sim::Simulator& sim, net::NodeId self,
+           std::vector<RxEvent>& out)
+      : sim_(sim), self_(self), out_(out) {}
+
+  void on_rx_start(std::uint64_t id, const phy::Frame& frame,
+                   util::Seconds) override {
+    starts_.push_back({id, sim_.now()});
+    (void)frame;
+  }
+  void on_rx_end(std::uint64_t id, const phy::Frame& frame,
+                 bool clean) override {
+    double t_start = -1;
+    for (const auto& s : starts_)
+      if (s.first == id) t_start = s.second;
+    out_.push_back({self_, frame.tx_node, t_start, sim_.now(), clean});
+  }
+
+ private:
+  sim::Simulator& sim_;
+  net::NodeId self_;
+  std::vector<RxEvent>& out_;
+  std::vector<std::pair<std::uint64_t, double>> starts_;
+};
+
+/// Chain 0—1—2—3 at 10 m spacing, 15 m range; two stripes cut it between
+/// nodes 1 and 2, so 1↔2 frames cross the boundary.
+struct ChainFixture {
+  std::vector<net::Position> positions{{0, 0}, {10, 0}, {20, 0}, {30, 0}};
+  util::Metres range = 15.0;
+};
+
+std::vector<RxEvent> run_single(const ChainFixture& fx,
+                                const std::vector<std::pair<net::NodeId, double>>& txs,
+                                double horizon, double duration) {
+  sim::Simulator sim;
+  phy::Channel channel(sim, fx.positions, fx.range, phy::Channel::Params{},
+                       99);
+  std::vector<RxEvent> events;
+  std::vector<std::unique_ptr<Recorder>> recorders;
+  for (net::NodeId id = 0; id < 4; ++id) {
+    recorders.push_back(std::make_unique<Recorder>(sim, id, events));
+    channel.attach(id, recorders.back().get());
+  }
+  for (const auto& [src, at] : txs)
+    sim.schedule_at(at, [&channel, src = src, duration] {
+      phy::Frame frame;
+      frame.tx_node = src;
+      frame.rx_node = net::kBroadcastNode;
+      channel.start_tx(src, frame, duration);
+    });
+  sim.run_until(horizon);
+  return events;
+}
+
+std::vector<RxEvent> run_sharded(const ChainFixture& fx,
+                                 const std::vector<std::pair<net::NodeId, double>>& txs,
+                                 double horizon, double duration,
+                                 double window) {
+  sim::ShardedSimulator::Params params;
+  params.shards = 2;
+  params.threads = 1;
+  params.window = window;
+  sim::ShardedSimulator engine(params);
+  const phy::ShardMap map = phy::ShardMap::stripes(fx.positions, 2);
+  auto graph =
+      std::make_shared<net::ConnectivityGraph>(fx.positions, fx.range);
+  phy::ShardedMedium medium(engine, graph, map, phy::Channel::Params{}, 99);
+  for (int s = 0; s < 2; ++s)
+    engine.set_drain(s, [&medium, s](std::int64_t w) { medium.drain(s, w); });
+  std::vector<RxEvent> events;
+  std::vector<std::unique_ptr<Recorder>> recorders;
+  engine.for_each_shard([&](int s) {
+    for (net::NodeId id = 0; id < 4; ++id) {
+      if (map.shard_of[static_cast<std::size_t>(id)] != s) continue;
+      recorders.push_back(
+          std::make_unique<Recorder>(engine.shard(s), id, events));
+      medium.shard(s).attach(id, recorders.back().get());
+    }
+    for (const auto& [src, at] : txs) {
+      if (map.shard_of[static_cast<std::size_t>(src)] != s) continue;
+      engine.shard(s).schedule_at(
+          at, [channel = &medium.shard(s), src = src, duration] {
+            phy::Frame frame;
+            frame.tx_node = src;
+            frame.rx_node = net::kBroadcastNode;
+            channel->start_tx(src, frame, duration);
+          });
+    }
+  });
+  engine.run(horizon);
+  return events;
+}
+
+const RxEvent* find(const std::vector<RxEvent>& events, net::NodeId hearer,
+                    net::NodeId tx_node) {
+  for (const auto& e : events)
+    if (e.hearer == hearer && e.tx_node == tx_node) return &e;
+  return nullptr;
+}
+
+TEST(ShardedChannel, EvenToOddBoundaryFrameKeepsExactTiming) {
+  const ChainFixture fx;
+  // Node 1 (stripe 0, even) transmits mid-window; node 2 (stripe 1) hears
+  // it across the boundary. Odd stripes run after even within a window,
+  // so the replica arrives with its exact original [start, end).
+  const std::vector<std::pair<net::NodeId, double>> txs{{1, 0.005}};
+  const auto single = run_single(fx, txs, 0.1, 0.004);
+  const auto sharded = run_sharded(fx, txs, 0.1, 0.004, 0.02);
+  ASSERT_EQ(single.size(), 2u);   // hearers 0 and 2
+  ASSERT_EQ(sharded.size(), 2u);
+  for (const net::NodeId hearer : {net::NodeId{0}, net::NodeId{2}}) {
+    const RxEvent* a = find(single, hearer, 1);
+    const RxEvent* b = find(sharded, hearer, 1);
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    EXPECT_DOUBLE_EQ(a->t_start, b->t_start) << "hearer " << hearer;
+    EXPECT_DOUBLE_EQ(a->t_end, b->t_end) << "hearer " << hearer;
+    EXPECT_EQ(a->clean, b->clean) << "hearer " << hearer;
+    EXPECT_TRUE(b->clean);
+  }
+}
+
+TEST(ShardedChannel, CrossBoundaryCollisionCorruptsBothFramesExactly) {
+  const ChainFixture fx;
+  // Node 1 (even stripe) and node 3 (odd stripe) overlap on the air; node
+  // 2 hears both. Node 1's frame crosses even→odd with exact timing and
+  // node 3's is local, so the all-overlaps-corrupt verdict at node 2 must
+  // match the single-queue run event for event.
+  const std::vector<std::pair<net::NodeId, double>> txs{{1, 0.005},
+                                                       {3, 0.006}};
+  const auto single = run_single(fx, txs, 0.1, 0.004);
+  const auto sharded = run_sharded(fx, txs, 0.1, 0.004, 0.02);
+  for (const net::NodeId tx : {net::NodeId{1}, net::NodeId{3}}) {
+    const RxEvent* a = find(single, 2, tx);
+    const RxEvent* b = find(sharded, 2, tx);
+    ASSERT_NE(a, nullptr) << "tx " << tx;
+    ASSERT_NE(b, nullptr) << "tx " << tx;
+    EXPECT_DOUBLE_EQ(a->t_start, b->t_start) << "tx " << tx;
+    EXPECT_DOUBLE_EQ(a->t_end, b->t_end) << "tx " << tx;
+    EXPECT_FALSE(a->clean) << "tx " << tx;
+    EXPECT_FALSE(b->clean) << "tx " << tx;
+  }
+}
+
+TEST(ShardedChannel, OddToEvenBoundaryFrameArrivesLateByLessThanOneWindow) {
+  const ChainFixture fx;
+  const double window = 0.02;
+  // Node 2 (odd stripe) transmits at 0.005; node 1 (even stripe) already
+  // ran past that instant, so the replica lands at the start of stripe
+  // 0's next phase — late, but by less than one exchange window, and
+  // still delivered clean (nothing else was on the air).
+  const std::vector<std::pair<net::NodeId, double>> txs{{2, 0.005}};
+  const auto sharded = run_sharded(fx, txs, 0.1, 0.004, window);
+  const RxEvent* late = find(sharded, 1, 2);
+  ASSERT_NE(late, nullptr);
+  EXPECT_TRUE(late->clean);
+  EXPECT_GE(late->t_start, 0.005);
+  EXPECT_LT(late->t_start, 0.005 + 2 * window);
+  // The same frame's delivery inside its own stripe is exactly on time.
+  const RxEvent* local = find(sharded, 3, 2);
+  ASSERT_NE(local, nullptr);
+  EXPECT_DOUBLE_EQ(local->t_start, 0.005);
+  EXPECT_DOUBLE_EQ(local->t_end, 0.009);
+}
+
+TEST(ShardedChannel, ConservationLawHoldsAcrossPartitions) {
+  const ChainFixture fx;
+  const std::vector<std::pair<net::NodeId, double>> txs{
+      {0, 0.001}, {1, 0.005}, {2, 0.013}, {3, 0.030}};
+  sim::ShardedSimulator::Params params;
+  params.shards = 2;
+  params.threads = 1;
+  params.window = 0.02;
+  sim::ShardedSimulator engine(params);
+  const phy::ShardMap map = phy::ShardMap::stripes(fx.positions, 2);
+  auto graph =
+      std::make_shared<net::ConnectivityGraph>(fx.positions, fx.range);
+  phy::ShardedMedium medium(engine, graph, map, phy::Channel::Params{}, 7);
+  for (int s = 0; s < 2; ++s)
+    engine.set_drain(s, [&medium, s](std::int64_t w) { medium.drain(s, w); });
+  engine.for_each_shard([&](int s) {
+    for (const auto& [src, at] : txs) {
+      if (map.shard_of[static_cast<std::size_t>(src)] != s) continue;
+      engine.shard(s).schedule_at(
+          at, [channel = &medium.shard(s), src = src] {
+            phy::Frame frame;
+            frame.tx_node = src;
+            frame.rx_node = net::kBroadcastNode;
+            channel->start_tx(src, frame, 0.004);
+          });
+    }
+  });
+  engine.run(0.1);
+  const phy::Channel::Stats stats = medium.total_stats();
+  EXPECT_EQ(stats.frames, 4);
+  EXPECT_GT(medium.boundary_exports(), 0);
+  EXPECT_EQ(stats.rx_starts, stats.deliveries_clean +
+                                 stats.deliveries_corrupt +
+                                 medium.total_live_arrivals());
+  EXPECT_EQ(medium.total_live_arrivals(), 0);
+}
+
+// ---- Whole-scenario contracts ----------------------------------------------
+
+app::ScenarioConfig sharded_config(int shards, int threads) {
+  // burst_packets = 10: at 0.2 Kbps a sender fills a burst every ~13 s,
+  // so a 120 s run exercises many full wake-up/transfer cycles.
+  app::ScenarioConfig config = app::ScenarioConfig::single_hop(
+      app::EvalModel::kDualRadio, /*senders=*/6, /*burst_packets=*/10);
+  config.duration = 120.0;
+  config.shards = shards;
+  config.sim_threads = threads;
+  return config;
+}
+
+void expect_same_metrics(const app::RunMetrics& a, const app::RunMetrics& b) {
+  EXPECT_EQ(a.generated, b.generated);
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_EQ(a.dropped_buffer, b.dropped_buffer);
+  EXPECT_EQ(a.dropped_queue, b.dropped_queue);
+  EXPECT_EQ(a.dropped_mac, b.dropped_mac);
+  EXPECT_EQ(a.mac_tx_attempts, b.mac_tx_attempts);
+  EXPECT_EQ(a.mac_tx_failed, b.mac_tx_failed);
+  EXPECT_EQ(a.bcp_wakeups, b.bcp_wakeups);
+  EXPECT_EQ(a.bcp_sender_sessions, b.bcp_sender_sessions);
+  EXPECT_EQ(a.chan_frames, b.chan_frames);
+  EXPECT_EQ(a.chan_rx_starts, b.chan_rx_starts);
+  EXPECT_EQ(a.chan_rx_ends, b.chan_rx_ends);
+  EXPECT_EQ(a.boundary_frames, b.boundary_frames);
+  EXPECT_EQ(a.events_processed, b.events_processed);
+  ASSERT_EQ(a.shard_events.size(), b.shard_events.size());
+  for (std::size_t i = 0; i < a.shard_events.size(); ++i)
+    EXPECT_EQ(a.shard_events[i], b.shard_events[i]) << "shard " << i;
+  // Bit-equality, not tolerance: the determinism contract is exact.
+  EXPECT_EQ(a.goodput, b.goodput);
+  EXPECT_EQ(a.mean_delay, b.mean_delay);
+  EXPECT_EQ(a.normalized_energy, b.normalized_energy);
+  EXPECT_EQ(a.wifi_on_seconds, b.wifi_on_seconds);
+}
+
+TEST(ShardedScenario, MetricsAreIdenticalAcrossWorkerThreadCounts) {
+  const app::RunMetrics inline_run =
+      app::run_scenario(sharded_config(4, /*threads=*/1));
+  const app::RunMetrics threaded_run =
+      app::run_scenario(sharded_config(4, /*threads=*/2));
+  expect_same_metrics(inline_run, threaded_run);
+  EXPECT_GT(inline_run.delivered, 0);
+  EXPECT_GT(inline_run.boundary_frames, 0);
+}
+
+TEST(ShardedScenario, RepeatRunsAreIdentical) {
+  const app::RunMetrics a = app::run_scenario(sharded_config(3, 0));
+  const app::RunMetrics b = app::run_scenario(sharded_config(3, 0));
+  expect_same_metrics(a, b);
+}
+
+TEST(ShardedScenario, ShardEventCountsSumToTotalAndConservationHolds) {
+  const app::RunMetrics m = app::run_scenario(sharded_config(4, 1));
+  ASSERT_EQ(m.shard_events.size(), 4u);
+  std::uint64_t sum = 0;
+  for (const std::uint64_t e : m.shard_events) {
+    EXPECT_GT(e, 0u);
+    sum += e;
+  }
+  EXPECT_EQ(sum, m.events_processed);
+  EXPECT_EQ(m.chan_rx_starts, m.chan_rx_ends + m.chan_rx_live_at_end);
+}
+
+TEST(ShardedScenario, SensorModelRunsSharded) {
+  app::ScenarioConfig config = app::ScenarioConfig::single_hop(
+      app::EvalModel::kSensor, 6, 100);
+  config.duration = 120.0;
+  config.shards = 3;
+  config.sim_threads = 1;
+  const app::RunMetrics m = app::run_scenario(config);
+  EXPECT_GT(m.delivered, 0);
+  EXPECT_EQ(m.chan_rx_starts, m.chan_rx_ends + m.chan_rx_live_at_end);
+}
+
+TEST(ShardedScenario, FaultPlansAreRejected) {
+  app::ScenarioConfig config = sharded_config(2, 1);
+  config.faults.node_crashes = 1;
+  EXPECT_THROW(app::run_scenario(config), std::invalid_argument);
+}
+
+TEST(ShardedScenario, TdmaIsRejected) {
+  app::ScenarioConfig config = app::ScenarioConfig::single_hop(
+      app::EvalModel::kSensor, 6, 100);
+  config.shards = 2;
+  config.sensor_mac.family = mac::MacFamily::kTdma;
+  EXPECT_THROW(app::run_scenario(config), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bcp

@@ -219,7 +219,8 @@ TEST(ScenarioRegistry, BuiltinCoversTheEvaluationMatrix) {
        {"sh/sensor", "sh/wifi", "sh/dual", "mh/sensor", "mh/wifi",
         "mh/dual", "sh/wifi-duty", "mh/wifi-duty", "mh/dual-flush-high",
         "mh/dual-fallback-low", "mh/dual-shortcuts", "sh/dual-lucent2",
-        "sh/dual-cabletron"})
+        "sh/dual-cabletron", "sharded-sh/dual", "sharded-mh/dual",
+        "sharded-mh/sensor"})
     EXPECT_TRUE(r.contains(name)) << name;
   EXPECT_FALSE(r.contains("nope"));
   EXPECT_THROW(r.make("nope", SweepPoint(0, {{"senders", 5}})),
@@ -293,6 +294,16 @@ TEST(ScenarioRegistry, BuildersReadPointParams) {
       SweepPoint(0, {{"senders", 5}, {"deadline_s", 30}}));
   EXPECT_EQ(flush.bcp.delay_policy, core::DelayPolicy::kFlushHigh);
   EXPECT_DOUBLE_EQ(flush.bcp.max_buffering_delay, 30);
+
+  const ScenarioConfig sharded = r.make(
+      "sharded-mh/dual", SweepPoint(0, {{"senders", 5},
+                                        {"shards", 6},
+                                        {"sim_threads", 2},
+                                        {"nodes", 100}}));
+  EXPECT_EQ(sharded.shards, 6);
+  EXPECT_EQ(sharded.sim_threads, 2);
+  EXPECT_EQ(sharded.topology.node_count(), 100);
+  EXPECT_EQ(sharded.topology.kind, net::TopologyKind::kGrid);
 }
 
 TEST(ScenarioRegistry, SweepFnRunsScenariosDeterministically) {
