@@ -150,6 +150,18 @@ void set_scenario_meta(stats::ResultSink& sink,
       sink.set_meta("fault_mean_link_downtime_s",
                     config.faults.mean_link_downtime);
   }
+  // Finite-battery identity — only when the run departs from the
+  // infinite-energy default, so every historical export stays
+  // byte-identical.
+  if (config.battery.enabled) {
+    sink.set_meta("battery_sensor_j", config.battery.sensor_initial_j);
+    sink.set_meta("battery_wifi_j", config.battery.wifi_initial_j);
+    if (config.route_policy != net::RoutePolicy::kShortestPath) {
+      sink.set_meta("route_policy", net::to_string(config.route_policy));
+      sink.set_meta("lifetime_weight", config.battery.lifetime_weight);
+      sink.set_meta("reroute_period_s", config.battery.reroute_period);
+    }
+  }
 }
 
 stats::ResultSink run_grid_bench(const std::string& bench_name,

@@ -44,7 +44,26 @@ DutyCycledWifiNode::DutyCycledWifiNode(
   sim_.schedule_in(0.0, [this] { on_window_open(); });
 }
 
+void DutyCycledWifiNode::crash() {
+  if (!up_) return;
+  up_ = false;
+  window_open_ = false;
+  awaiting_quiesce_ = false;
+  // The open chain re-schedules itself with no stored handle, so it
+  // cannot be cancelled here; instead the next pending open fires once,
+  // sees the up_ gate, and the chain ends. Bumping the generation kills
+  // any in-flight close the same way it kills overrun closes.
+  ++window_generation_;
+  pending_.clear();
+  mac_.reset_on_crash();
+  radio_.force_off();
+}
+
 void DutyCycledWifiNode::send(const net::DataPacket& packet) {
+  if (!up_) {
+    delivery_->dropped(packet, "node-down");
+    return;
+  }
   net::Message msg;
   msg.src = self_;
   msg.dst = packet.destination;
@@ -58,6 +77,7 @@ void DutyCycledWifiNode::send(const net::DataPacket& packet) {
 }
 
 void DutyCycledWifiNode::on_window_open() {
+  if (!up_) return;  // dead: let the self-rescheduling chain end here
   awaiting_quiesce_ = false;
   ++window_generation_;
   const std::uint64_t generation = window_generation_;

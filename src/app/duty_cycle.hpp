@@ -40,8 +40,16 @@ class DutyCycledWifiNode {
                      DeliverySink* delivery);
 
   /// Entry point for locally generated packets; queued until the next
-  /// on-window.
+  /// on-window. While the node is down, packets are dropped with reason
+  /// "node-down".
   void send(const net::DataPacket& packet);
+
+  /// Battery-death teardown (duty nodes never appear in fault plans, so
+  /// unlike the other assemblies there is no recover()): kills the radio
+  /// mid-whatever, discards queued traffic, and permanently ends the
+  /// wake-window chain. Idempotent.
+  void crash();
+  bool up() const { return up_; }
 
   phy::Radio& radio() { return radio_; }
   const phy::Radio& radio() const { return radio_; }
@@ -61,6 +69,7 @@ class DutyCycledWifiNode {
   net::NodeId sink_;
   Schedule schedule_;
   DeliverySink* delivery_;
+  bool up_ = true;
   phy::Radio radio_;
   mac::CsmaCaMac mac_;
   util::SlidingQueue<net::Message> pending_;  ///< waiting for the next window

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "app/duty_cycle.hpp"
 #include "mac/mac_params.hpp"
 #include "mac/tdma_mac.hpp"
 #include "util/assert.hpp"
@@ -282,6 +283,19 @@ void DualRadioNode::on_high_rx(const net::Message& msg,
   }
   // Anything else over the high radio is ignored: BCP only ships bulk
   // frames there.
+}
+
+void crash_node(ForwardingNode* fwd, DualRadioNode* dual,
+                DutyCycledWifiNode* duty, net::NodeId node,
+                net::LinkState* low_links, net::LinkState* high_links) {
+  BCP_REQUIRE_MSG((fwd != nullptr) + (dual != nullptr) + (duty != nullptr) ==
+                      1,
+                  "crash_node takes exactly one node assembly");
+  if (fwd != nullptr) fwd->crash();
+  if (dual != nullptr) dual->crash();
+  if (duty != nullptr) duty->crash();
+  if (low_links != nullptr) low_links->set_node_up(node, false);
+  if (high_links != nullptr) high_links->set_node_up(node, false);
 }
 
 }  // namespace bcp::app

@@ -29,6 +29,8 @@ struct TdmaSchedule;
 
 namespace bcp::app {
 
+class DutyCycledWifiNode;
+
 /// Where delivered packets and drop notices end up (owned by the scenario).
 struct DeliverySink {
   std::function<void(const net::DataPacket&)> delivered;
@@ -183,5 +185,15 @@ class DualRadioNode final : public core::BcpHost {
   /// MAC's single queue.
   util::SlidingQueue<core::BcpHost::SendDone> high_done_;
 };
+
+/// The one crash teardown shared by fault-plan crashes and battery
+/// deaths: crash the node assembly (exactly one of `fwd`/`dual`/`duty`
+/// is non-null — whichever the scenario's evaluation model built for
+/// `node`) and take the node down in every non-null LinkState so
+/// channels stop delivering to it and routing re-converges. Idempotent,
+/// like the crash() members it funnels into.
+void crash_node(ForwardingNode* fwd, DualRadioNode* dual,
+                DutyCycledWifiNode* duty, net::NodeId node,
+                net::LinkState* low_links, net::LinkState* high_links);
 
 }  // namespace bcp::app

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <functional>
 #include <memory>
 #include <optional>
 
@@ -90,7 +91,8 @@ void classify_drop(RunMetrics& m, const char* reason) {
 std::unique_ptr<net::Router> build_routes(
     const net::ConnectivityGraph& graph, net::NodeId sink, bool all_pairs,
     const char* radio_name, const net::LinkState* links,
-    const net::DynamicRouting** dyn_out) {
+    const net::DynamicRouting** dyn_out, net::RoutePolicy policy,
+    net::NodeCostFn cost) {
   const std::vector<net::NodeId> stranded =
       net::unreachable_from(graph, sink);
   BCP_REQUIRE_MSG(stranded.empty(),
@@ -100,8 +102,8 @@ std::unique_ptr<net::Router> build_routes(
                       " node(s) cannot reach sink " + std::to_string(sink) +
                       ": " + net::format_node_list(stranded));
   if (links != nullptr) {
-    auto dyn = std::make_unique<net::DynamicRouting>(graph, sink, *links,
-                                                     all_pairs);
+    auto dyn = std::make_unique<net::DynamicRouting>(
+        graph, sink, *links, all_pairs, policy, std::move(cost));
     *dyn_out = dyn.get();
     return dyn;
   }
@@ -276,6 +278,16 @@ RunMetrics run_scenario(const ScenarioConfig& config) {
                   "fault injection is not supported for the duty-cycled "
                   "802.11 strawman");
 
+  config.battery.validate();
+  const bool has_battery = config.battery.enabled;
+  BCP_REQUIRE_MSG(
+      config.route_policy == net::RoutePolicy::kShortestPath || has_battery,
+      "lifetime-aware routing requires an enabled battery");
+  // Channels must stop delivering to dead nodes and routing must
+  // re-converge around them, so battery runs share the fault machinery's
+  // LinkStates even when the fault plan is empty.
+  const bool has_links = has_faults || has_battery;
+
   // MAC family selection per radio class. Validation first (bad TDMA
   // knobs throw before any simulation state exists); the slotted family
   // presumes a radio that is awake for its slots, which the BCP-managed
@@ -299,6 +311,23 @@ RunMetrics run_scenario(const ScenarioConfig& config) {
   const net::DynamicRouting* high_dyn = nullptr;
   std::optional<phy::Channel> low_channel;
   std::optional<phy::Channel> high_channel;
+
+  // Finite batteries, one per node (null = that node draws from an
+  // infinite source). Declared before the routers: the lifetime-aware
+  // cost function below is stored inside DynamicRouting and reads
+  // battery fractions at every rebuild, so the vector must outlive them.
+  std::vector<std::unique_ptr<energy::Battery>> batteries(
+      static_cast<std::size_t>(n));
+  net::NodeCostFn lifetime_cost;
+  if (config.route_policy == net::RoutePolicy::kLifetimeAware) {
+    lifetime_cost = [&batteries,
+                     weight = config.battery.lifetime_weight](net::NodeId v) {
+      const auto& b = batteries[static_cast<std::size_t>(v)];
+      if (b == nullptr) return 0.0;
+      return weight * (b->drawn() / b->capacity());
+    };
+  }
+
   std::unique_ptr<net::Router> low_routes;
   std::unique_ptr<net::Router> high_routes;
   // Routes are built on each channel's own connectivity graph — same
@@ -311,26 +340,28 @@ RunMetrics run_scenario(const ScenarioConfig& config) {
         simulator, topo.positions, config.sensor_radio.range,
         detail::channel_params(config, config.sensor_radio),
         util::substream(config.seed, 1, 0x4C4348u));
-    if (has_faults) {
+    if (has_links) {
       low_links.emplace(n);
       low_channel->set_link_state(&*low_links);
     }
     low_routes = detail::build_routes(
         low_channel->graph(), sink, all_pairs, "sensor",
-        has_faults ? &*low_links : nullptr, &low_dyn);
+        has_links ? &*low_links : nullptr, &low_dyn, config.route_policy,
+        lifetime_cost);
   }
   if (needs_high) {
     high_channel.emplace(
         simulator, topo.positions, wifi_range,
         detail::channel_params(config, config.wifi_radio),
         util::substream(config.seed, 2, 0x484348u));
-    if (has_faults) {
+    if (has_links) {
       high_links.emplace(n);
       high_channel->set_link_state(&*high_links);
     }
     high_routes = detail::build_routes(
         high_channel->graph(), sink, all_pairs, "wifi",
-        has_faults ? &*high_links : nullptr, &high_dyn);
+        has_links ? &*high_links : nullptr, &high_dyn, config.route_policy,
+        lifetime_cost);
   }
 
   core::BcpConfig bcp = config.bcp;
@@ -421,6 +452,93 @@ RunMetrics run_scenario(const ScenarioConfig& config) {
     }
   }
 
+  // ---- Finite batteries ----
+  // One battery per node, drained by every radio the node owns; death is
+  // the fault plan's crash teardown (crash_node), minus the possibility
+  // of recovery. The death instant is always a scheduled event: Battery
+  // re-arms it from the radios' energy observer on every power-state
+  // change, so no polling is involved and depletion lands at its exact
+  // analytic time.
+  std::function<void(net::NodeId)> on_battery_death =
+      [&](net::NodeId node) {
+        crash_node(
+            fwd_nodes.empty()
+                ? nullptr
+                : fwd_nodes[static_cast<std::size_t>(node)].get(),
+            dual_nodes.empty()
+                ? nullptr
+                : dual_nodes[static_cast<std::size_t>(node)].get(),
+            duty_nodes.empty()
+                ? nullptr
+                : duty_nodes[static_cast<std::size_t>(node)].get(),
+            node, low_links ? &*low_links : nullptr,
+            high_links ? &*high_links : nullptr);
+        ++m.battery_deaths;
+        if (m.battery_deaths == 1) {
+          m.time_to_first_death = simulator.now();
+          m.delivered_bits_until_first_death =
+              m.delivered * config.packet_bits;
+        }
+        // Membership just changed: check whether some survivor lost its
+        // last path to the sink (the graceful-degradation knee).
+        if (m.time_to_sink_partition < 0) {
+          const net::ConnectivityGraph& graph =
+              needs_low ? low_channel->graph() : high_channel->graph();
+          const net::LinkState& links =
+              needs_low ? *low_links : *high_links;
+          if (!net::unreachable_alive(graph, sink, links).empty()) {
+            m.time_to_sink_partition = simulator.now();
+            m.delivered_bits_until_partition =
+                m.delivered * config.packet_bits;
+          }
+        }
+      };
+  if (has_battery) {
+    for (net::NodeId id = 0; id < n; ++id) {
+      util::Joules capacity = 0;
+      if (config.model == EvalModel::kSensor ||
+          config.model == EvalModel::kDualRadio)
+        capacity += config.battery.sensor_initial_j;
+      if (config.model != EvalModel::kSensor)
+        capacity += config.battery.wifi_initial_j;
+      if (capacity <= 0) continue;  // all owned classes unbudgeted
+      auto battery = std::make_unique<energy::Battery>(
+          simulator, capacity,
+          [&on_battery_death, id] { on_battery_death(id); });
+      energy::Battery* b = battery.get();
+      const auto watch = [b](phy::Radio& radio) {
+        b->attach(&radio.meter());
+        radio.set_energy_observer([b] { b->rearm(); });
+      };
+      if (!fwd_nodes.empty())
+        watch(fwd_nodes[static_cast<std::size_t>(id)]->radio());
+      else if (!duty_nodes.empty())
+        watch(duty_nodes[static_cast<std::size_t>(id)]->radio());
+      else {
+        watch(dual_nodes[static_cast<std::size_t>(id)]->sensor_radio());
+        watch(dual_nodes[static_cast<std::size_t>(id)]->wifi_radio());
+      }
+      battery->rearm();  // arm against the boot power state
+      batteries[static_cast<std::size_t>(id)] = std::move(battery);
+    }
+  }
+
+  // Lifetime-aware routes go stale as fractions drift between deaths;
+  // refresh them on a fixed cadence by bumping the LinkState revisions
+  // (DynamicRouting then re-reads every battery at its next query).
+  std::function<void()> reroute_tick;
+  if (has_battery &&
+      config.route_policy == net::RoutePolicy::kLifetimeAware) {
+    reroute_tick = [&] {
+      if (low_links) low_links->touch();
+      if (high_links) high_links->touch();
+      simulator.schedule_in(config.battery.reroute_period,
+                            [&reroute_tick] { reroute_tick(); });
+    };
+    simulator.schedule_in(config.battery.reroute_period,
+                          [&reroute_tick] { reroute_tick(); });
+  }
+
   // Pick the senders: a seed-determined subset of the non-sink nodes.
   const std::vector<net::NodeId> candidates =
       detail::pick_senders(config.seed, n, sink, config.n_senders);
@@ -453,15 +571,22 @@ RunMetrics run_scenario(const ScenarioConfig& config) {
     const auto peer = static_cast<net::NodeId>(ev.peer);
     switch (ev.kind) {
       case sim::FaultKind::kNodeCrash:
-        if (!fwd_nodes.empty())
-          fwd_nodes[static_cast<std::size_t>(node)]->crash();
-        else
-          dual_nodes[static_cast<std::size_t>(node)]->crash();
-        if (low_links) low_links->set_node_up(node, false);
-        if (high_links) high_links->set_node_up(node, false);
+        crash_node(fwd_nodes.empty()
+                       ? nullptr
+                       : fwd_nodes[static_cast<std::size_t>(node)].get(),
+                   dual_nodes.empty()
+                       ? nullptr
+                       : dual_nodes[static_cast<std::size_t>(node)].get(),
+                   nullptr,  // duty nodes reject fault plans
+                   node, low_links ? &*low_links : nullptr,
+                   high_links ? &*high_links : nullptr);
         ++m.fault_node_crashes;
         break;
-      case sim::FaultKind::kNodeRecover:
+      case sim::FaultKind::kNodeRecover: {
+        // Battery death is final: a recovery scheduled for a node that
+        // has since depleted is a no-op (and not counted).
+        const auto& battery = batteries[static_cast<std::size_t>(node)];
+        if (battery != nullptr && battery->depleted()) break;
         if (low_links) low_links->set_node_up(node, true);
         if (high_links) high_links->set_node_up(node, true);
         if (!fwd_nodes.empty())
@@ -470,6 +595,7 @@ RunMetrics run_scenario(const ScenarioConfig& config) {
           dual_nodes[static_cast<std::size_t>(node)]->recover();
         ++m.fault_node_recoveries;
         break;
+      }
       case sim::FaultKind::kLinkDown:
         if (low_links) low_links->set_link_up(node, peer, false);
         if (high_links) high_links->set_link_up(node, peer, false);
@@ -519,6 +645,21 @@ RunMetrics run_scenario(const ScenarioConfig& config) {
                                config.model == EvalModel::kSensor, end);
   for (const auto& node : duty_nodes) detail::collect_duty(m, *node, end);
   for (const auto& node : dual_nodes) detail::collect_dual(m, *node, end);
+
+  if (has_battery) {
+    for (const auto& battery : batteries) {
+      if (battery == nullptr) continue;
+      m.battery_max_drawn_fraction =
+          std::max(m.battery_max_drawn_fraction,
+                   battery->drawn() / battery->capacity());
+    }
+    // "Until first death / partition" degenerate to the whole run's
+    // deliveries when the event never happened.
+    if (m.time_to_first_death < 0)
+      m.delivered_bits_until_first_death = m.delivered * config.packet_bits;
+    if (m.time_to_sink_partition < 0)
+      m.delivered_bits_until_partition = m.delivered * config.packet_bits;
+  }
 
   detail::finalize_metrics(m, config, delay_sum);
   return m;

@@ -27,13 +27,15 @@ void classify_drop(RunMetrics& m, const char* reason);
 /// Builds one radio graph's routes, rejecting placements where any node
 /// is cut off from the sink — a silent kInvalidNode route at runtime
 /// would just bleed packets as "no-route" drops. A non-null `links`
-/// (fault-injection runs) swaps in the membership-aware DynamicRouting,
-/// reported back through `dyn_out` for rebuild accounting.
-std::unique_ptr<net::Router> build_routes(const net::ConnectivityGraph& graph,
-                                          net::NodeId sink, bool all_pairs,
-                                          const char* radio_name,
-                                          const net::LinkState* links,
-                                          const net::DynamicRouting** dyn_out);
+/// (fault-injection and battery runs) swaps in the membership-aware
+/// DynamicRouting, reported back through `dyn_out` for rebuild
+/// accounting; `policy`/`cost` select its scoring (lifetime-aware runs).
+std::unique_ptr<net::Router> build_routes(
+    const net::ConnectivityGraph& graph, net::NodeId sink, bool all_pairs,
+    const char* radio_name, const net::LinkState* links,
+    const net::DynamicRouting** dyn_out,
+    net::RoutePolicy policy = net::RoutePolicy::kShortestPath,
+    net::NodeCostFn cost = nullptr);
 
 /// The seed-determined sender subset (sorted node ids, sink excluded).
 std::vector<net::NodeId> pick_senders(std::uint64_t seed, int n,

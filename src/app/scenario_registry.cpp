@@ -327,6 +327,78 @@ ScenarioRegistry make_builtin() {
             return churn_config(false, EvalModel::kDualRadio, p);
           });
   }
+  // Finite-battery lifetime variants: every node starts with a per-radio-
+  // class energy budget and dies unrecoverably at its exact depletion
+  // instant (see ScenarioConfig::battery); the lossy flavours compose the
+  // log-distance channel and accept its ple / shadow_db / margin_db axes.
+  // Axes (all optional): sensor_j (default 150), wifi_j (default 600),
+  // lifetime_routing (non-zero switches DynamicRouting to the battery-
+  // fraction cost), weight, reroute_s, loss; wifi-duty adds duty /
+  // duty_period_s.
+  {
+    const auto lifetime_config = [](bool mh, EvalModel model, bool lossy,
+                                    const SweepPoint& p) {
+      ScenarioConfig cfg = base_config(mh, model, p);
+      if (lossy) {
+        cfg.propagation.kind = phy::PropagationKind::kLogDistance;
+        cfg.propagation.path_loss_exponent = p.get_or("ple", 3.0);
+        cfg.propagation.shadowing_sigma_db = p.get_or("shadow_db", 4.0);
+        cfg.propagation.fade_margin_db = p.get_or("margin_db", 6.0);
+      }
+      cfg.battery.enabled = true;
+      cfg.battery.sensor_initial_j = p.get_or("sensor_j", 150.0);
+      cfg.battery.wifi_initial_j = p.get_or("wifi_j", 600.0);
+      cfg.battery.lifetime_weight = p.get_or("weight", 4.0);
+      cfg.battery.reroute_period = p.get_or("reroute_s", 30.0);
+      if (p.get_or("lifetime_routing", 0.0) != 0.0)
+        cfg.route_policy = net::RoutePolicy::kLifetimeAware;
+      if (model == EvalModel::kWifiDutyCycled) {
+        cfg.duty_cycle = p.get_or("duty", 0.1);
+        cfg.duty_period = p.get_or("duty_period_s", 1.0);
+      }
+      return cfg;
+    };
+    const char* lifetime_tail =
+        " with finite batteries; axes: sensor_j, wifi_j, lifetime_routing, "
+        "weight, reroute_s";
+    r.add("lifetime-mh/dual",
+          std::string("dual-radio BCP, multi-hop") + lifetime_tail,
+          [lifetime_config](const SweepPoint& p) {
+            return lifetime_config(true, EvalModel::kDualRadio, false, p);
+          });
+    r.add("lifetime-mh/wifi",
+          std::string("pure always-on 802.11 network, multi-hop") +
+              lifetime_tail,
+          [lifetime_config](const SweepPoint& p) {
+            return lifetime_config(true, EvalModel::kWifi, false, p);
+          });
+    r.add("lifetime-mh/sensor",
+          std::string("pure sensor network, multi-hop") + lifetime_tail,
+          [lifetime_config](const SweepPoint& p) {
+            return lifetime_config(true, EvalModel::kSensor, false, p);
+          });
+    r.add("lifetime-mh/wifi-duty",
+          std::string("sleep-cycled 802.11 strawman, multi-hop") +
+              lifetime_tail + ", duty, duty_period_s",
+          [lifetime_config](const SweepPoint& p) {
+            return lifetime_config(true, EvalModel::kWifiDutyCycled, false,
+                                   p);
+          });
+    r.add("lifetime-lossy-mh/dual",
+          std::string("dual-radio BCP, multi-hop, log-distance links") +
+              lifetime_tail + ", ple, shadow_db, margin_db",
+          [lifetime_config](const SweepPoint& p) {
+            return lifetime_config(true, EvalModel::kDualRadio, true, p);
+          });
+    r.add("lifetime-lossy-mh/wifi",
+          std::string(
+              "pure always-on 802.11 network, multi-hop, log-distance "
+              "links") +
+              lifetime_tail + ", ple, shadow_db, margin_db",
+          [lifetime_config](const SweepPoint& p) {
+            return lifetime_config(true, EvalModel::kWifi, true, p);
+          });
+  }
   // Sharded parallel-engine variants: the same scenarios on the
   // spatially-sharded single-run engine (its own metrics contract — see
   // ScenarioConfig::shards). Axes (all optional): shards (default 4),

@@ -95,6 +95,13 @@ RunMetrics run_scenario_sharded(const ScenarioConfig& config) {
   BCP_REQUIRE_MSG(!config.sensor_mac.is_tdma() && !config.wifi_mac.is_tdma(),
                   "TDMA is not supported on the sharded engine (beacon "
                   "relay across stripes would race the slot clock)");
+  BCP_REQUIRE_MSG(!config.battery.enabled,
+                  "finite batteries are not supported on the sharded engine "
+                  "(death/LinkState membership changes are single-threaded; "
+                  "see ROADMAP's membership-epoch follow-on)");
+  BCP_REQUIRE_MSG(config.route_policy == net::RoutePolicy::kShortestPath,
+                  "lifetime-aware routing is not supported on the sharded "
+                  "engine");
 
   const net::Topology topo = config.topology.build();
   const net::NodeId sink = topo.sink;

@@ -81,6 +81,16 @@ class EnergyMeter {
   /// Sum over all categories.
   util::Joules total() const { return charged_total(ChargingPolicy::full()); }
 
+  /// Non-mutating read of total() as of `now`: the closed intervals plus
+  /// the still-open one at the current category's draw. Batteries poll
+  /// this between transitions without closing the meter's interval.
+  util::Joules total_at(util::Seconds now) const {
+    return total() + power_of(current_) * (now - last_transition_);
+  }
+
+  /// Power draw of the current category — the battery's depletion slope.
+  util::Watts current_power() const { return power_of(current_); }
+
   /// Number of wake-up transitions charged.
   std::int64_t wakeup_count() const { return wakeups_; }
 

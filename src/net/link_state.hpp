@@ -50,6 +50,12 @@ class LinkState {
   /// Bumped on every effective change; consumers cache against it.
   std::uint64_t revision() const { return revision_; }
 
+  /// Invalidates consumers' caches without changing membership. The
+  /// lifetime-routing refresh tick uses this: battery fractions drift
+  /// continuously, so between deaths no set_* call would ever prompt
+  /// DynamicRouting to re-read them.
+  void touch() { ++revision_; }
+
   int down_node_count() const { return down_nodes_; }
   std::size_t down_link_count() const { return down_links_.size(); }
 

@@ -1,11 +1,22 @@
 #include "net/routing.hpp"
 
+#include <algorithm>
 #include <deque>
 #include <limits>
+#include <queue>
+#include <utility>
 
 #include "util/assert.hpp"
 
 namespace bcp::net {
+
+const char* to_string(RoutePolicy p) {
+  switch (p) {
+    case RoutePolicy::kShortestPath:  return "shortest-path";
+    case RoutePolicy::kLifetimeAware: return "lifetime-aware";
+  }
+  return "?";
+}
 
 namespace {
 
@@ -55,7 +66,83 @@ NodeId best_parent(const ConnectivityGraph& graph,
   return best;
 }
 
+/// Weight of the hop from anywhere into `v` on the way toward `root`:
+/// one hop plus the relay cost of `v` (entering the root is mandatory and
+/// costs only the hop).
+double step_cost(NodeId v, NodeId root, const NodeCostFn& cost) {
+  return 1.0 + (v == root ? 0.0 : cost(v));
+}
+
+/// Dijkstra from `root` over edge weights step_cost(next_hop): dist[u] is
+/// the cheapest cost of a path u -> root (infinity where unreachable).
+/// Deterministic: the heap breaks equal-cost pops by lower node id, and
+/// the parent choice below re-applies the geometric/id preference.
+std::vector<double> weighted_distances(const ConnectivityGraph& graph,
+                                       NodeId root, const LinkState* links,
+                                       const NodeCostFn& cost) {
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(static_cast<std::size_t>(graph.node_count()), inf);
+  if (links != nullptr && !links->node_up(root)) return dist;
+  using Entry = std::pair<double, NodeId>;  // (cost, node), min-heap
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
+  dist[static_cast<std::size_t>(root)] = 0.0;
+  heap.emplace(0.0, root);
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist[static_cast<std::size_t>(u)]) continue;  // stale entry
+    // Every neighbour reaching the root through u pays the same step.
+    const double step = step_cost(u, root, cost);
+    for (const NodeId v : graph.neighbors(u)) {
+      if (links != nullptr && !links->link_up(u, v)) continue;
+      const double cand = d + step;
+      if (cand < dist[static_cast<std::size_t>(v)]) {
+        dist[static_cast<std::size_t>(v)] = cand;
+        heap.emplace(cand, v);
+      }
+    }
+  }
+  return dist;
+}
+
+/// best_parent's weighted twin: among `from`'s neighbours on a cheapest
+/// path toward `root` (within a fixed tolerance, so float noise cannot
+/// flip the choice), geometrically closest to `root`, then lowest id.
+NodeId best_parent_weighted(const ConnectivityGraph& graph,
+                            const std::vector<double>& dist, NodeId from,
+                            NodeId root, const LinkState* links,
+                            const NodeCostFn& cost) {
+  const double d = dist[static_cast<std::size_t>(from)];
+  NodeId best = kInvalidNode;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (const NodeId v : graph.neighbors(from)) {
+    if (links != nullptr && !links->link_up(from, v)) continue;
+    const double via =
+        dist[static_cast<std::size_t>(v)] + step_cost(v, root, cost);
+    if (via > d + 1e-9) continue;  // not on a cheapest path
+    const double dv = distance(graph.position(v), graph.position(root));
+    if (best == kInvalidNode || dv < best_dist ||
+        (dv == best_dist && v < best)) {
+      best = v;
+      best_dist = dv;
+    }
+  }
+  return best;
+}
+
 }  // namespace
+
+std::vector<NodeId> unreachable_alive(const ConnectivityGraph& graph,
+                                      NodeId root, const LinkState& links) {
+  BCP_REQUIRE(root >= 0 && root < graph.node_count());
+  const std::vector<int> dist = bfs_distances(graph, root, &links);
+  std::vector<NodeId> out;
+  for (NodeId v = 0; v < graph.node_count(); ++v) {
+    if (v != root && links.node_up(v) && dist[static_cast<std::size_t>(v)] < 0)
+      out.push_back(v);
+  }
+  return out;
+}
 
 // ------------------------------------------------------- RoutingTable --
 
@@ -116,19 +203,58 @@ double RoutingTable::mean_hops_to(NodeId to) const {
 
 ConvergecastRouting::ConvergecastRouting(const ConnectivityGraph& graph,
                                          NodeId sink,
-                                         const LinkState* links)
+                                         const LinkState* links,
+                                         const NodeCostFn& cost)
     : sink_(sink) {
   BCP_REQUIRE(sink >= 0 && sink < graph.node_count());
   const int n = graph.node_count();
-  depth_ = bfs_distances(graph, sink, links);
   parent_.assign(static_cast<std::size_t>(n), kInvalidNode);
   parent_[static_cast<std::size_t>(sink)] = sink;
-  for (NodeId from = 0; from < n; ++from) {
-    if (from == sink || depth_[static_cast<std::size_t>(from)] < 0)
-      continue;
-    const NodeId best = best_parent(graph, depth_, from, sink, links);
-    BCP_ENSURE(best != kInvalidNode);
-    parent_[static_cast<std::size_t>(from)] = best;
+  if (cost == nullptr) {
+    depth_ = bfs_distances(graph, sink, links);
+    for (NodeId from = 0; from < n; ++from) {
+      if (from == sink || depth_[static_cast<std::size_t>(from)] < 0)
+        continue;
+      const NodeId best = best_parent(graph, depth_, from, sink, links);
+      BCP_ENSURE(best != kInvalidNode);
+      parent_[static_cast<std::size_t>(from)] = best;
+    }
+  } else {
+    // Lifetime-aware tree: cheapest-cost parents, hop-count depths along
+    // the chosen tree (depth_ stays a frame/slot currency for TDMA and
+    // the mean-depth statistic even when the tree is weighted).
+    const std::vector<double> wdist =
+        weighted_distances(graph, sink, links, cost);
+    for (NodeId from = 0; from < n; ++from) {
+      if (from == sink ||
+          wdist[static_cast<std::size_t>(from)] ==
+              std::numeric_limits<double>::infinity())
+        continue;
+      const NodeId best =
+          best_parent_weighted(graph, wdist, from, sink, links, cost);
+      BCP_ENSURE(best != kInvalidNode);
+      parent_[static_cast<std::size_t>(from)] = best;
+    }
+    // A parent is always strictly cheaper (every step weighs >= 1), so
+    // filling depths in ascending cost order sees each parent first.
+    depth_.assign(static_cast<std::size_t>(n), -1);
+    depth_[static_cast<std::size_t>(sink)] = 0;
+    std::vector<NodeId> order;
+    order.reserve(static_cast<std::size_t>(n));
+    for (NodeId v = 0; v < n; ++v)
+      if (v != sink && parent_[static_cast<std::size_t>(v)] != kInvalidNode)
+        order.push_back(v);
+    std::sort(order.begin(), order.end(), [&wdist](NodeId a, NodeId b) {
+      const double da = wdist[static_cast<std::size_t>(a)];
+      const double db = wdist[static_cast<std::size_t>(b)];
+      return da < db || (da == db && a < b);
+    });
+    for (const NodeId v : order) {
+      const NodeId p = parent_[static_cast<std::size_t>(v)];
+      BCP_ENSURE(depth_[static_cast<std::size_t>(p)] >= 0);
+      depth_[static_cast<std::size_t>(v)] =
+          depth_[static_cast<std::size_t>(p)] + 1;
+    }
   }
 
   // Group children by parent (CSR layout; ascending node order keeps each
@@ -276,15 +402,26 @@ int ConvergecastRouting::hops(NodeId from, NodeId to) const {
 // --------------------------------------------------- DynamicRouting --
 
 DynamicRouting::DynamicRouting(const ConnectivityGraph& graph, NodeId sink,
-                               const LinkState& links, bool all_pairs)
-    : graph_(graph), sink_(sink), links_(links), all_pairs_(all_pairs) {
+                               const LinkState& links, bool all_pairs,
+                               RoutePolicy policy, NodeCostFn cost)
+    : graph_(graph),
+      sink_(sink),
+      links_(links),
+      all_pairs_(all_pairs),
+      policy_(policy),
+      cost_(std::move(cost)) {
   BCP_REQUIRE(sink >= 0 && sink < graph.node_count());
   BCP_REQUIRE(links.node_count() == graph.node_count());
+  BCP_REQUIRE_MSG(policy_ != RoutePolicy::kLifetimeAware || cost_ != nullptr,
+                  "lifetime-aware routing needs a node cost function");
 }
 
 const Router& DynamicRouting::current() const {
   if (impl_ == nullptr || built_revision_ != links_.revision()) {
-    if (all_pairs_)
+    if (policy_ == RoutePolicy::kLifetimeAware)
+      impl_ = std::make_unique<ConvergecastRouting>(graph_, sink_, &links_,
+                                                    cost_);
+    else if (all_pairs_)
       impl_ = std::make_unique<RoutingTable>(graph_, &links_);
     else
       impl_ = std::make_unique<ConvergecastRouting>(graph_, sink_, &links_);

@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -27,6 +28,32 @@
 #include "net/topology.hpp"
 
 namespace bcp::net {
+
+/// How DynamicRouting scores paths when it rebuilds.
+///
+///   kShortestPath  — hop count only; the historical behaviour, and the
+///                    default every golden export pins byte-for-byte.
+///   kLifetimeAware — hop count plus a per-relay cost from NodeCostFn
+///                    (battery fraction drawn), so convergecast routes
+///                    bend around nearly-depleted relays. Convergecast
+///                    only: the tree is rebuilt cost-weighted on every
+///                    LinkState revision move.
+enum class RoutePolicy : std::uint8_t { kShortestPath, kLifetimeAware };
+
+const char* to_string(RoutePolicy p);
+
+/// Per-node relay cost (>= 0), folded into edge weights as
+/// 1 + cost(relay) for the hop *into* `relay` (the sink costs nothing to
+/// enter — delivery into it is mandatory). Must be cheap: it is consulted
+/// once per node per rebuild.
+using NodeCostFn = std::function<double(NodeId)>;
+
+/// Alive (node_up) nodes other than `root` with no LinkState-masked path
+/// to it — the sink-partition predicate the battery-death metrics check.
+/// Empty result = every surviving node still reaches `root`. If `root`
+/// itself is down, every alive node is returned.
+std::vector<NodeId> unreachable_alive(const ConnectivityGraph& graph,
+                                      NodeId root, const LinkState& links);
 
 /// Next-hop provider interface the node assemblies route through.
 class Router {
@@ -84,9 +111,13 @@ class RoutingTable final : public Router {
 /// longer than graph-shortest paths; convergecast traffic never is.
 class ConvergecastRouting final : public Router {
  public:
-  /// A non-null `links` masks the graph exactly as in RoutingTable.
+  /// A non-null `links` masks the graph exactly as in RoutingTable. A
+  /// non-null `cost` switches the build from plain BFS to a Dijkstra over
+  /// edge weights 1 + cost(next_hop) — the lifetime-aware tree; with
+  /// `cost` null the build is the historical BFS, bit-for-bit.
   ConvergecastRouting(const ConnectivityGraph& graph, NodeId sink,
-                      const LinkState* links = nullptr);
+                      const LinkState* links = nullptr,
+                      const NodeCostFn& cost = nullptr);
 
   NodeId sink() const { return sink_; }
 
@@ -137,8 +168,14 @@ class DynamicRouting final : public Router {
  public:
   /// `graph` and `links` must outlive the router. `all_pairs` picks the
   /// dense-table strategy (small networks) over the convergecast tree.
+  /// kLifetimeAware requires a non-null `cost` and always builds the
+  /// cost-weighted convergecast tree (all_pairs is ignored): lifetime
+  /// objectives are sink-centric, and the dense tables have no weighted
+  /// form.
   DynamicRouting(const ConnectivityGraph& graph, NodeId sink,
-                 const LinkState& links, bool all_pairs);
+                 const LinkState& links, bool all_pairs,
+                 RoutePolicy policy = RoutePolicy::kShortestPath,
+                 NodeCostFn cost = nullptr);
 
   NodeId next_hop(NodeId from, NodeId to) const override {
     return current().next_hop(from, to);
@@ -159,6 +196,8 @@ class DynamicRouting final : public Router {
   NodeId sink_;
   const LinkState& links_;
   bool all_pairs_;
+  RoutePolicy policy_;
+  NodeCostFn cost_;
   // Lazy cache: queries are logically const; the rebuild is bookkeeping.
   mutable std::unique_ptr<Router> impl_;
   mutable std::uint64_t built_revision_ = 0;

@@ -46,6 +46,11 @@ energy::EnergyCategory Radio::category_of(RadioState s) const {
 void Radio::set_state(RadioState s) {
   state_ = s;
   meter_.transition(category_of(s), sim_.now());
+  // Every power-state change funnels through here, so this one hook is
+  // enough for a finite battery to re-arm its depletion event. power_on()
+  // charges its e_wakeup lump before entering kWaking, so the observer
+  // always sees the lump already drawn.
+  if (energy_observer_) energy_observer_();
 }
 
 void Radio::power_on() {

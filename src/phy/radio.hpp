@@ -101,6 +101,13 @@ class Radio final : public ChannelListener {
   const energy::EnergyMeter& meter() const { return meter_; }
   Callbacks& callbacks() { return callbacks_; }
 
+  /// Invoked after every power-state change (so after the meter moved to
+  /// the new category). Finite batteries re-arm their depletion event
+  /// here; unset (the default) costs one branch and changes nothing.
+  void set_energy_observer(std::function<void()> observer) {
+    energy_observer_ = std::move(observer);
+  }
+
   // ChannelListener:
   void on_rx_start(std::uint64_t tx_id, const Frame& frame,
                    util::Seconds duration) override;
@@ -117,6 +124,7 @@ class Radio final : public ChannelListener {
   OverhearMode overhear_;
   energy::EnergyMeter meter_;
   Callbacks callbacks_;
+  std::function<void()> energy_observer_;
 
   RadioState state_ = RadioState::kOff;
   std::uint64_t lock_tx_id_ = 0;     ///< frame we are locked on (0 = none)

@@ -71,11 +71,12 @@ stats::ResultSink run_slice(
     int threads,
     phy::PropagationKind propagation = phy::PropagationKind::kAuto,
     bool capture = false,
-    mac::MacFamily sensor_family = mac::MacFamily::kAuto) {
+    mac::MacFamily sensor_family = mac::MacFamily::kAuto,
+    bool battery = false) {
   app::SweepGrid grid;
   grid.axis_ints("cell", {0}).axis_ints("senders", {5, 15});
-  const app::SweepFn fn = [propagation, capture,
-                           sensor_family](const app::SweepJob& job) {
+  const app::SweepFn fn = [propagation, capture, sensor_family,
+                           battery](const app::SweepJob& job) {
     const app::SweepPoint scenario_point(
         job.point.index(), {{"senders", job.point.get("senders")},
                             {"burst", 10.0},
@@ -91,6 +92,13 @@ stats::ResultSink run_slice(
     // and with the switch on it is the live knob.
     cfg.capture_threshold_db = 3.0;
     cfg.sensor_mac.family = sensor_family;
+    // Deliberately non-default battery budgets: with the switch off they
+    // must be inert (the battery-off differential golden pins exactly
+    // that); with the switch on the 0.05 J sensor budget kills nodes a
+    // couple of simulated seconds in.
+    cfg.battery.sensor_initial_j = 0.05;
+    cfg.battery.wifi_initial_j = 2.0;
+    cfg.battery.enabled = battery;
     return app::standard_metrics(app::run_scenario(cfg));
   };
   app::SweepOptions options;
@@ -162,6 +170,47 @@ TEST(Determinism, CaptureActuallyChangesTheLossyChannel) {
       run_slice(1, phy::PropagationKind::kLogDistance, /*capture=*/true)
           .to_json("fig05_slice");
   EXPECT_NE(captured, base);
+}
+
+// Differential golden for the finite-battery switch: with batteries
+// DISABLED (the default) — even alongside non-default budget knobs, which
+// run_slice always sets — the figure pipeline must reproduce the historical
+// golden byte for byte. This is the CI guarantee that the battery wiring
+// (EnergyMeter observers, depletion events, LinkState-backed routing)
+// stays entirely behind the switch.
+TEST(Determinism, BatteryDisabledMatchesHistoricalGoldenByteForByte) {
+  const std::string json =
+      run_slice(1, phy::PropagationKind::kAuto, /*capture=*/false,
+                mac::MacFamily::kAuto, /*battery=*/false)
+          .to_json("fig05_slice");
+  EXPECT_EQ(json, std::string(kFig05SliceGolden))
+      << "the battery-off path drifted from the historical golden";
+}
+
+// …and enabled it must be live: a 0.05 J sensor budget at Mica idle power
+// (0.03 W) kills every sensor radio within the first few seconds of the
+// 120 s slice, so deliveries and energies have to diverge.
+TEST(Determinism, FiniteBatteriesActuallyChangeTheRun) {
+  const std::string dying =
+      run_slice(1, phy::PropagationKind::kAuto, /*capture=*/false,
+                mac::MacFamily::kAuto, /*battery=*/true)
+          .to_json("fig05_slice");
+  EXPECT_NE(dying, std::string(kFig05SliceGolden));
+}
+
+// Battery depletion events and LinkState rebuilds are per-run state, so a
+// battery slice must serialize identically whether the sweep ran serial
+// or on 4 workers.
+TEST(Determinism, BatterySliceIdenticalAcrossThreadCounts) {
+  const std::string serial =
+      run_slice(1, phy::PropagationKind::kAuto, /*capture=*/false,
+                mac::MacFamily::kAuto, /*battery=*/true)
+          .to_json("fig05_slice");
+  const std::string parallel =
+      run_slice(4, phy::PropagationKind::kAuto, /*capture=*/false,
+                mac::MacFamily::kAuto, /*battery=*/true)
+          .to_json("fig05_slice");
+  EXPECT_EQ(serial, parallel);
 }
 
 // Differential golden for the mac::Mac seam: requesting CSMA/CA

@@ -236,6 +236,10 @@ struct CrossModelCase {
   /// only — the sharded path rejects fault plans). The conservation laws
   /// must hold per-shard and therefore summed.
   int shards = 0;
+  /// > 0 enables finite batteries with this per-radio-class budget
+  /// (single-queue engine only — the sharded path rejects batteries).
+  double sensor_j = 0;
+  double wifi_j = 0;
 };
 
 class CrossModelInvariants
@@ -259,6 +263,12 @@ TEST_P(CrossModelInvariants, ConservationLawsHold) {
   cfg.faults.mean_link_downtime = 30.0;
   cfg.faults.seed = 3;
   if (c.shards > 1) cfg.shards = c.shards;
+  const bool battery = c.sensor_j > 0 || c.wifi_j > 0;
+  if (battery) {
+    cfg.battery.enabled = true;
+    cfg.battery.sensor_initial_j = c.sensor_j;
+    cfg.battery.wifi_initial_j = c.wifi_j;
+  }
   const auto m = app::run_scenario(cfg);
   const int n = cfg.topology.node_count();
 
@@ -303,8 +313,37 @@ TEST_P(CrossModelInvariants, ConservationLawsHold) {
   if (c.crashes == 0) {
     EXPECT_EQ(m.fault_node_crashes, 0);
   }
-  if (c.crashes == 0 && c.link_flaps == 0) {
+  // Battery deaths count as membership changes, so the zero-rebuild
+  // contract only binds the battery-free fault-free cases.
+  if (c.crashes == 0 && c.link_flaps == 0 && !battery) {
     EXPECT_EQ(m.route_rebuilds, 0);
+  }
+
+  // Battery laws: no node ever draws more than its budget (one wake-up
+  // lump of overshoot is the indivisible-charge allowance); dead-node
+  // accounting stays inside the horizon; batteries off means no deaths.
+  if (battery) {
+    EXPECT_LE(m.battery_max_drawn_fraction,
+              1.0 + cfg.wifi_radio.e_wakeup /
+                        std::max(c.wifi_j, c.sensor_j));
+    EXPECT_GE(m.battery_deaths, 0);
+    if (m.battery_deaths > 0) {
+      EXPECT_GT(m.time_to_first_death, 0.0);
+      EXPECT_LE(m.time_to_first_death, cfg.duration);
+      EXPECT_LE(m.delivered_bits_until_first_death,
+                m.delivered * cfg.packet_bits);
+    } else {
+      EXPECT_DOUBLE_EQ(m.time_to_first_death, -1);
+    }
+    if (m.time_to_sink_partition >= 0) {
+      EXPECT_GE(m.time_to_sink_partition, m.time_to_first_death);
+      EXPECT_GE(m.delivered_bits_until_partition,
+                m.delivered_bits_until_first_death);
+    }
+  } else {
+    EXPECT_EQ(m.battery_deaths, 0);
+    EXPECT_DOUBLE_EQ(m.time_to_first_death, -1);
+    EXPECT_DOUBLE_EQ(m.battery_max_drawn_fraction, 0);
   }
 }
 
@@ -375,7 +414,24 @@ INSTANTIATE_TEST_SUITE_P(
                        app::EvalModel::kSensor, false, 3},
         CrossModelCase{"sharded_disc_capture_mh_wifi",
                        phy::PropagationKind::kUnitDisc, 0.0, 0, 0, true,
-                       app::EvalModel::kWifi, true, 2}),
+                       app::EvalModel::kWifi, true, 2},
+        // Finite batteries (single-queue engine): budgets that kill nodes
+        // mid-run, across models, composed with loss and with churn.
+        CrossModelCase{"battery_disc_mh_sensor",
+                       phy::PropagationKind::kUnitDisc, 0.0, 0, 0, true,
+                       app::EvalModel::kSensor, false, 0, 4.0, 0.0},
+        CrossModelCase{"battery_disc_mh_wifi",
+                       phy::PropagationKind::kUnitDisc, 0.0, 0, 0, true,
+                       app::EvalModel::kWifi, false, 0, 0.0, 100.0},
+        CrossModelCase{"battery_logd_mh_dual",
+                       phy::PropagationKind::kLogDistance, 0.1, 0, 0, true,
+                       app::EvalModel::kDualRadio, false, 0, 5.0, 50.0},
+        CrossModelCase{"battery_churn_disc_mh_sensor",
+                       phy::PropagationKind::kUnitDisc, 0.0, 3, 0, true,
+                       app::EvalModel::kSensor, false, 0, 4.0, 0.0},
+        CrossModelCase{"battery_generous_disc_sh_dual",
+                       phy::PropagationKind::kUnitDisc, 0.0, 0, 0, false,
+                       app::EvalModel::kDualRadio, false, 0, 1e6, 1e6}),
     [](const auto& param_info) { return std::string(param_info.param.name); });
 
 /// Goodput is monotonically non-increasing in the extra-loss knob under

@@ -15,6 +15,7 @@
 #include <cmath>
 #include <memory>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "app/scenario.hpp"
@@ -397,6 +398,33 @@ TEST(ShardedScenario, TdmaIsRejected) {
       app::EvalModel::kSensor, 6, 100);
   config.shards = 2;
   config.sensor_mac.family = mac::MacFamily::kTdma;
+  EXPECT_THROW(app::run_scenario(config), std::invalid_argument);
+}
+
+// Finite batteries imply node death, which mutates LinkState membership
+// mid-run — single-threaded machinery the sharded engine does not have.
+// The rejection must be loud and name the limitation, not a silent
+// infinite-energy run. The message text is pinned because bench scripts
+// grep for it.
+TEST(ShardedScenario, FiniteBatteriesAreRejectedWithAClearError) {
+  app::ScenarioConfig config = sharded_config(2, 1);
+  config.battery.enabled = true;
+  try {
+    app::run_scenario(config);
+    FAIL() << "sharded run with a finite battery should have thrown";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find(
+                  "finite batteries are not supported on the sharded "
+                  "engine"),
+              std::string::npos)
+        << "actual message: " << e.what();
+  }
+}
+
+TEST(ShardedScenario, LifetimeRoutingIsRejected) {
+  app::ScenarioConfig config = sharded_config(2, 1);
+  config.battery.enabled = true;  // lifetime routing requires a battery
+  config.route_policy = net::RoutePolicy::kLifetimeAware;
   EXPECT_THROW(app::run_scenario(config), std::invalid_argument);
 }
 
