@@ -28,6 +28,7 @@ using namespace bcp;
 struct Cell {
   const char* variant;
   int crashes;  ///< 0 keeps the variant's own default axes
+  int shards = 0;  ///< > 1 runs the cell on the sharded engine
 };
 
 }  // namespace
@@ -52,9 +53,13 @@ int main(int argc, char** argv) {
       static_cast<std::uint64_t>(opt.get_int("fault-seed"));
   const auto seed = static_cast<std::uint64_t>(opt.get_int("seed"));
 
+  // The sharded cell repeats the heaviest churn schedule on the parallel
+  // engine (membership epochs at window barriers) — same fault plan, same
+  // metrics columns, so the two engines' churn numbers sit side by side.
   const std::vector<Cell> cells = {
       {"mh/dual", 0},         {"churn-mh/dual", 2}, {"churn-mh/dual", 6},
       {"churn-mh/sensor", 2}, {"churn-mh/sensor", 6}, {"churn-sh/dual", 4},
+      {"churn-mh/dual", 6, /*shards=*/4},
       {"lossy-mh/dual", 0},   {"lossy-mh/sensor", 0},
   };
 
@@ -77,6 +82,10 @@ int main(int argc, char** argv) {
     app::ScenarioConfig cfg =
         app::ScenarioRegistry::builtin().make(cell.variant, point);
     cfg.seed = job.seed;
+    if (cell.shards > 1) {
+      cfg.shards = cell.shards;
+      cfg.sim_threads = 1;  // the sweep already saturates the cores
+    }
     const app::RunMetrics m = app::run_scenario(cfg);
     stats::ResultSink::Metrics metrics = app::standard_metrics(m);
     metrics.emplace_back("dropped_node_down",
@@ -85,6 +94,8 @@ int main(int argc, char** argv) {
                          static_cast<double>(m.fault_node_crashes));
     metrics.emplace_back("fault_node_recoveries",
                          static_cast<double>(m.fault_node_recoveries));
+    metrics.emplace_back("fault_recoveries_refused",
+                         static_cast<double>(m.fault_recoveries_refused));
     metrics.emplace_back("route_rebuilds",
                          static_cast<double>(m.route_rebuilds));
     metrics.emplace_back("bcp_packets_lost_to_crash",
@@ -105,6 +116,9 @@ int main(int argc, char** argv) {
                    std::string(cells[i].variant) +
                        (cells[i].crashes > 0
                             ? "-x" + std::to_string(cells[i].crashes)
+                            : "") +
+                       (cells[i].shards > 1
+                            ? "-sharded" + std::to_string(cells[i].shards)
                             : ""));
 
   stats::print_titled(
@@ -129,6 +143,14 @@ int main(int argc, char** argv) {
   sink.set_meta("fault_seed",
                 static_cast<double>(churn_cfg.faults.seed));
   sink.set_meta("fault_mean_downtime_s", churn_cfg.faults.mean_downtime);
+  // Conditional-meta contract: the refused-recovery count appears only
+  // when some run actually refused one (needs batteries, so it is zero
+  // here unless a battery-enabled cell is added).
+  double refused = 0;
+  for (std::size_t i = 0; i < cells.size(); ++i)
+    refused += sink.metric(grid.index_of({i}), "fault_recoveries_refused")
+                   .mean() * runs;
+  if (refused > 0) sink.set_meta("fault_recoveries_refused", refused);
   export_json("fault_churn", sink);
   return 0;
 }

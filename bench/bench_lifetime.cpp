@@ -7,6 +7,10 @@
 //   lifetime-mh/wifi       always-on 802.11
 //   lifetime-mh/wifi-duty  sleep-cycled 802.11 strawman
 //   lifetime-mh/sensor     pure sensor network
+//   dual-sharded4          the dual cell on the sharded engine
+//   dual+churn-sharded4    sharded + a node-crash/link-flap fault plan on
+//                          top of the batteries (membership epochs carry
+//                          both churn and deaths across shards)
 //
 // All four cells run the same topology, senders, and offered load — the
 // only difference is which radios burn the battery and when. The Pareto
@@ -17,8 +21,13 @@
 // sweep repeats the dual cell with lifetime-aware routing to show the
 // graceful-degradation knob. Writes BENCH_lifetime.json; battery and
 // routing-policy meta keys are emitted only for non-default runs (the
-// conditional-meta contract). --budget-s is the CI smoke tripwire.
+// conditional-meta contract). --budget-s is the CI smoke tripwire;
+// --compare-threads hard-gates sharded thread-count determinism on the
+// churn+battery cell; --headline-nodes runs one 100k-node sharded
+// lifetime cell and reports deaths + events/sec.
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <string>
 #include <utility>
@@ -50,7 +59,20 @@ int main(int argc, char** argv) {
       .add_int("seed", 1, "base RNG seed")
       .add_int("jobs", 0, "sweep worker threads (0 = all hardware cores)")
       .add_double("budget-s", 0,
-                  "fail (exit 2) if the bench wall-clock exceeds this");
+                  "fail (exit 2) if the bench wall-clock exceeds this")
+      .add_int("compare-threads", 0,
+               "run the churn+battery sharded cell with 1 and 2 worker "
+               "threads and fail (exit 2) unless the metrics are "
+               "byte-identical (the membership-epoch determinism gate)")
+      .add_int("headline-nodes", 0,
+               "also run one sharded dual-radio lifetime cell with this "
+               "many nodes (the 100k headline; 0 disables)")
+      .add_int("headline-shards", 8, "shard count for the headline cell")
+      .add_double("headline-duration", 25.0,
+                  "simulated seconds for the headline cell")
+      .add_double("headline-sensor-j", 0.5,
+                  "headline sensor battery (J) — small enough that nodes "
+                  "start dying inside the headline duration");
   if (!opt.parse(argc, argv)) return 1;
   const int runs = static_cast<int>(opt.get_int("runs"));
   const double duration = opt.get_double("duration");
@@ -60,12 +82,17 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(opt.get_int("seed"));
   const auto t_bench = std::chrono::steady_clock::now();
 
-  // One registry variant per cell; the last cell re-runs dual with the
-  // lifetime-aware routing policy (battery-fraction link cost).
+  // One registry variant per cell; the fifth cell re-runs dual with the
+  // lifetime-aware routing policy (battery-fraction link cost), and the
+  // last two repeat dual on the sharded engine — alone, and under node
+  // churn on top of the finite batteries (membership epochs at window
+  // barriers carry both the crashes and the battery deaths).
   struct Cell {
     const char* variant;
     const char* label;
     bool lifetime_routing;
+    int shards = 0;   ///< > 1 runs the cell on the sharded engine
+    int crashes = 0;  ///< > 0 adds a fault plan on top of the batteries
   };
   const std::vector<Cell> cells = {
       {"lifetime-mh/dual", "dual", false},
@@ -73,6 +100,8 @@ int main(int argc, char** argv) {
       {"lifetime-mh/wifi-duty", "wifi-duty", false},
       {"lifetime-mh/sensor", "sensor", false},
       {"lifetime-mh/dual", "dual+lifetime-routing", true},
+      {"lifetime-mh/dual", "dual-sharded4", false, 4, 0},
+      {"lifetime-mh/dual", "dual+churn-sharded4", false, 4, 4},
   };
 
   app::SweepGrid grid;
@@ -97,6 +126,14 @@ int main(int argc, char** argv) {
     app::ScenarioConfig cfg = app::ScenarioRegistry::builtin().make(
         cell.variant, scenario_point(job.point.index(), cell));
     cfg.seed = job.seed;
+    if (cell.shards > 1) {
+      cfg.shards = cell.shards;
+      cfg.sim_threads = 1;  // the sweep already saturates the cores
+    }
+    if (cell.crashes > 0) {
+      cfg.faults.node_crashes = cell.crashes;
+      cfg.faults.link_flaps = 2;
+    }
     const app::RunMetrics m = app::run_scenario(cfg);
     stats::ResultSink::Metrics metrics = app::standard_metrics(m);
     // Lifetime metrics ride alongside the golden-protected standard set.
@@ -115,6 +152,15 @@ int main(int argc, char** argv) {
                              m.delivered_bits_until_partition));
     metrics.emplace_back("battery_max_drawn_fraction",
                          m.battery_max_drawn_fraction);
+    // Churn-on-batteries accounting: how much of the fault plan actually
+    // executed (a recovery aimed at a battery-dead node is refused —
+    // battery death is final).
+    metrics.emplace_back("fault_node_crashes",
+                         static_cast<double>(m.fault_node_crashes));
+    metrics.emplace_back("fault_node_recoveries",
+                         static_cast<double>(m.fault_node_recoveries));
+    metrics.emplace_back("fault_recoveries_refused",
+                         static_cast<double>(m.fault_recoveries_refused));
     return metrics;
   };
 
@@ -160,6 +206,100 @@ int main(int argc, char** argv) {
                     app::ScenarioRegistry::builtin().make(
                         "lifetime-mh/dual", scenario_point(0, cells.back())),
                     seed);
+  // Conditional-meta contract: the refused-recovery total appears only
+  // when the churn cells actually refused one.
+  double refused = 0;
+  for (std::size_t ci = 0; ci < cells.size(); ++ci)
+    refused += sink.metric(grid.index_of({ci}), "fault_recoveries_refused")
+                   .mean() * runs;
+  if (refused > 0) sink.set_meta("fault_recoveries_refused", refused);
+
+  // ---- Determinism gate: churn + batteries across worker threads ---------
+  // Crashes, recoveries, link flaps, battery deaths and the lifetime
+  // reroute tick all flow through membership epochs at window barriers;
+  // the result must be a pure function of (config, shard count). Exit 2
+  // if two thread counts disagree on a single bit.
+  bool determinism_ok = true;
+  if (opt.get_int("compare-threads") > 0) {
+    app::ScenarioConfig cfg = app::ScenarioRegistry::builtin().make(
+        "lifetime-mh/dual", scenario_point(0, cells.back()));
+    cfg.seed = seed;
+    cfg.faults.node_crashes = 4;
+    cfg.faults.link_flaps = 2;
+    cfg.shards = 4;
+    cfg.sim_threads = 1;
+    const app::RunMetrics a = app::run_scenario(cfg);
+    cfg.sim_threads = 2;
+    const app::RunMetrics b = app::run_scenario(cfg);
+    determinism_ok =
+        a.generated == b.generated && a.delivered == b.delivered &&
+        a.events_processed == b.events_processed &&
+        a.boundary_frames == b.boundary_frames &&
+        a.goodput == b.goodput && a.mean_delay == b.mean_delay &&
+        a.normalized_energy == b.normalized_energy &&
+        a.battery_deaths == b.battery_deaths &&
+        a.time_to_first_death == b.time_to_first_death &&
+        a.time_to_sink_partition == b.time_to_sink_partition &&
+        a.fault_node_crashes == b.fault_node_crashes &&
+        a.fault_node_recoveries == b.fault_node_recoveries &&
+        a.fault_recoveries_refused == b.fault_recoveries_refused &&
+        a.fault_link_downs == b.fault_link_downs &&
+        a.route_rebuilds == b.route_rebuilds &&
+        a.shard_events == b.shard_events;
+    std::printf(
+        "[compare] churn+battery sharded4: %lld deaths, ttfd %.1f s, "
+        "%d crashes, %d refused recoveries — thread-count determinism "
+        "%s\n",
+        static_cast<long long>(a.battery_deaths), a.time_to_first_death,
+        static_cast<int>(a.fault_node_crashes),
+        static_cast<int>(a.fault_recoveries_refused),
+        determinism_ok ? "OK" : "BROKEN");
+    sink.set_meta("compare_threads_determinism", determinism_ok ? 1.0 : 0.0);
+  }
+
+  // ---- Headline cell: lifetime at 100k+ nodes on the sharded engine ------
+  const int headline_nodes = static_cast<int>(opt.get_int("headline-nodes"));
+  if (headline_nodes > 0) {
+    const int headline_shards =
+        static_cast<int>(opt.get_int("headline-shards"));
+    const int headline_senders =
+        std::max(10, std::min(headline_nodes / 1000, headline_nodes - 1));
+    app::ScenarioConfig cfg = app::ScenarioConfig::single_hop(
+        app::EvalModel::kDualRadio, headline_senders, /*burst_packets=*/10);
+    const int side = static_cast<int>(
+        std::lround(std::sqrt(static_cast<double>(headline_nodes))));
+    cfg.topology.grid_side = side;
+    cfg.topology.area = cfg.sensor_radio.range * (side - 1);
+    cfg.rate_bps = 2000.0;
+    cfg.duration = opt.get_double("headline-duration");
+    cfg.seed = seed;
+    cfg.battery.enabled = true;
+    cfg.battery.sensor_initial_j = opt.get_double("headline-sensor-j");
+    cfg.battery.wifi_initial_j = wifi_j;
+    cfg.shards = headline_shards;
+    cfg.sim_threads = 0;  // auto
+    const auto t0 = std::chrono::steady_clock::now();
+    const app::RunMetrics m = app::run_scenario(cfg);
+    const double wall_ms = ms_since(t0);
+    const double events_per_sec =
+        wall_ms > 0 ? static_cast<double>(m.events_processed) / (wall_ms / 1e3)
+                    : 0;
+    std::printf(
+        "[headline] %d nodes, %d shards, %.1f s simulated with finite "
+        "batteries: %.0f ms wall, %llu events (%.0f events/sec), "
+        "%lld deaths, first death %.2f s, %lld bits before it\n",
+        side * side, headline_shards, cfg.duration, wall_ms,
+        static_cast<unsigned long long>(m.events_processed), events_per_sec,
+        static_cast<long long>(m.battery_deaths), m.time_to_first_death,
+        static_cast<long long>(m.delivered_bits_until_first_death));
+    sink.set_meta("headline_nodes", static_cast<double>(side * side));
+    sink.set_meta("headline_shards", static_cast<double>(headline_shards));
+    sink.set_meta("headline_events_per_sec", events_per_sec);
+    sink.set_meta("headline_wall_ms", wall_ms);
+    sink.set_meta("headline_battery_deaths",
+                  static_cast<double>(m.battery_deaths));
+    sink.set_meta("headline_time_to_first_death_s", m.time_to_first_death);
+  }
   export_json("lifetime", sink);
 
   const double elapsed_s = ms_since(t_bench) / 1e3;
@@ -171,6 +311,13 @@ int main(int argc, char** argv) {
                  "battery re-arm path (one event per radio state change) "
                  "or the lifetime-routing rebuild cadence\n",
                  elapsed_s, budget);
+    return 2;
+  }
+  if (!determinism_ok) {
+    std::fprintf(stderr,
+                 "DETERMINISM BROKEN: the churn+battery sharded cell "
+                 "disagrees across worker thread counts — look for shared "
+                 "state mutated outside the window-barrier epoch hook\n");
     return 2;
   }
   return 0;

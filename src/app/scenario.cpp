@@ -242,13 +242,16 @@ RunMetrics run_scenario(const ScenarioConfig& config) {
   BCP_REQUIRE(config.rate_bps > 0);
   BCP_REQUIRE(config.packet_bits > 0);
   BCP_REQUIRE(config.burst_packets > 0);
+  // Checked against the spec's exact node count BEFORE build(): a bad
+  // sender count must not first pay for a 100k-node placement.
+  BCP_REQUIRE_MSG(config.n_senders >= 1 &&
+                      config.n_senders <= config.topology.node_count() - 1,
+                  "sender count must be in [1, nodes-1]");
 
   sim::Simulator simulator;
   const net::Topology topo = config.topology.build();
   const net::NodeId sink = topo.sink;
   const int n = topo.node_count();
-  BCP_REQUIRE_MSG(config.n_senders >= 1 && config.n_senders <= n - 1,
-                  "sender count must be in [1, nodes-1]");
 
   const util::Metres wifi_range = config.wifi_range_override > 0
                                       ? config.wifi_range_override
@@ -584,9 +587,13 @@ RunMetrics run_scenario(const ScenarioConfig& config) {
         break;
       case sim::FaultKind::kNodeRecover: {
         // Battery death is final: a recovery scheduled for a node that
-        // has since depleted is a no-op (and not counted).
+        // has since depleted is refused (counted, so churn+battery cells
+        // can audit how much of the plan executed).
         const auto& battery = batteries[static_cast<std::size_t>(node)];
-        if (battery != nullptr && battery->depleted()) break;
+        if (battery != nullptr && battery->depleted()) {
+          ++m.fault_recoveries_refused;
+          break;
+        }
         if (low_links) low_links->set_node_up(node, true);
         if (high_links) high_links->set_node_up(node, true);
         if (!fwd_nodes.empty())

@@ -10,6 +10,26 @@
 // barriers order those reads) and merged in ascending shard order, so
 // the result is a pure function of (config, shard count) — sim_threads
 // never changes a byte of output.
+//
+// Membership epochs: fault/churn and finite batteries mutate LinkState
+// membership mid-run, which a single shared LinkState cannot survive
+// under real threads. Instead every shard owns a LinkState *replica* per
+// radio class. The shard that owns a node executes its crash / recover /
+// depletion at the exact event instant against its own replica (through
+// the same app::crash_node teardown the single-queue engine uses, so
+// local timing is unchanged), queues the mutation as a
+// net::MembershipDelta, and the coordinator broadcasts the accumulated
+// batch to every replica at the window barrier, applied in deterministic
+// (time, shard, node) order — a remote shard sees a membership change at
+// most one exchange window late, the same staleness bound the
+// boundary-frame mailboxes already carry. A coordinator-owned replica
+// pair receives the same global delta sequence and answers the
+// sink-partition checks exactly at each death's event time. Delivered
+// counts referenced by the "bits until first death / partition" metrics
+// are read at the publishing barrier (≤ one window after the event).
+#include <algorithm>
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -17,10 +37,13 @@
 #include "app/scenario.hpp"
 #include "app/scenario_detail.hpp"
 #include "app/workload.hpp"
+#include "energy/battery.hpp"
 #include "mac/mac_params.hpp"
+#include "net/link_state.hpp"
 #include "net/routing.hpp"
 #include "net/topology.hpp"
 #include "phy/sharded_channel.hpp"
+#include "sim/fault_plan.hpp"
 #include "sim/sharded_simulator.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
@@ -28,6 +51,15 @@
 namespace bcp::app {
 
 namespace {
+
+/// A membership mutation queued by its owning shard during a window,
+/// drained by the coordinator at the next barrier.
+struct PendingDelta {
+  net::MembershipDelta delta;
+  /// Battery depletions drive the lifetime metrics (first death,
+  /// sink-partition check); fault-plan mutations do not.
+  bool battery_death = false;
+};
 
 /// Everything one shard owns. Vectors are indexed by node id with null
 /// holes at non-owned nodes, so sender emit hooks stay O(1) lookups.
@@ -39,6 +71,23 @@ struct ShardState {
   std::vector<std::unique_ptr<DualRadioNode>> dual;
   std::vector<std::unique_ptr<DutyCycledWifiNode>> duty;
   std::vector<std::unique_ptr<CbrWorkload>> workloads;
+
+  // Membership-epoch state (engaged only for fault/battery runs). The
+  // replicas feed this shard's channel partitions and DynamicRouting;
+  // the delta queue is written on the shard's pinned thread and drained
+  // by the coordinator between phase barriers.
+  std::optional<net::LinkState> low_links;
+  std::optional<net::LinkState> high_links;
+  std::unique_ptr<net::Router> low_routes;
+  std::unique_ptr<net::Router> high_routes;
+  const net::DynamicRouting* low_dyn = nullptr;
+  const net::DynamicRouting* high_dyn = nullptr;
+  std::vector<std::unique_ptr<energy::Battery>> batteries;
+  std::vector<PendingDelta> deltas;
+  /// Stable callable targets for event captures (the vector of states is
+  /// never resized, so &st members are stable for the whole run).
+  std::function<void(const sim::FaultEvent&)> apply_fault;
+  std::function<void(net::NodeId)> on_battery_death;
 };
 
 void merge_energy(RadioEnergyTotals& total, const RadioEnergyTotals& part) {
@@ -49,10 +98,20 @@ void merge_energy(RadioEnergyTotals& total, const RadioEnergyTotals& part) {
   total.wakeup += part.wakeup;
 }
 
-/// Adds every additive counter of `part` into `total` (the derived
-/// ratios — goodput, delays, normalized energies — are recomputed from
-/// the merged sums by detail::finalize_metrics).
+}  // namespace
+
+namespace detail {
+
 void merge_metrics(RunMetrics& total, const RunMetrics& part) {
+  // Field-coverage tripwire: adding a RunMetrics field changes this size,
+  // and the build fails here until the field gets a merge rule below (and
+  // a case in the merge-coverage test). Update the expected size last.
+  static_assert(sizeof(void*) != 8 || sizeof(RunMetrics) == 448,
+                "RunMetrics changed: give every new field a merge rule in "
+                "detail::merge_metrics and tests/sharded_sim_test.cpp's "
+                "coverage case, then update this expected size");
+
+  // Traffic counters: sum.
   total.generated += part.generated;
   total.delivered += part.delivered;
   total.dropped_buffer += part.dropped_buffer;
@@ -60,8 +119,15 @@ void merge_metrics(RunMetrics& total, const RunMetrics& part) {
   total.dropped_mac += part.dropped_mac;
   total.dropped_no_route += part.dropped_no_route;
   total.dropped_node_down += part.dropped_node_down;
+
+  // goodput, mean_delay, normalized_energy{,_sensor_ideal,_sensor_header}
+  // are derived ratios: recomputed from the merged sums by
+  // detail::finalize_metrics, never merged.
+
   merge_energy(total.sensor_energy, part.sensor_energy);
   merge_energy(total.wifi_energy, part.wifi_energy);
+
+  // Protocol/MAC counters: sum.
   total.mac_tx_attempts += part.mac_tx_attempts;
   total.mac_tx_failed += part.mac_tx_failed;
   total.bcp_wakeups += part.bcp_wakeups;
@@ -70,14 +136,60 @@ void merge_metrics(RunMetrics& total, const RunMetrics& part) {
   total.bcp_receiver_timeouts += part.bcp_receiver_timeouts;
   total.wifi_wakeup_transitions += part.wifi_wakeup_transitions;
   total.wifi_on_seconds += part.wifi_on_seconds;
+
+  total.events_processed += part.events_processed;
+
+  // Fault/churn counters: sum (each fault event is counted by exactly
+  // one shard — the one owning the event's primary node).
+  total.fault_node_crashes += part.fault_node_crashes;
+  total.fault_node_recoveries += part.fault_node_recoveries;
+  total.fault_recoveries_refused += part.fault_recoveries_refused;
+  total.fault_link_downs += part.fault_link_downs;
+  total.fault_link_ups += part.fault_link_ups;
+  total.route_rebuilds += part.route_rebuilds;
+  total.bcp_packets_lost_to_crash += part.bcp_packets_lost_to_crash;
   total.mac_crash_drops += part.mac_crash_drops;
+
+  // Channel conservation counters: sum (the law holds per partition and
+  // over the sum).
   total.chan_frames += part.chan_frames;
   total.chan_rx_starts += part.chan_rx_starts;
   total.chan_rx_ends += part.chan_rx_ends;
   total.chan_rx_live_at_end += part.chan_rx_live_at_end;
+
+  // TDMA schedule health: sum.
+  total.tdma_beacons_sent += part.tdma_beacons_sent;
+  total.tdma_beacons_heard += part.tdma_beacons_heard;
+  total.tdma_slots_skipped += part.tdma_slots_skipped;
+
+  // Lifetime metrics. Deaths sum; the time-to-first-* fields take the
+  // earliest non-sentinel value (-1 = never happened); the drawn
+  // fraction takes the max over all batteries.
+  total.battery_deaths += part.battery_deaths;
+  if (part.time_to_first_death >= 0 &&
+      (total.time_to_first_death < 0 ||
+       part.time_to_first_death < total.time_to_first_death))
+    total.time_to_first_death = part.time_to_first_death;
+  if (part.time_to_sink_partition >= 0 &&
+      (total.time_to_sink_partition < 0 ||
+       part.time_to_sink_partition < total.time_to_sink_partition))
+    total.time_to_sink_partition = part.time_to_sink_partition;
+  total.delivered_bits_until_first_death +=
+      part.delivered_bits_until_first_death;
+  total.delivered_bits_until_partition +=
+      part.delivered_bits_until_partition;
+  total.battery_max_drawn_fraction = std::max(
+      total.battery_max_drawn_fraction, part.battery_max_drawn_fraction);
+
+  // Sharded-engine visibility: per-shard event counts concatenate; the
+  // boundary export count sums.
+  total.shard_events.insert(total.shard_events.end(),
+                            part.shard_events.begin(),
+                            part.shard_events.end());
+  total.boundary_frames += part.boundary_frames;
 }
 
-}  // namespace
+}  // namespace detail
 
 RunMetrics run_scenario_sharded(const ScenarioConfig& config) {
   BCP_REQUIRE(config.shards >= 2);
@@ -87,27 +199,34 @@ RunMetrics run_scenario_sharded(const ScenarioConfig& config) {
   BCP_REQUIRE(config.packet_bits > 0);
   BCP_REQUIRE(config.burst_packets > 0);
   BCP_REQUIRE(config.shard_window > 0);
-  BCP_REQUIRE_MSG(config.faults.empty(),
-                  "fault injection is not supported on the sharded engine "
-                  "(DynamicRouting/LinkState are single-threaded)");
+  // Bound checks that need no topology construction come first: a
+  // misconfigured 100k-node run must fail before full placement build.
+  BCP_REQUIRE_MSG(config.n_senders >= 1 &&
+                      config.n_senders <= config.topology.node_count() - 1,
+                  "sender count must be in [1, nodes-1]");
   config.sensor_mac.validate();
   config.wifi_mac.validate();
   BCP_REQUIRE_MSG(!config.sensor_mac.is_tdma() && !config.wifi_mac.is_tdma(),
                   "TDMA is not supported on the sharded engine (beacon "
                   "relay across stripes would race the slot clock)");
-  BCP_REQUIRE_MSG(!config.battery.enabled,
-                  "finite batteries are not supported on the sharded engine "
-                  "(death/LinkState membership changes are single-threaded; "
-                  "see ROADMAP's membership-epoch follow-on)");
-  BCP_REQUIRE_MSG(config.route_policy == net::RoutePolicy::kShortestPath,
-                  "lifetime-aware routing is not supported on the sharded "
-                  "engine");
+  const bool has_faults = !config.faults.empty();
+  BCP_REQUIRE_MSG(!has_faults || config.model != EvalModel::kWifiDutyCycled,
+                  "fault injection is not supported for the duty-cycled "
+                  "802.11 strawman");
+  config.battery.validate();
+  const bool has_battery = config.battery.enabled;
+  BCP_REQUIRE_MSG(
+      config.route_policy == net::RoutePolicy::kShortestPath || has_battery,
+      "lifetime-aware routing requires an enabled battery");
+  // Membership changes flow through per-shard LinkState replicas kept in
+  // sync by epoch deltas at window barriers (see the file header).
+  const bool has_links = has_faults || has_battery;
+  const bool lifetime_routing =
+      config.route_policy == net::RoutePolicy::kLifetimeAware;
 
   const net::Topology topo = config.topology.build();
   const net::NodeId sink = topo.sink;
   const int n = topo.node_count();
-  BCP_REQUIRE_MSG(config.n_senders >= 1 && config.n_senders <= n - 1,
-                  "sender count must be in [1, nodes-1]");
 
   const bool needs_low = config.model == EvalModel::kSensor ||
                          config.model == EvalModel::kDualRadio;
@@ -129,9 +248,12 @@ RunMetrics run_scenario_sharded(const ScenarioConfig& config) {
   const int shard_count = map.count;
 
   // Shared read-only structures: one connectivity graph per radio class
-  // (each partition holds a reference, not a copy — O(n + e) once) and
-  // one Router per class (RoutingTable/ConvergecastRouting queries are
-  // const and thread-safe).
+  // (each partition holds a reference, not a copy — O(n + e) once). With
+  // static membership one Router per class is shared too
+  // (RoutingTable/ConvergecastRouting queries are const and
+  // thread-safe); fault/battery runs instead build one DynamicRouting
+  // per shard in the setup phase, since its lazy rebuild cache mutates
+  // on query and must key off the shard's own replica revision.
   std::shared_ptr<const net::ConnectivityGraph> low_graph;
   std::shared_ptr<const net::ConnectivityGraph> high_graph;
   std::unique_ptr<net::Router> low_routes;
@@ -140,14 +262,35 @@ RunMetrics run_scenario_sharded(const ScenarioConfig& config) {
   if (needs_low) {
     low_graph = std::make_shared<net::ConnectivityGraph>(
         topo.positions, config.sensor_radio.range);
-    low_routes = detail::build_routes(*low_graph, sink, all_pairs, "sensor",
-                                      nullptr, &unused_dyn);
+    if (!has_links)
+      low_routes = detail::build_routes(*low_graph, sink, all_pairs,
+                                        "sensor", nullptr, &unused_dyn);
   }
   if (needs_high) {
     high_graph =
         std::make_shared<net::ConnectivityGraph>(topo.positions, wifi_range);
-    high_routes = detail::build_routes(*high_graph, sink, all_pairs, "wifi",
-                                       nullptr, &unused_dyn);
+    if (!has_links)
+      high_routes = detail::build_routes(*high_graph, sink, all_pairs,
+                                         "wifi", nullptr, &unused_dyn);
+  }
+
+  // The fault plan is expanded once on the caller; each shard schedules
+  // only the events it must act on (a node event goes to the node's
+  // owner; a link event to both endpoints' owners).
+  std::vector<sim::FaultEvent> fault_events;
+  if (has_faults) {
+    std::vector<std::vector<std::int32_t>> adjacency;
+    if (config.faults.link_flaps > 0) {
+      const net::ConnectivityGraph& fault_graph =
+          needs_low ? *low_graph : *high_graph;
+      adjacency.reserve(static_cast<std::size_t>(n));
+      for (net::NodeId id = 0; id < n; ++id)
+        adjacency.push_back(fault_graph.neighbors(id));
+    }
+    fault_events =
+        sim::FaultPlan(config.faults, n, sink, config.duration,
+                       config.faults.link_flaps > 0 ? &adjacency : nullptr)
+            .events();
   }
 
   core::BcpConfig bcp = config.bcp;
@@ -156,9 +299,31 @@ RunMetrics run_scenario_sharded(const ScenarioConfig& config) {
   const std::vector<net::NodeId> senders =
       detail::pick_senders(config.seed, n, sink, config.n_senders);
 
+  // Lifetime-aware route costs read this shared drawn/capacity snapshot,
+  // refreshed by the coordinator at barriers on the reroute_period grid —
+  // never live battery state, so every shard prices relays identically
+  // regardless of thread count. Declared before `states`: the per-shard
+  // cost functions stored inside DynamicRouting reference it.
+  std::vector<double> battery_fraction;
+  if (lifetime_routing) battery_fraction.assign(static_cast<std::size_t>(n), 0.0);
+
   // States are declared before the engine/mediums so teardown (which
   // runs as engine phases) happens before either is destroyed.
   std::vector<ShardState> states(static_cast<std::size_t>(shard_count));
+
+  // Coordinator-owned replicas receive the global delta sequence exactly
+  // once, in (time, shard, node) order — the membership ground truth the
+  // sink-partition checks run against.
+  std::optional<net::LinkState> low_coord;
+  std::optional<net::LinkState> high_coord;
+  if (has_links) {
+    for (auto& st : states) {
+      if (needs_low) st.low_links.emplace(n);
+      if (needs_high) st.high_links.emplace(n);
+    }
+    if (needs_low) low_coord.emplace(n);
+    if (needs_high) high_coord.emplace(n);
+  }
 
   sim::ShardedSimulator::Params engine_params;
   engine_params.shards = shard_count;
@@ -176,11 +341,87 @@ RunMetrics run_scenario_sharded(const ScenarioConfig& config) {
     high_medium.emplace(engine, high_graph, map,
                         detail::channel_params(config, config.wifi_radio),
                         util::substream(config.seed, 2, 0x484348u));
+  if (has_links) {
+    // Each partition hears through its own replica: exact for owned
+    // nodes, ≤ one window stale for remote ones.
+    for (int s = 0; s < shard_count; ++s) {
+      ShardState& st = states[static_cast<std::size_t>(s)];
+      if (low_medium) low_medium->shard(s).set_link_state(&*st.low_links);
+      if (high_medium) high_medium->shard(s).set_link_state(&*st.high_links);
+    }
+  }
   for (int s = 0; s < shard_count; ++s)
     engine.set_drain(s, [&low_medium, &high_medium, s](std::int64_t window) {
       if (low_medium) low_medium->drain(s, window);
       if (high_medium) high_medium->drain(s, window);
     });
+
+  // ---- Epoch coordinator (caller thread, between phase barriers).
+  std::vector<PendingDelta> batch;
+  std::int64_t first_death_bits = -1;
+  double partition_time = -1;
+  std::int64_t partition_bits = -1;
+  double next_reroute = config.battery.reroute_period;
+  if (has_links) {
+    engine.set_barrier_hook([&](std::int64_t, util::Seconds barrier_time) {
+      batch.clear();
+      for (auto& st : states) {
+        batch.insert(batch.end(), st.deltas.begin(), st.deltas.end());
+        st.deltas.clear();
+      }
+      std::sort(batch.begin(), batch.end(),
+                [](const PendingDelta& a, const PendingDelta& b) {
+                  return net::MembershipDelta::before(a.delta, b.delta);
+                });
+      for (const PendingDelta& pd : batch) {
+        for (auto& st : states) {
+          if (st.low_links) st.low_links->apply(pd.delta);
+          if (st.high_links) st.high_links->apply(pd.delta);
+        }
+        if (low_coord) low_coord->apply(pd.delta);
+        if (high_coord) high_coord->apply(pd.delta);
+        if (!pd.battery_death) continue;
+        // Delivered counts are only current as of this barrier — the
+        // "bits until" metrics are therefore late by < one window, the
+        // same bound as every other cross-shard observation.
+        std::int64_t delivered = 0;
+        for (const auto& st : states) delivered += st.m.delivered;
+        if (first_death_bits < 0)
+          first_death_bits = delivered * config.packet_bits;
+        if (partition_time < 0) {
+          const net::ConnectivityGraph& graph =
+              needs_low ? *low_graph : *high_graph;
+          const net::LinkState& links =
+              needs_low ? *low_coord : *high_coord;
+          if (!net::unreachable_alive(graph, sink, links).empty()) {
+            partition_time = pd.delta.time;
+            partition_bits = delivered * config.packet_bits;
+          }
+        }
+      }
+      if (lifetime_routing) {
+        // The single-queue engine re-prices relays every reroute_period;
+        // here the refresh lands on the first barrier at or past each
+        // grid point. Workers are quiescent, so reading live battery
+        // draw and touching every replica is race-free, and the refresh
+        // schedule is a pure function of (config, shard count).
+        while (next_reroute <= barrier_time) {
+          for (const auto& st : states)
+            for (net::NodeId id = 0; id < n; ++id) {
+              const auto& b = st.batteries[static_cast<std::size_t>(id)];
+              if (b != nullptr)
+                battery_fraction[static_cast<std::size_t>(id)] =
+                    b->drawn() / b->capacity();
+            }
+          for (auto& st : states) {
+            if (st.low_links) st.low_links->touch();
+            if (st.high_links) st.high_links->touch();
+          }
+          next_reroute += config.battery.reroute_period;
+        }
+      }
+    });
+  }
 
   // ---- Setup phase: each shard builds its nodes on its pinned thread.
   engine.for_each_shard([&](int s) {
@@ -196,6 +437,26 @@ RunMetrics run_scenario_sharded(const ScenarioConfig& config) {
     const auto owned = [&](net::NodeId id) {
       return map.shard_of[static_cast<std::size_t>(id)] == s;
     };
+    if (has_links) {
+      net::NodeCostFn cost;
+      if (lifetime_routing)
+        cost = [&battery_fraction, weight = config.battery.lifetime_weight](
+                   net::NodeId v) {
+          return weight * battery_fraction[static_cast<std::size_t>(v)];
+        };
+      if (needs_low)
+        st.low_routes = detail::build_routes(
+            *low_graph, sink, all_pairs, "sensor", &*st.low_links,
+            &st.low_dyn, config.route_policy, cost);
+      if (needs_high)
+        st.high_routes = detail::build_routes(
+            *high_graph, sink, all_pairs, "wifi", &*st.high_links,
+            &st.high_dyn, config.route_policy, cost);
+    }
+    const net::Router* low_r = has_links ? st.low_routes.get()
+                                         : low_routes.get();
+    const net::Router* high_r = has_links ? st.high_routes.get()
+                                          : high_routes.get();
     switch (config.model) {
       case EvalModel::kSensor: {
         const MacChoice choice{mac::sensor_mac_params(),
@@ -207,7 +468,7 @@ RunMetrics run_scenario_sharded(const ScenarioConfig& config) {
           if (!owned(id)) continue;
           st.fwd[static_cast<std::size_t>(id)] =
               std::make_unique<ForwardingNode>(
-                  ssim, low_medium->shard(s), *low_routes, id, sink,
+                  ssim, low_medium->shard(s), *low_r, id, sink,
                   config.sensor_radio, phy::OverhearMode::kHeaderOnly,
                   choice, config.seed, &st.delivery);
         }
@@ -223,7 +484,7 @@ RunMetrics run_scenario_sharded(const ScenarioConfig& config) {
           if (!owned(id)) continue;
           st.fwd[static_cast<std::size_t>(id)] =
               std::make_unique<ForwardingNode>(
-                  ssim, high_medium->shard(s), *high_routes, id, sink,
+                  ssim, high_medium->shard(s), *high_r, id, sink,
                   config.wifi_radio, phy::OverhearMode::kFull, choice,
                   config.seed, &st.delivery);
         }
@@ -238,7 +499,7 @@ RunMetrics run_scenario_sharded(const ScenarioConfig& config) {
           if (!owned(id)) continue;
           st.duty[static_cast<std::size_t>(id)] =
               std::make_unique<DutyCycledWifiNode>(
-                  ssim, high_medium->shard(s), *high_routes, id, sink,
+                  ssim, high_medium->shard(s), *high_r, id, sink,
                   config.wifi_radio, schedule, config.seed, &st.delivery);
         }
         break;
@@ -258,7 +519,7 @@ RunMetrics run_scenario_sharded(const ScenarioConfig& config) {
           st.dual[static_cast<std::size_t>(id)] =
               std::make_unique<DualRadioNode>(
                   ssim, low_medium->shard(s), high_medium->shard(s),
-                  *low_routes, *high_routes, id, config.sensor_radio,
+                  *low_r, *high_r, id, config.sensor_radio,
                   config.wifi_radio, bcp,
                   config.wifi_promiscuous ? phy::OverhearMode::kFull
                                           : phy::OverhearMode::kNone,
@@ -267,6 +528,148 @@ RunMetrics run_scenario_sharded(const ScenarioConfig& config) {
         break;
       }
     }
+
+    // ---- Finite batteries (owned nodes only): same capacity rules and
+    // death teardown as the single-queue engine, with the depletion
+    // event firing in the owning shard at its exact analytic instant.
+    if (has_battery) {
+      st.batteries.resize(static_cast<std::size_t>(n));
+      st.on_battery_death = [&st, s, sim = &ssim](net::NodeId node) {
+        crash_node(
+            st.fwd.empty() ? nullptr
+                           : st.fwd[static_cast<std::size_t>(node)].get(),
+            st.dual.empty() ? nullptr
+                            : st.dual[static_cast<std::size_t>(node)].get(),
+            st.duty.empty() ? nullptr
+                            : st.duty[static_cast<std::size_t>(node)].get(),
+            node, st.low_links ? &*st.low_links : nullptr,
+            st.high_links ? &*st.high_links : nullptr);
+        ++st.m.battery_deaths;
+        if (st.m.battery_deaths == 1)
+          st.m.time_to_first_death = sim->now();
+        st.deltas.push_back(
+            {net::MembershipDelta{sim->now(), s, node, net::NodeId{-1},
+                                  net::MembershipDelta::Kind::kNodeDown},
+             /*battery_death=*/true});
+      };
+      for (net::NodeId id = 0; id < n; ++id) {
+        if (!owned(id)) continue;
+        util::Joules capacity = 0;
+        if (config.model == EvalModel::kSensor ||
+            config.model == EvalModel::kDualRadio)
+          capacity += config.battery.sensor_initial_j;
+        if (config.model != EvalModel::kSensor)
+          capacity += config.battery.wifi_initial_j;
+        if (capacity <= 0) continue;  // all owned classes unbudgeted
+        auto battery = std::make_unique<energy::Battery>(
+            ssim, capacity,
+            [fn = &st.on_battery_death, id] { (*fn)(id); });
+        energy::Battery* b = battery.get();
+        const auto watch = [b](phy::Radio& radio) {
+          b->attach(&radio.meter());
+          radio.set_energy_observer([b] { b->rearm(); });
+        };
+        if (!st.fwd.empty())
+          watch(st.fwd[static_cast<std::size_t>(id)]->radio());
+        else if (!st.duty.empty())
+          watch(st.duty[static_cast<std::size_t>(id)]->radio());
+        else {
+          watch(st.dual[static_cast<std::size_t>(id)]->sensor_radio());
+          watch(st.dual[static_cast<std::size_t>(id)]->wifi_radio());
+        }
+        battery->rearm();  // arm against the boot power state
+        st.batteries[static_cast<std::size_t>(id)] = std::move(battery);
+      }
+    }
+
+    // ---- Fault/churn schedule: the owning shard executes the event at
+    // its exact instant against its replica and queues the epoch delta;
+    // for link events the other endpoint's shard also flips its own
+    // replica at the exact time, but only the node-owner counts the
+    // event and broadcasts it.
+    if (has_faults) {
+      st.apply_fault = [&st, &map, s, sim = &ssim](
+                           const sim::FaultEvent& ev) {
+        const auto node = static_cast<net::NodeId>(ev.node);
+        const auto peer = static_cast<net::NodeId>(ev.peer);
+        const bool owns_node =
+            map.shard_of[static_cast<std::size_t>(ev.node)] == s;
+        const auto queue = [&](net::MembershipDelta::Kind kind) {
+          st.deltas.push_back(
+              {net::MembershipDelta{sim->now(), s, node,
+                                    ev.peer >= 0 ? peer : net::NodeId{-1},
+                                    kind},
+               /*battery_death=*/false});
+        };
+        switch (ev.kind) {
+          case sim::FaultKind::kNodeCrash:
+            crash_node(
+                st.fwd.empty()
+                    ? nullptr
+                    : st.fwd[static_cast<std::size_t>(node)].get(),
+                st.dual.empty()
+                    ? nullptr
+                    : st.dual[static_cast<std::size_t>(node)].get(),
+                nullptr,  // duty nodes reject fault plans
+                node, st.low_links ? &*st.low_links : nullptr,
+                st.high_links ? &*st.high_links : nullptr);
+            ++st.m.fault_node_crashes;
+            queue(net::MembershipDelta::Kind::kNodeDown);
+            break;
+          case sim::FaultKind::kNodeRecover: {
+            // Battery death is final: a recovery scheduled for a node
+            // that has since depleted is refused (and counted).
+            const energy::Battery* battery =
+                st.batteries.empty()
+                    ? nullptr
+                    : st.batteries[static_cast<std::size_t>(node)].get();
+            if (battery != nullptr && battery->depleted()) {
+              ++st.m.fault_recoveries_refused;
+              break;
+            }
+            if (st.low_links) st.low_links->set_node_up(node, true);
+            if (st.high_links) st.high_links->set_node_up(node, true);
+            if (!st.fwd.empty())
+              st.fwd[static_cast<std::size_t>(node)]->recover();
+            else
+              st.dual[static_cast<std::size_t>(node)]->recover();
+            ++st.m.fault_node_recoveries;
+            queue(net::MembershipDelta::Kind::kNodeUp);
+            break;
+          }
+          case sim::FaultKind::kLinkDown:
+            if (st.low_links) st.low_links->set_link_up(node, peer, false);
+            if (st.high_links)
+              st.high_links->set_link_up(node, peer, false);
+            if (owns_node) {
+              ++st.m.fault_link_downs;
+              queue(net::MembershipDelta::Kind::kLinkDown);
+            }
+            break;
+          case sim::FaultKind::kLinkUp:
+            if (st.low_links) st.low_links->set_link_up(node, peer, true);
+            if (st.high_links) st.high_links->set_link_up(node, peer, true);
+            if (owns_node) {
+              ++st.m.fault_link_ups;
+              queue(net::MembershipDelta::Kind::kLinkUp);
+            }
+            break;
+        }
+      };
+      for (const sim::FaultEvent& ev : fault_events) {
+        const bool node_owned =
+            map.shard_of[static_cast<std::size_t>(ev.node)] == s;
+        const bool link_event = ev.kind == sim::FaultKind::kLinkDown ||
+                                ev.kind == sim::FaultKind::kLinkUp;
+        const bool peer_owned =
+            link_event &&
+            map.shard_of[static_cast<std::size_t>(ev.peer)] == s;
+        if (!node_owned && !peer_owned) continue;
+        ssim.schedule_at(ev.at,
+                         [fn = &st.apply_fault, ev] { (*fn)(ev); });
+      }
+    }
+
     for (const net::NodeId sender : senders) {
       if (!owned(sender)) continue;
       auto emit = [&st, &config, sender](net::DataPacket p) {
@@ -295,6 +698,9 @@ RunMetrics run_scenario_sharded(const ScenarioConfig& config) {
   for (int s = 0; s < shard_count; ++s) {
     ShardState& st = states[static_cast<std::size_t>(s)];
     st.m.events_processed = engine.shard(s).processed_count();
+    st.m.route_rebuilds =
+        (st.low_dyn != nullptr ? st.low_dyn->rebuild_count() : 0) +
+        (st.high_dyn != nullptr ? st.high_dyn->rebuild_count() : 0);
     for (const auto& w : st.workloads) st.m.generated += w->generated();
     if (low_medium) detail::add_channel_stats(st.m, low_medium->shard(s));
     if (high_medium) detail::add_channel_stats(st.m, high_medium->shard(s));
@@ -307,21 +713,41 @@ RunMetrics run_scenario_sharded(const ScenarioConfig& config) {
       if (node) detail::collect_duty(st.m, *node, end);
     for (const auto& node : st.dual)
       if (node) detail::collect_dual(st.m, *node, end);
-    merge_metrics(total, st.m);
+    for (const auto& battery : st.batteries) {
+      if (battery == nullptr) continue;
+      st.m.battery_max_drawn_fraction =
+          std::max(st.m.battery_max_drawn_fraction,
+                   battery->drawn() / battery->capacity());
+    }
+    detail::merge_metrics(total, st.m);
     total.shard_events.push_back(st.m.events_processed);
-    total.events_processed += st.m.events_processed;
     delay_sum += st.delay_sum;
   }
   total.boundary_frames =
       (low_medium ? low_medium->boundary_exports() : 0) +
       (high_medium ? high_medium->boundary_exports() : 0);
+  if (has_battery) {
+    // The coordinator resolved the cross-shard lifetime metrics at the
+    // barriers; "until first death / partition" degenerate to the whole
+    // run's deliveries when the event never happened.
+    total.delivered_bits_until_first_death =
+        first_death_bits >= 0 ? first_death_bits
+                              : total.delivered * config.packet_bits;
+    total.time_to_sink_partition = partition_time;
+    total.delivered_bits_until_partition =
+        partition_bits >= 0 ? partition_bits
+                            : total.delivered * config.packet_bits;
+  }
   detail::finalize_metrics(total, config, delay_sum);
 
   // ---- Teardown phase: release every shard's pooled payloads (node
   // queues, in-flight channel records, pending event captures) on the
-  // thread whose pool owns them, before the workers exit with the engine.
+  // thread whose pool owns them, before the workers exit with the
+  // engine. Batteries hold event handles into the shard simulator, so
+  // they die here too.
   engine.for_each_shard([&](int s) {
     ShardState& st = states[static_cast<std::size_t>(s)];
+    st.batteries.clear();
     st.workloads.clear();
     st.fwd.clear();
     st.duty.clear();

@@ -41,4 +41,21 @@ void LinkState::set_link_up(NodeId a, NodeId b, bool up) {
   if (changed) ++revision_;
 }
 
+void LinkState::apply(const MembershipDelta& delta) {
+  switch (delta.kind) {
+    case MembershipDelta::Kind::kNodeDown:
+      set_node_up(delta.node, false);
+      break;
+    case MembershipDelta::Kind::kNodeUp:
+      set_node_up(delta.node, true);
+      break;
+    case MembershipDelta::Kind::kLinkDown:
+      set_link_up(delta.node, delta.peer, false);
+      break;
+    case MembershipDelta::Kind::kLinkUp:
+      set_link_up(delta.node, delta.peer, true);
+      break;
+  }
+}
+
 }  // namespace bcp::net

@@ -26,6 +26,35 @@
 
 namespace bcp::net {
 
+/// One membership mutation, ready to be re-applied to another replica.
+///
+/// The sharded engine keeps one LinkState replica per shard: the shard
+/// that owns a node applies crash/recover/flap mutations to its own
+/// replica at the exact event instant, queues the mutation as a delta,
+/// and the coordinator broadcasts the accumulated batch to every replica
+/// at the next window barrier (sorted by `before` — (time, shard, node,
+/// peer, kind)), so remote shards see a membership change at most one
+/// window late. Re-applying a delta to the replica that originated it is
+/// a no-op by LinkState's set-idempotence, so the broadcast does not bump
+/// the owner's revision a second time.
+struct MembershipDelta {
+  enum class Kind : std::uint8_t { kNodeDown, kNodeUp, kLinkDown, kLinkUp };
+  double time = 0;       ///< event instant in the owning shard
+  std::int32_t shard = 0;  ///< owning shard (deterministic tie-break)
+  NodeId node = -1;
+  NodeId peer = -1;  ///< second endpoint for link deltas, -1 otherwise
+  Kind kind = Kind::kNodeDown;
+
+  /// Deterministic application order: (time, shard, node, peer, kind).
+  static bool before(const MembershipDelta& a, const MembershipDelta& b) {
+    if (a.time != b.time) return a.time < b.time;
+    if (a.shard != b.shard) return a.shard < b.shard;
+    if (a.node != b.node) return a.node < b.node;
+    if (a.peer != b.peer) return a.peer < b.peer;
+    return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+  }
+};
+
 class LinkState {
  public:
   explicit LinkState(int node_count);
@@ -46,6 +75,10 @@ class LinkState {
 
   void set_node_up(NodeId node, bool up);
   void set_link_up(NodeId a, NodeId b, bool up);
+
+  /// Replays one membership delta onto this replica (no-op, and no
+  /// revision bump, if the state already matches — see MembershipDelta).
+  void apply(const MembershipDelta& delta);
 
   /// Bumped on every effective change; consumers cache against it.
   std::uint64_t revision() const { return revision_; }

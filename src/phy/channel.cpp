@@ -57,8 +57,6 @@ void Channel::enable_sharding(const std::int32_t* shard_of,
                               std::int32_t shard_count, BoundaryEmit emit) {
   BCP_REQUIRE(shard_of != nullptr && emit != nullptr);
   BCP_REQUIRE(my_shard >= 0 && my_shard < shard_count);
-  BCP_REQUIRE_MSG(links_ == nullptr,
-                  "dynamic link state is not supported on sharded channels");
   shard_of_ = shard_of;
   my_shard_ = my_shard;
   boundary_emit_ = std::move(emit);
@@ -237,6 +235,12 @@ void Channel::begin_remote(std::uint64_t tx_id) {
   for (std::size_t i = 0; i < nbrs.size(); ++i) {
     const net::NodeId r = nbrs[i];
     if (!owned(r)) continue;
+    // The receiving shard's replica is exact for its own nodes: a hearer
+    // this shard already knows is down (crashed locally, or via a prior
+    // epoch) never hears the remote frame. The transmitter's shard also
+    // masks at start_tx from its replica, which may be one window stale
+    // for this link — the documented staleness bound.
+    if (links_ != nullptr && !links_->link_up(src, r)) continue;
     auto& at_r = arrivals(r);
     const double loss =
         uniform_loss_ ? unit_loss_ : model_->loss_prob(src, i, r);

@@ -153,7 +153,12 @@ class Channel {
   /// Attaches dynamic link/node availability (nullptr detaches). While a
   /// link (or either endpoint) is down, new frames are not heard across
   /// it; frames already in flight complete normally. Not owned; must
-  /// outlive the channel while attached.
+  /// outlive the channel while attached. On a sharded channel this is the
+  /// shard's own LinkState *replica*: exact for nodes the shard owns,
+  /// stale by at most one exchange window for remote nodes (membership
+  /// deltas arrive at window barriers). Both sides mask: a transmitter
+  /// skips the export when its replica has the remote hearer down, and
+  /// begin_remote re-checks the receiving shard's replica.
   void set_link_state(const net::LinkState* links) { links_ = links; }
 
   // ---- Sharded operation (sim/sharded_simulator.hpp) ----
@@ -184,7 +189,9 @@ class Channel {
   /// local deliveries are restricted to nodes with shard_of[id] ==
   /// my_shard, and every transmission heard by other shards is handed to
   /// `emit` (once per destination shard). `shard_of` is not owned and
-  /// must outlive the channel. Incompatible with set_link_state.
+  /// must outlive the channel. Composes with set_link_state: attach the
+  /// shard's own LinkState replica and both the local hearer loop and
+  /// remote-frame replay consult it.
   void enable_sharding(const std::int32_t* shard_of, std::int32_t my_shard,
                        std::int32_t shard_count, BoundaryEmit emit);
 

@@ -137,6 +137,7 @@ void ShardedSimulator::step_window(util::Seconds end) {
   dispatch(job);
   job.parity = 1;
   dispatch(job);
+  if (barrier_hook_) barrier_hook_(window_index_, end);
   ++window_index_;
   time_ = end;
 }

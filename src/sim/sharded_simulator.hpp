@@ -104,6 +104,19 @@ class ShardedSimulator {
   using DrainHook = std::function<void(std::int64_t window)>;
   void set_drain(int s, DrainHook hook);
 
+  /// Coordinator barrier hook: runs on the calling thread after both
+  /// parity phases of a window have finished and before the next window
+  /// starts, with the just-completed window index and the barrier time
+  /// every shard has reached. Workers are quiescent here (spinning on the
+  /// job epoch), and the dispatch acquire/release pairs order all shard
+  /// writes before the hook and all hook writes before the next phase —
+  /// so the hook may read and mutate any shard state without extra
+  /// synchronization. This is where membership epochs (fault/churn and
+  /// battery-death deltas) are published to every shard's LinkState
+  /// replica. Also fires after each settlement round at the horizon.
+  using BarrierHook = std::function<void(std::int64_t window, util::Seconds barrier_time)>;
+  void set_barrier_hook(BarrierHook hook) { barrier_hook_ = std::move(hook); }
+
   /// Runs fn(shard) for every shard on its pinned worker thread,
   /// concurrently across workers; returns when all shards are done. The
   /// first exception thrown by any shard is rethrown here.
@@ -142,6 +155,7 @@ class ShardedSimulator {
   util::Seconds time_ = 0;  ///< barrier time all shards have reached
   std::vector<std::unique_ptr<Simulator>> sims_;
   std::vector<DrainHook> drains_;
+  BarrierHook barrier_hook_;
 
   // Worker rendezvous: the caller publishes job_ then release-bumps
   // job_epoch_; each worker acquire-spins on the epoch, runs its shards,

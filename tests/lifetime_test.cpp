@@ -362,6 +362,11 @@ TEST(LifetimeScenario, FaultRecoveryOfABatteryDeadNodeIsANoOp) {
   EXPECT_LT(m.fault_node_recoveries, m.fault_node_crashes)
       << "at least one fault-plan recovery should have hit a battery-dead "
          "node and been refused";
+  // The refusals are counted, not silent: every planned recovery either
+  // executed or shows up in fault_recoveries_refused.
+  EXPECT_GT(m.fault_recoveries_refused, 0);
+  EXPECT_LE(m.fault_node_recoveries + m.fault_recoveries_refused,
+            m.fault_node_crashes);
 }
 
 }  // namespace

@@ -289,5 +289,17 @@ TEST(Scenario, InvalidConfigsThrow) {
   EXPECT_THROW(run_scenario(cfg), std::invalid_argument);
 }
 
+TEST(Scenario, SenderBoundIsCheckedBeforeTheTopologyIsBuilt) {
+  // The bound uses the spec's exact node_count(): a bad sender count on a
+  // million-node grid must be rejected instantly, on both engines, not
+  // after paying for the placement build.
+  auto cfg = quick(EvalModel::kSensor, 3, 100);
+  cfg.topology.grid_side = 1000;  // 1M nodes — building this would hang
+  cfg.n_senders = 1000 * 1000;
+  EXPECT_THROW(run_scenario(cfg), std::invalid_argument);
+  cfg.shards = 4;
+  EXPECT_THROW(run_scenario(cfg), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace bcp::app

@@ -9,16 +9,25 @@
 //   * a sharded run's metrics are a pure function of (config, shard
 //     count): byte-identical across sim_threads and across repeats;
 //   * the rx conservation law holds per-shard and summed;
-//   * fault plans and TDMA are rejected when sharded.
+//   * membership epochs: a node death (crash or battery depletion) or a
+//     recovery is exact in the stripe that owns the node, and remote
+//     stripes see it at most one window barrier late — differentially
+//     pinned against the single-queue LinkState run;
+//   * fault plans, finite batteries and lifetime routing run sharded with
+//     thread-count-invariant metrics; only TDMA is still rejected.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "app/scenario.hpp"
+#include "net/link_state.hpp"
 #include "net/topology.hpp"
 #include "phy/channel.hpp"
 #include "phy/frame.hpp"
@@ -310,6 +319,201 @@ TEST(ShardedChannel, ConservationLawHoldsAcrossPartitions) {
   EXPECT_EQ(medium.total_live_arrivals(), 0);
 }
 
+// ---- Membership-epoch differential tests -----------------------------------
+
+/// One scripted membership flip: `node` goes down (a crash and a battery
+/// death are the same kNodeDown delta) or comes back up at `at`.
+struct MembershipFlip {
+  double at;
+  net::NodeId node;
+  bool up;
+};
+
+std::vector<RxEvent> run_single_membership(
+    const ChainFixture& fx,
+    const std::vector<std::pair<net::NodeId, double>>& txs,
+    const std::vector<MembershipFlip>& flips, double horizon,
+    double duration) {
+  sim::Simulator sim;
+  phy::Channel channel(sim, fx.positions, fx.range, phy::Channel::Params{},
+                       99);
+  net::LinkState links(4);
+  channel.set_link_state(&links);
+  std::vector<RxEvent> events;
+  std::vector<std::unique_ptr<Recorder>> recorders;
+  for (net::NodeId id = 0; id < 4; ++id) {
+    recorders.push_back(std::make_unique<Recorder>(sim, id, events));
+    channel.attach(id, recorders.back().get());
+  }
+  for (const auto& f : flips)
+    sim.schedule_at(f.at, [&links, f] { links.set_node_up(f.node, f.up); });
+  for (const auto& [src, at] : txs)
+    sim.schedule_at(at, [&channel, src = src, duration] {
+      phy::Frame frame;
+      frame.tx_node = src;
+      frame.rx_node = net::kBroadcastNode;
+      channel.start_tx(src, frame, duration);
+    });
+  sim.run_until(horizon);
+  return events;
+}
+
+/// The sharded counterpart wires the full epoch protocol by hand — one
+/// LinkState replica per stripe, the owning stripe flips its replica at
+/// the exact event instant and queues the delta, and the barrier hook
+/// broadcasts the sorted batch to every replica — exactly what
+/// run_scenario_sharded does, minus the nodes. Also asserts the rx
+/// conservation law per channel partition before returning.
+std::vector<RxEvent> run_sharded_membership(
+    const ChainFixture& fx,
+    const std::vector<std::pair<net::NodeId, double>>& txs,
+    const std::vector<MembershipFlip>& flips, double horizon,
+    double duration, double window) {
+  sim::ShardedSimulator::Params params;
+  params.shards = 2;
+  params.threads = 1;
+  params.window = window;
+  sim::ShardedSimulator engine(params);
+  const phy::ShardMap map = phy::ShardMap::stripes(fx.positions, 2);
+  auto graph =
+      std::make_shared<net::ConnectivityGraph>(fx.positions, fx.range);
+  phy::ShardedMedium medium(engine, graph, map, phy::Channel::Params{}, 99);
+  std::vector<net::LinkState> replicas(2, net::LinkState(4));
+  std::vector<std::vector<net::MembershipDelta>> pending(2);
+  for (int s = 0; s < 2; ++s) {
+    medium.shard(s).set_link_state(&replicas[static_cast<std::size_t>(s)]);
+    engine.set_drain(s, [&medium, s](std::int64_t w) { medium.drain(s, w); });
+  }
+  engine.set_barrier_hook([&replicas, &pending](std::int64_t, util::Seconds) {
+    std::vector<net::MembershipDelta> batch;
+    for (auto& q : pending) {
+      batch.insert(batch.end(), q.begin(), q.end());
+      q.clear();
+    }
+    std::sort(batch.begin(), batch.end(), net::MembershipDelta::before);
+    for (const auto& d : batch)
+      for (auto& r : replicas) r.apply(d);
+  });
+  std::vector<RxEvent> events;
+  std::vector<std::unique_ptr<Recorder>> recorders;
+  engine.for_each_shard([&](int s) {
+    for (net::NodeId id = 0; id < 4; ++id) {
+      if (map.shard_of[static_cast<std::size_t>(id)] != s) continue;
+      recorders.push_back(
+          std::make_unique<Recorder>(engine.shard(s), id, events));
+      medium.shard(s).attach(id, recorders.back().get());
+    }
+    for (const auto& f : flips) {
+      if (map.shard_of[static_cast<std::size_t>(f.node)] != s) continue;
+      engine.shard(s).schedule_at(f.at, [&replicas, &pending, f, s] {
+        replicas[static_cast<std::size_t>(s)].set_node_up(f.node, f.up);
+        net::MembershipDelta d;
+        d.time = f.at;
+        d.shard = s;
+        d.node = f.node;
+        d.kind = f.up ? net::MembershipDelta::Kind::kNodeUp
+                      : net::MembershipDelta::Kind::kNodeDown;
+        pending[static_cast<std::size_t>(s)].push_back(d);
+      });
+    }
+    for (const auto& [src, at] : txs) {
+      if (map.shard_of[static_cast<std::size_t>(src)] != s) continue;
+      engine.shard(s).schedule_at(
+          at, [channel = &medium.shard(s), src = src, duration] {
+            phy::Frame frame;
+            frame.tx_node = src;
+            frame.rx_node = net::kBroadcastNode;
+            channel->start_tx(src, frame, duration);
+          });
+    }
+  });
+  engine.run(horizon);
+  for (int s = 0; s < 2; ++s) {
+    const phy::Channel::Stats st = medium.shard(s).stats();
+    EXPECT_EQ(st.rx_starts, st.deliveries_clean + st.deliveries_corrupt +
+                                medium.shard(s).live_arrivals())
+        << "conservation violated in partition " << s;
+  }
+  return events;
+}
+
+void expect_same_events(std::vector<RxEvent> a, std::vector<RxEvent> b) {
+  const auto order = [](const RxEvent& x, const RxEvent& y) {
+    return std::tie(x.hearer, x.tx_node, x.t_start) <
+           std::tie(y.hearer, y.tx_node, y.t_start);
+  };
+  std::sort(a.begin(), a.end(), order);
+  std::sort(b.begin(), b.end(), order);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].hearer, b[i].hearer) << "event " << i;
+    EXPECT_EQ(a[i].tx_node, b[i].tx_node) << "event " << i;
+    EXPECT_DOUBLE_EQ(a[i].t_start, b[i].t_start) << "event " << i;
+    EXPECT_DOUBLE_EQ(a[i].t_end, b[i].t_end) << "event " << i;
+    EXPECT_EQ(a[i].clean, b[i].clean) << "event " << i;
+  }
+}
+
+TEST(ShardedMembership, OwningStripeSilencesADeathAtTheExactInstant) {
+  const ChainFixture fx;
+  // Node 2 (odd stripe) dies at t = 0.010. Frames around the death:
+  //   * node 1 at 0.001: ends (0.005) before the death — node 2 hears it
+  //     across the boundary with exact timing;
+  //   * node 3 at 0.012 (node 2's own stripe): the owning replica went
+  //     down at the exact instant — silence, no window granularity;
+  //   * node 2 itself at 0.015: a dead transmitter reaches nobody;
+  //   * node 1 at 0.025 (next window): stripe 0 learned the death at the
+  //     0.02 barrier, so the frame is not even exported.
+  // The sharded event log must match the single-queue LinkState run
+  // event for event.
+  const std::vector<std::pair<net::NodeId, double>> txs{
+      {1, 0.001}, {3, 0.012}, {2, 0.015}, {1, 0.025}};
+  const std::vector<MembershipFlip> flips{{0.010, 2, false}};
+  const auto single = run_single_membership(fx, txs, flips, 0.1, 0.004);
+  const auto sharded =
+      run_sharded_membership(fx, txs, flips, 0.1, 0.004, 0.02);
+  // Survivors: hearers 0 and 2 of the 0.001 frame, hearer 0 of the 0.025
+  // frame. Everything sent to or from the dead node is silence.
+  ASSERT_EQ(single.size(), 3u);
+  EXPECT_NE(find(single, 2, 1), nullptr);
+  expect_same_events(single, sharded);
+}
+
+TEST(ShardedMembership, RemoteStripeSeesARecoveryAtMostOneWindowLate) {
+  const ChainFixture fx;
+  const double window = 0.02;
+  // Node 2 dies at 0.001 and recovers at 0.030 (window [0.02, 0.04)).
+  // Node 1 (stripe 0) transmits at 0.032: the single-queue run delivers —
+  // node 2 is already back — but stripe 0's replica only learns the
+  // recovery at the 0.04 barrier, so the sharded run misses this one
+  // frame. One window later (0.045) both engines deliver with exact
+  // timing: remote staleness is bounded by one window, never unbounded.
+  const std::vector<MembershipFlip> flips{{0.001, 2, false},
+                                          {0.030, 2, true}};
+  const std::vector<std::pair<net::NodeId, double>> txs{{1, 0.032},
+                                                        {1, 0.045}};
+  const auto single = run_single_membership(fx, txs, flips, 0.1, 0.004);
+  const auto sharded =
+      run_sharded_membership(fx, txs, flips, 0.1, 0.004, window);
+  const auto rx_at_2 = [](const std::vector<RxEvent>& events) {
+    std::vector<double> starts;
+    for (const auto& e : events)
+      if (e.hearer == 2 && e.tx_node == 1) starts.push_back(e.t_start);
+    std::sort(starts.begin(), starts.end());
+    return starts;
+  };
+  const auto single_rx = rx_at_2(single);
+  ASSERT_EQ(single_rx.size(), 2u);
+  EXPECT_DOUBLE_EQ(single_rx[0], 0.032);
+  EXPECT_DOUBLE_EQ(single_rx[1], 0.045);
+  const auto sharded_rx = rx_at_2(sharded);
+  ASSERT_EQ(sharded_rx.size(), 1u);
+  EXPECT_DOUBLE_EQ(sharded_rx[0], 0.045);
+  // The missed frame left within one window of the recovery instant —
+  // the staleness bound the epoch protocol promises.
+  EXPECT_LT(0.032 - 0.030, window);
+}
+
 // ---- Whole-scenario contracts ----------------------------------------------
 
 app::ScenarioConfig sharded_config(int shards, int threads) {
@@ -338,6 +542,20 @@ void expect_same_metrics(const app::RunMetrics& a, const app::RunMetrics& b) {
   EXPECT_EQ(a.chan_rx_ends, b.chan_rx_ends);
   EXPECT_EQ(a.boundary_frames, b.boundary_frames);
   EXPECT_EQ(a.events_processed, b.events_processed);
+  EXPECT_EQ(a.fault_node_crashes, b.fault_node_crashes);
+  EXPECT_EQ(a.fault_node_recoveries, b.fault_node_recoveries);
+  EXPECT_EQ(a.fault_recoveries_refused, b.fault_recoveries_refused);
+  EXPECT_EQ(a.fault_link_downs, b.fault_link_downs);
+  EXPECT_EQ(a.fault_link_ups, b.fault_link_ups);
+  EXPECT_EQ(a.route_rebuilds, b.route_rebuilds);
+  EXPECT_EQ(a.battery_deaths, b.battery_deaths);
+  EXPECT_EQ(a.time_to_first_death, b.time_to_first_death);
+  EXPECT_EQ(a.time_to_sink_partition, b.time_to_sink_partition);
+  EXPECT_EQ(a.delivered_bits_until_first_death,
+            b.delivered_bits_until_first_death);
+  EXPECT_EQ(a.delivered_bits_until_partition,
+            b.delivered_bits_until_partition);
+  EXPECT_EQ(a.battery_max_drawn_fraction, b.battery_max_drawn_fraction);
   ASSERT_EQ(a.shard_events.size(), b.shard_events.size());
   for (std::size_t i = 0; i < a.shard_events.size(); ++i)
     EXPECT_EQ(a.shard_events[i], b.shard_events[i]) << "shard " << i;
@@ -387,10 +605,83 @@ TEST(ShardedScenario, SensorModelRunsSharded) {
   EXPECT_EQ(m.chan_rx_starts, m.chan_rx_ends + m.chan_rx_live_at_end);
 }
 
-TEST(ShardedScenario, FaultPlansAreRejected) {
+// ---- Fault/churn and batteries on the sharded engine -----------------------
+
+TEST(ShardedScenario, FaultChurnRunsShardedAndIsThreadCountInvariant) {
+  app::ScenarioConfig churn = sharded_config(4, 1);
+  churn.faults.node_crashes = 3;
+  churn.faults.link_flaps = 2;
+  const app::RunMetrics inline_run = app::run_scenario(churn);
+  churn.sim_threads = 2;
+  const app::RunMetrics threaded_run = app::run_scenario(churn);
+  expect_same_metrics(inline_run, threaded_run);
+  EXPECT_EQ(inline_run.fault_node_crashes, 3);
+  EXPECT_EQ(inline_run.fault_link_downs, 2);
+  EXPECT_GT(inline_run.delivered, 0);
+  EXPECT_GT(inline_run.route_rebuilds, 0);
+  EXPECT_EQ(inline_run.chan_rx_starts,
+            inline_run.chan_rx_ends + inline_run.chan_rx_live_at_end);
+}
+
+TEST(ShardedScenario, ChurnPlusBatteriesRunShardedWithDeathsAccounted) {
+  app::ScenarioConfig config = sharded_config(4, 1);
+  config.faults.node_crashes = 2;
+  config.faults.link_flaps = 2;
+  config.battery.enabled = true;
+  // A dual-radio node's battery holds sensor_j + wifi_j. 4 J at the
+  // busiest nodes' ~60 mW draw runs dry around 65 s of the 120 s run,
+  // so deaths are guaranteed.
+  config.battery.sensor_initial_j = 2.0;
+  config.battery.wifi_initial_j = 2.0;
+  const app::RunMetrics inline_run = app::run_scenario(config);
+  config.sim_threads = 2;
+  const app::RunMetrics threaded_run = app::run_scenario(config);
+  expect_same_metrics(inline_run, threaded_run);
+  EXPECT_GT(inline_run.battery_deaths, 0);
+  EXPECT_GT(inline_run.time_to_first_death, 0);
+  EXPECT_LE(inline_run.time_to_first_death, config.duration);
+  EXPECT_GE(inline_run.battery_max_drawn_fraction, 1.0);
+  EXPECT_EQ(inline_run.chan_rx_starts,
+            inline_run.chan_rx_ends + inline_run.chan_rx_live_at_end);
+}
+
+TEST(ShardedScenario, LifetimeRoutingRunsSharded) {
+  app::ScenarioConfig config = sharded_config(3, 1);
+  config.battery.enabled = true;  // lifetime routing requires a battery
+  config.route_policy = net::RoutePolicy::kLifetimeAware;
+  const app::RunMetrics inline_run = app::run_scenario(config);
+  config.sim_threads = 2;
+  const app::RunMetrics threaded_run = app::run_scenario(config);
+  expect_same_metrics(inline_run, threaded_run);
+  EXPECT_GT(inline_run.delivered, 0);
+  // The coordinator's reroute tick touches every replica on the
+  // reroute_period grid, so routing rebuilds keep happening mid-run.
+  EXPECT_GT(inline_run.route_rebuilds, 0);
+}
+
+// A battery death is a kNodeDown membership delta, so the engines must
+// agree exactly when the depletion instant is traffic-independent: with a
+// battery that dies before the first burst ever transmits, every node
+// depletes by pure idle draw at capacity/idle_power in BOTH engines.
+TEST(ShardedScenario, IdleOnlyBatteryDeathMatchesSingleQueueExactly) {
   app::ScenarioConfig config = sharded_config(2, 1);
-  config.faults.node_crashes = 1;
-  EXPECT_THROW(app::run_scenario(config), std::invalid_argument);
+  config.duration = 30.0;
+  config.battery.enabled = true;
+  // Dual-radio capacity = sensor_j + wifi_j = 0.15 J: 5 s of Mica's
+  // 30 mW idle listen, gone long before the first ~13 s burst transmits.
+  config.battery.sensor_initial_j = 0.1;
+  config.battery.wifi_initial_j = 0.05;
+  const app::RunMetrics sharded = app::run_scenario(config);
+  config.shards = 1;  // dispatches to the historical single-queue engine
+  const app::RunMetrics single = app::run_scenario(config);
+  EXPECT_GT(sharded.battery_deaths, 0);
+  EXPECT_EQ(sharded.battery_deaths, single.battery_deaths);
+  EXPECT_EQ(sharded.time_to_first_death, single.time_to_first_death);
+  EXPECT_EQ(sharded.time_to_sink_partition, single.time_to_sink_partition);
+  EXPECT_EQ(sharded.delivered_bits_until_first_death,
+            single.delivered_bits_until_first_death);
+  EXPECT_EQ(sharded.delivered_bits_until_partition,
+            single.delivered_bits_until_partition);
 }
 
 TEST(ShardedScenario, TdmaIsRejected) {
@@ -398,33 +689,6 @@ TEST(ShardedScenario, TdmaIsRejected) {
       app::EvalModel::kSensor, 6, 100);
   config.shards = 2;
   config.sensor_mac.family = mac::MacFamily::kTdma;
-  EXPECT_THROW(app::run_scenario(config), std::invalid_argument);
-}
-
-// Finite batteries imply node death, which mutates LinkState membership
-// mid-run — single-threaded machinery the sharded engine does not have.
-// The rejection must be loud and name the limitation, not a silent
-// infinite-energy run. The message text is pinned because bench scripts
-// grep for it.
-TEST(ShardedScenario, FiniteBatteriesAreRejectedWithAClearError) {
-  app::ScenarioConfig config = sharded_config(2, 1);
-  config.battery.enabled = true;
-  try {
-    app::run_scenario(config);
-    FAIL() << "sharded run with a finite battery should have thrown";
-  } catch (const std::invalid_argument& e) {
-    EXPECT_NE(std::string(e.what()).find(
-                  "finite batteries are not supported on the sharded "
-                  "engine"),
-              std::string::npos)
-        << "actual message: " << e.what();
-  }
-}
-
-TEST(ShardedScenario, LifetimeRoutingIsRejected) {
-  app::ScenarioConfig config = sharded_config(2, 1);
-  config.battery.enabled = true;  // lifetime routing requires a battery
-  config.route_policy = net::RoutePolicy::kLifetimeAware;
   EXPECT_THROW(app::run_scenario(config), std::invalid_argument);
 }
 
