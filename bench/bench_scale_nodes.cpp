@@ -16,14 +16,11 @@
 #include <string>
 #include <vector>
 
-#if defined(__unix__) || defined(__APPLE__)
-#include <sys/resource.h>
-#endif
-
 #include "common.hpp"
 #include "net/routing.hpp"
 #include "net/topology.hpp"
 #include "util/options.hpp"
+#include "util/sysinfo.hpp"
 
 namespace {
 
@@ -35,21 +32,6 @@ double ms_since(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double, std::milli>(
              std::chrono::steady_clock::now() - start)
       .count();
-}
-
-/// Peak RSS of this process in MiB (0 where getrusage is unavailable).
-double peak_rss_mib() {
-#if defined(__unix__) || defined(__APPLE__)
-  struct rusage usage {};
-  if (getrusage(RUSAGE_SELF, &usage) == 0) {
-#if defined(__APPLE__)
-    return static_cast<double>(usage.ru_maxrss) / (1024.0 * 1024.0);
-#else
-    return static_cast<double>(usage.ru_maxrss) / 1024.0;
-#endif
-  }
-#endif
-  return 0.0;
 }
 
 /// The placement each (generator, node-count) cell runs on.
@@ -122,6 +104,10 @@ int main(int argc, char** argv) {
                   "fail (exit 2) if the headline cell dispatches fewer "
                   "events/sec (wall clock includes scenario construction); "
                   "0 disables")
+      .add_double("max-rss-mib", 0,
+                  "fail (exit 2) if peak RSS after the headline cell "
+                  "exceeds this many MiB — the O(n/shards + halo) "
+                  "partition-memory tripwire; 0 disables")
       .add_int("compare-shards", 0,
                "re-run the largest grid point single-queue vs this many "
                "shards (sim_threads auto) and report the wall-clock "
@@ -320,6 +306,7 @@ int main(int argc, char** argv) {
   // ---- Headline cell: one sharded simulation at 100k+ nodes --------------
   const int headline_nodes = static_cast<int>(opt.get_int("headline-nodes"));
   double headline_events_per_sec = 0;
+  double headline_rss_mib = 0;
   if (headline_nodes > 0) {
     const int headline_shards =
         static_cast<int>(opt.get_int("headline-shards"));
@@ -343,7 +330,8 @@ int main(int argc, char** argv) {
     if (wall_ms > 0)
       headline_events_per_sec =
           static_cast<double>(m.events_processed) / (wall_ms / 1e3);
-    const double rss = peak_rss_mib();
+    const double rss = util::peak_rss_mib();
+    headline_rss_mib = rss;
     std::printf(
         "[headline] %d nodes, %d shards, %.1f s simulated: %.0f ms wall, "
         "%llu events (%.0f events/sec), %lld boundary frames, %d delivered, "
@@ -396,6 +384,18 @@ int main(int argc, char** argv) {
                  "mailbox exchange, or the per-shard hot path) or scenario "
                  "construction at scale regressed\n",
                  headline_events_per_sec, headline_floor, headline_nodes);
+    return 2;
+  }
+  const double rss_budget = opt.get_double("max-rss-mib");
+  if (rss_budget > 0 && headline_nodes > 0 &&
+      headline_rss_mib > rss_budget) {
+    std::fprintf(stderr,
+                 "RSS BUDGET EXCEEDED: %.0f MiB > %.0f MiB after the "
+                 "%d-node headline cell — a per-partition structure is "
+                 "sized by the global population again (stripe-local "
+                 "node state, halo growth, or a drain buffer retaining "
+                 "its high-water capacity)\n",
+                 headline_rss_mib, rss_budget, headline_nodes);
     return 2;
   }
   if (!determinism_ok) {

@@ -1,5 +1,6 @@
 #include "common.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <utility>
 
@@ -136,6 +137,14 @@ void set_scenario_meta(stats::ResultSink& sink,
   // default, so every historical export stays byte-identical.
   if (config.shards > 1) {
     sink.set_meta("shards", static_cast<double>(config.shards));
+    // The engine refuses a run with more stripes than nodes; benches that
+    // sweep node counts clamp per cell instead. Record the stripe count
+    // that actually partitioned the plane whenever it differs from the
+    // requested one, so the export is honest about what ran.
+    const int effective =
+        std::min(config.shards, config.topology.node_count());
+    if (effective != config.shards)
+      sink.set_meta("effective_shards", static_cast<double>(effective));
     sink.set_meta("sim_threads", static_cast<double>(config.sim_threads));
     sink.set_meta("shard_window_s", config.shard_window);
   }

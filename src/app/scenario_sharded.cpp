@@ -61,8 +61,10 @@ struct PendingDelta {
   bool battery_death = false;
 };
 
-/// Everything one shard owns. Vectors are indexed by node id with null
-/// holes at non-owned nodes, so sender emit hooks stay O(1) lookups.
+/// Everything one shard owns. Node-indexed vectors are stripe-local:
+/// length owned_count(s), indexed by ShardMap::local_of — O(n/shards)
+/// per partition, and emit hooks stay O(1) lookups. Only the battery
+/// vector keeps null holes (radio classes without a budget).
 struct ShardState {
   RunMetrics m;
   double delay_sum = 0;
@@ -204,6 +206,12 @@ RunMetrics run_scenario_sharded(const ScenarioConfig& config) {
   BCP_REQUIRE_MSG(config.n_senders >= 1 &&
                       config.n_senders <= config.topology.node_count() - 1,
                   "sender count must be in [1, nodes-1]");
+  // ShardMap::stripes would clamp a too-large shard count silently; a
+  // scenario asking for more stripes than nodes is a configuration error
+  // and fails loudly instead (benches that sweep node counts clamp
+  // per cell and record the effective count in their meta).
+  BCP_REQUIRE_MSG(config.shards <= config.topology.node_count(),
+                  "shard count must not exceed the node count");
   config.sensor_mac.validate();
   config.wifi_mac.validate();
   BCP_REQUIRE_MSG(!config.sensor_mac.is_tdma() && !config.wifi_mac.is_tdma(),
@@ -313,13 +321,24 @@ RunMetrics run_scenario_sharded(const ScenarioConfig& config) {
 
   // Coordinator-owned replicas receive the global delta sequence exactly
   // once, in (time, shard, node) order — the membership ground truth the
-  // sink-partition checks run against.
+  // sink-partition checks run against. They stay dense (two O(n) byte
+  // arrays total); the per-shard replicas are stripe-local instead: dense
+  // over the owned stripe plus the halo of boundary neighbors the shard's
+  // channels can name in a link_up query (union over both radio graphs),
+  // sparse for everything else a broadcast delta mentions.
   std::optional<net::LinkState> low_coord;
   std::optional<net::LinkState> high_coord;
   if (has_links) {
-    for (auto& st : states) {
-      if (needs_low) st.low_links.emplace(n);
-      if (needs_high) st.high_links.emplace(n);
+    std::vector<const net::ConnectivityGraph*> radio_graphs;
+    if (needs_low) radio_graphs.push_back(low_graph.get());
+    if (needs_high) radio_graphs.push_back(high_graph.get());
+    const auto halos = map.halos(radio_graphs);
+    for (int s = 0; s < shard_count; ++s) {
+      ShardState& st = states[static_cast<std::size_t>(s)];
+      // One shared domain per stripe across both radio-class replicas.
+      const auto domain = map.domain(s, halos[static_cast<std::size_t>(s)]);
+      if (needs_low) st.low_links.emplace(domain);
+      if (needs_high) st.high_links.emplace(domain);
     }
     if (needs_low) low_coord.emplace(n);
     if (needs_high) high_coord.emplace(n);
@@ -406,13 +425,16 @@ RunMetrics run_scenario_sharded(const ScenarioConfig& config) {
         // draw and touching every replica is race-free, and the refresh
         // schedule is a pure function of (config, shard count).
         while (next_reroute <= barrier_time) {
-          for (const auto& st : states)
-            for (net::NodeId id = 0; id < n; ++id) {
-              const auto& b = st.batteries[static_cast<std::size_t>(id)];
+          for (int s = 0; s < shard_count; ++s) {
+            const ShardState& st = states[static_cast<std::size_t>(s)];
+            const auto& ids = map.owned_nodes(s);
+            for (std::size_t l = 0; l < ids.size(); ++l) {
+              const auto& b = st.batteries[l];
               if (b != nullptr)
-                battery_fraction[static_cast<std::size_t>(id)] =
+                battery_fraction[static_cast<std::size_t>(ids[l])] =
                     b->drawn() / b->capacity();
             }
+          }
           for (auto& st : states) {
             if (st.low_links) st.low_links->touch();
             if (st.high_links) st.high_links->touch();
@@ -437,6 +459,11 @@ RunMetrics run_scenario_sharded(const ScenarioConfig& config) {
     const auto owned = [&](net::NodeId id) {
       return map.shard_of[static_cast<std::size_t>(id)] == s;
     };
+    // Stripe-local indexing: this shard's node-indexed vectors are sized
+    // by its own population and indexed through the shared local-id map.
+    const std::vector<net::NodeId>& owned_ids = map.owned_nodes(s);
+    const std::size_t owned_n = owned_ids.size();
+    const std::int32_t* lid_of = map.local_of.data();
     if (has_links) {
       net::NodeCostFn cost;
       if (lifetime_routing)
@@ -463,14 +490,12 @@ RunMetrics run_scenario_sharded(const ScenarioConfig& config) {
                                config.sensor_mac.family,
                                {},
                                nullptr};
-        st.fwd.resize(static_cast<std::size_t>(n));
-        for (net::NodeId id = 0; id < n; ++id) {
-          if (!owned(id)) continue;
-          st.fwd[static_cast<std::size_t>(id)] =
-              std::make_unique<ForwardingNode>(
-                  ssim, low_medium->shard(s), *low_r, id, sink,
-                  config.sensor_radio, phy::OverhearMode::kHeaderOnly,
-                  choice, config.seed, &st.delivery);
+        st.fwd.resize(owned_n);
+        for (std::size_t l = 0; l < owned_n; ++l) {
+          st.fwd[l] = std::make_unique<ForwardingNode>(
+              ssim, low_medium->shard(s), *low_r, owned_ids[l], sink,
+              config.sensor_radio, phy::OverhearMode::kHeaderOnly, choice,
+              config.seed, &st.delivery);
         }
         break;
       }
@@ -479,14 +504,12 @@ RunMetrics run_scenario_sharded(const ScenarioConfig& config) {
                                config.wifi_mac.family,
                                {},
                                nullptr};
-        st.fwd.resize(static_cast<std::size_t>(n));
-        for (net::NodeId id = 0; id < n; ++id) {
-          if (!owned(id)) continue;
-          st.fwd[static_cast<std::size_t>(id)] =
-              std::make_unique<ForwardingNode>(
-                  ssim, high_medium->shard(s), *high_r, id, sink,
-                  config.wifi_radio, phy::OverhearMode::kFull, choice,
-                  config.seed, &st.delivery);
+        st.fwd.resize(owned_n);
+        for (std::size_t l = 0; l < owned_n; ++l) {
+          st.fwd[l] = std::make_unique<ForwardingNode>(
+              ssim, high_medium->shard(s), *high_r, owned_ids[l], sink,
+              config.wifi_radio, phy::OverhearMode::kFull, choice,
+              config.seed, &st.delivery);
         }
         break;
       }
@@ -494,13 +517,11 @@ RunMetrics run_scenario_sharded(const ScenarioConfig& config) {
         DutyCycledWifiNode::Schedule schedule;
         schedule.period = config.duty_period;
         schedule.duty = config.duty_cycle;
-        st.duty.resize(static_cast<std::size_t>(n));
-        for (net::NodeId id = 0; id < n; ++id) {
-          if (!owned(id)) continue;
-          st.duty[static_cast<std::size_t>(id)] =
-              std::make_unique<DutyCycledWifiNode>(
-                  ssim, high_medium->shard(s), *high_r, id, sink,
-                  config.wifi_radio, schedule, config.seed, &st.delivery);
+        st.duty.resize(owned_n);
+        for (std::size_t l = 0; l < owned_n; ++l) {
+          st.duty[l] = std::make_unique<DutyCycledWifiNode>(
+              ssim, high_medium->shard(s), *high_r, owned_ids[l], sink,
+              config.wifi_radio, schedule, config.seed, &st.delivery);
         }
         break;
       }
@@ -513,17 +534,15 @@ RunMetrics run_scenario_sharded(const ScenarioConfig& config) {
                                     mac::MacFamily::kAuto,
                                     {},
                                     nullptr};
-        st.dual.resize(static_cast<std::size_t>(n));
-        for (net::NodeId id = 0; id < n; ++id) {
-          if (!owned(id)) continue;
-          st.dual[static_cast<std::size_t>(id)] =
-              std::make_unique<DualRadioNode>(
-                  ssim, low_medium->shard(s), high_medium->shard(s),
-                  *low_r, *high_r, id, config.sensor_radio,
-                  config.wifi_radio, bcp,
-                  config.wifi_promiscuous ? phy::OverhearMode::kFull
-                                          : phy::OverhearMode::kNone,
-                  config.seed, &st.delivery, low_choice, high_choice);
+        st.dual.resize(owned_n);
+        for (std::size_t l = 0; l < owned_n; ++l) {
+          st.dual[l] = std::make_unique<DualRadioNode>(
+              ssim, low_medium->shard(s), high_medium->shard(s), *low_r,
+              *high_r, owned_ids[l], config.sensor_radio,
+              config.wifi_radio, bcp,
+              config.wifi_promiscuous ? phy::OverhearMode::kFull
+                                      : phy::OverhearMode::kNone,
+              config.seed, &st.delivery, low_choice, high_choice);
         }
         break;
       }
@@ -533,17 +552,15 @@ RunMetrics run_scenario_sharded(const ScenarioConfig& config) {
     // death teardown as the single-queue engine, with the depletion
     // event firing in the owning shard at its exact analytic instant.
     if (has_battery) {
-      st.batteries.resize(static_cast<std::size_t>(n));
-      st.on_battery_death = [&st, s, sim = &ssim](net::NodeId node) {
-        crash_node(
-            st.fwd.empty() ? nullptr
-                           : st.fwd[static_cast<std::size_t>(node)].get(),
-            st.dual.empty() ? nullptr
-                            : st.dual[static_cast<std::size_t>(node)].get(),
-            st.duty.empty() ? nullptr
-                            : st.duty[static_cast<std::size_t>(node)].get(),
-            node, st.low_links ? &*st.low_links : nullptr,
-            st.high_links ? &*st.high_links : nullptr);
+      st.batteries.resize(owned_n);
+      st.on_battery_death = [&st, s, lid_of, sim = &ssim](net::NodeId node) {
+        const auto l = static_cast<std::size_t>(
+            lid_of[static_cast<std::size_t>(node)]);
+        crash_node(st.fwd.empty() ? nullptr : st.fwd[l].get(),
+                   st.dual.empty() ? nullptr : st.dual[l].get(),
+                   st.duty.empty() ? nullptr : st.duty[l].get(), node,
+                   st.low_links ? &*st.low_links : nullptr,
+                   st.high_links ? &*st.high_links : nullptr);
         ++st.m.battery_deaths;
         if (st.m.battery_deaths == 1)
           st.m.time_to_first_death = sim->now();
@@ -552,8 +569,8 @@ RunMetrics run_scenario_sharded(const ScenarioConfig& config) {
                                   net::MembershipDelta::Kind::kNodeDown},
              /*battery_death=*/true});
       };
-      for (net::NodeId id = 0; id < n; ++id) {
-        if (!owned(id)) continue;
+      for (std::size_t l = 0; l < owned_n; ++l) {
+        const net::NodeId id = owned_ids[l];
         util::Joules capacity = 0;
         if (config.model == EvalModel::kSensor ||
             config.model == EvalModel::kDualRadio)
@@ -570,15 +587,15 @@ RunMetrics run_scenario_sharded(const ScenarioConfig& config) {
           radio.set_energy_observer([b] { b->rearm(); });
         };
         if (!st.fwd.empty())
-          watch(st.fwd[static_cast<std::size_t>(id)]->radio());
+          watch(st.fwd[l]->radio());
         else if (!st.duty.empty())
-          watch(st.duty[static_cast<std::size_t>(id)]->radio());
+          watch(st.duty[l]->radio());
         else {
-          watch(st.dual[static_cast<std::size_t>(id)]->sensor_radio());
-          watch(st.dual[static_cast<std::size_t>(id)]->wifi_radio());
+          watch(st.dual[l]->sensor_radio());
+          watch(st.dual[l]->wifi_radio());
         }
         battery->rearm();  // arm against the boot power state
-        st.batteries[static_cast<std::size_t>(id)] = std::move(battery);
+        st.batteries[l] = std::move(battery);
       }
     }
 
@@ -588,12 +605,16 @@ RunMetrics run_scenario_sharded(const ScenarioConfig& config) {
     // replica at the exact time, but only the node-owner counts the
     // event and broadcasts it.
     if (has_faults) {
-      st.apply_fault = [&st, &map, s, sim = &ssim](
+      st.apply_fault = [&st, &map, lid_of, s, sim = &ssim](
                            const sim::FaultEvent& ev) {
         const auto node = static_cast<net::NodeId>(ev.node);
         const auto peer = static_cast<net::NodeId>(ev.peer);
         const bool owns_node =
             map.shard_of[static_cast<std::size_t>(ev.node)] == s;
+        // Node crash/recover events are scheduled on the owner only, so
+        // the stripe-local index is valid wherever it is used below.
+        const auto l =
+            static_cast<std::size_t>(lid_of[static_cast<std::size_t>(node)]);
         const auto queue = [&](net::MembershipDelta::Kind kind) {
           st.deltas.push_back(
               {net::MembershipDelta{sim->now(), s, node,
@@ -603,16 +624,11 @@ RunMetrics run_scenario_sharded(const ScenarioConfig& config) {
         };
         switch (ev.kind) {
           case sim::FaultKind::kNodeCrash:
-            crash_node(
-                st.fwd.empty()
-                    ? nullptr
-                    : st.fwd[static_cast<std::size_t>(node)].get(),
-                st.dual.empty()
-                    ? nullptr
-                    : st.dual[static_cast<std::size_t>(node)].get(),
-                nullptr,  // duty nodes reject fault plans
-                node, st.low_links ? &*st.low_links : nullptr,
-                st.high_links ? &*st.high_links : nullptr);
+            crash_node(st.fwd.empty() ? nullptr : st.fwd[l].get(),
+                       st.dual.empty() ? nullptr : st.dual[l].get(),
+                       nullptr,  // duty nodes reject fault plans
+                       node, st.low_links ? &*st.low_links : nullptr,
+                       st.high_links ? &*st.high_links : nullptr);
             ++st.m.fault_node_crashes;
             queue(net::MembershipDelta::Kind::kNodeDown);
             break;
@@ -620,9 +636,7 @@ RunMetrics run_scenario_sharded(const ScenarioConfig& config) {
             // Battery death is final: a recovery scheduled for a node
             // that has since depleted is refused (and counted).
             const energy::Battery* battery =
-                st.batteries.empty()
-                    ? nullptr
-                    : st.batteries[static_cast<std::size_t>(node)].get();
+                st.batteries.empty() ? nullptr : st.batteries[l].get();
             if (battery != nullptr && battery->depleted()) {
               ++st.m.fault_recoveries_refused;
               break;
@@ -630,9 +644,9 @@ RunMetrics run_scenario_sharded(const ScenarioConfig& config) {
             if (st.low_links) st.low_links->set_node_up(node, true);
             if (st.high_links) st.high_links->set_node_up(node, true);
             if (!st.fwd.empty())
-              st.fwd[static_cast<std::size_t>(node)]->recover();
+              st.fwd[l]->recover();
             else
-              st.dual[static_cast<std::size_t>(node)]->recover();
+              st.dual[l]->recover();
             ++st.m.fault_node_recoveries;
             queue(net::MembershipDelta::Kind::kNodeUp);
             break;
@@ -672,13 +686,15 @@ RunMetrics run_scenario_sharded(const ScenarioConfig& config) {
 
     for (const net::NodeId sender : senders) {
       if (!owned(sender)) continue;
-      auto emit = [&st, &config, sender](net::DataPacket p) {
+      const auto l = static_cast<std::size_t>(
+          lid_of[static_cast<std::size_t>(sender)]);
+      auto emit = [&st, &config, l](net::DataPacket p) {
         if (config.model == EvalModel::kDualRadio)
-          st.dual[static_cast<std::size_t>(sender)]->send(p);
+          st.dual[l]->send(p);
         else if (config.model == EvalModel::kWifiDutyCycled)
-          st.duty[static_cast<std::size_t>(sender)]->send(p);
+          st.duty[l]->send(p);
         else
-          st.fwd[static_cast<std::size_t>(sender)]->send(p);
+          st.fwd[l]->send(p);
       };
       st.workloads.push_back(std::make_unique<CbrWorkload>(
           ssim, sender, sink, config.packet_bits, config.rate_bps,
@@ -697,6 +713,13 @@ RunMetrics run_scenario_sharded(const ScenarioConfig& config) {
   double delay_sum = 0;
   for (int s = 0; s < shard_count; ++s) {
     ShardState& st = states[static_cast<std::size_t>(s)];
+    // Memory-model invariant: exactly one node family is populated, and
+    // every per-shard node-indexed vector is stripe-local, not global.
+    BCP_ENSURE(st.fwd.size() + st.dual.size() + st.duty.size() ==
+               static_cast<std::size_t>(map.owned_count(s)));
+    BCP_ENSURE(!has_battery ||
+               st.batteries.size() ==
+                   static_cast<std::size_t>(map.owned_count(s)));
     st.m.events_processed = engine.shard(s).processed_count();
     st.m.route_rebuilds =
         (st.low_dyn != nullptr ? st.low_dyn->rebuild_count() : 0) +

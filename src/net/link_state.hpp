@@ -16,9 +16,22 @@
 // A link is up iff both endpoints are up and the (unordered) pair has not
 // been taken down explicitly. Setting a state it already has is a no-op
 // and does not bump the revision.
+//
+// Memory model: the historical constructor keeps one dense byte per node —
+// right for the single-queue engine and for the coordinator replicas. A
+// sharded partition instead constructs its replica over a StripeDomain:
+// dense bytes only for the stripe it owns plus the halo of boundary
+// neighbors it must hear (the ids its channel partition ever asks about),
+// and a sparse down-set for every other node a broadcast membership delta
+// names. Queries and revision bumps are semantically identical to the
+// dense layout — same answers, same revisions, byte-identical downstream
+// metrics — while per-partition memory drops from O(n) to
+// O(n/shards + halo).
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -55,11 +68,50 @@ struct MembershipDelta {
   }
 };
 
+/// Stripe-local id domain of one partition: which global node ids get a
+/// dense slot in that partition's node-indexed state. Slots [0, owned)
+/// are the stripe's own nodes in ascending global-id order (the same
+/// contiguous local ids phy::ShardMap::local_of assigns); slots
+/// [owned, owned + halo) are the halo — remote nodes adjacent to an owned
+/// node in some radio graph, i.e. every id the partition's channels can
+/// name in a membership query. Built once per shard (phy::ShardMap::
+/// domain) and shared by that shard's replicas across radio classes.
+struct StripeDomain {
+  int node_count = 0;      ///< global population (bounds checks)
+  std::int32_t shard = 0;  ///< which stripe this domain describes
+  std::int32_t owned = 0;  ///< dense slots [0, owned)
+  /// Global per-node arrays (not owned; the ShardMap outlives the run).
+  const std::int32_t* shard_of = nullptr;
+  const std::int32_t* local_of = nullptr;
+  /// Halo ids → dense slots in [owned, owned + halo_slot.size()).
+  std::unordered_map<NodeId, std::int32_t> halo_slot;
+
+  std::int32_t dense_count() const {
+    return owned + static_cast<std::int32_t>(halo_slot.size());
+  }
+
+  /// Dense slot of a global id, or -1 when the id is outside owned + halo
+  /// (those fall through to a replica's sparse down-set).
+  std::int32_t dense_slot(NodeId global) const {
+    if (shard_of[static_cast<std::size_t>(global)] == shard)
+      return local_of[static_cast<std::size_t>(global)];
+    const auto it = halo_slot.find(global);
+    return it == halo_slot.end() ? -1 : it->second;
+  }
+};
+
 class LinkState {
  public:
+  /// Dense over every node — the single-queue engine's shared state and
+  /// the sharded coordinator's ground-truth replicas.
   explicit LinkState(int node_count);
 
-  int node_count() const { return static_cast<int>(node_up_.size()); }
+  /// Stripe-local replica: dense over `domain` (owned stripe + halo),
+  /// sparse beyond it. Answers and revision bumps are identical to the
+  /// dense layout for any query in [0, node_count).
+  explicit LinkState(std::shared_ptr<const StripeDomain> domain);
+
+  int node_count() const { return node_count_; }
 
   /// True while no node and no link is down — the fast path.
   bool all_up() const { return down_nodes_ == 0 && down_links_.empty(); }
@@ -92,10 +144,21 @@ class LinkState {
   int down_node_count() const { return down_nodes_; }
   std::size_t down_link_count() const { return down_links_.size(); }
 
+  /// Dense bytes actually allocated: node_count() for the historical
+  /// layout, owned + halo for a stripe-local replica (the white-box
+  /// memory-model assertion the sharded tests pin).
+  std::size_t dense_size() const { return node_up_.size(); }
+  bool stripe_local() const { return domain_ != nullptr; }
+
  private:
   static std::uint64_t key(NodeId a, NodeId b);
 
-  std::vector<std::uint8_t> node_up_;
+  int node_count_ = 0;
+  std::shared_ptr<const StripeDomain> domain_;  ///< null = dense layout
+  std::vector<std::uint8_t> node_up_;  ///< dense part (all, or owned+halo)
+  /// Stripe-local only: down nodes outside the dense domain. Bounded by
+  /// the number of distinct nodes membership deltas ever name, never by n.
+  std::unordered_set<NodeId> down_remote_;
   std::unordered_set<std::uint64_t> down_links_;
   std::uint64_t revision_ = 0;
   int down_nodes_ = 0;

@@ -42,6 +42,9 @@ Channel::Channel(sim::Simulator& sim,
   uniform_loss_ = model_->uniform();
   unit_loss_ = uniform_loss_ ? model_->loss_prob(0, 0, 0) : 0.0;
   unit_rx_mw_ = uniform_loss_ ? model_->rx_power_mw(0, 0, 0) : 0.0;
+  // Sized for the global population here; a channel that becomes one
+  // partition of a sharded medium re-sizes these down to its owned stripe
+  // in enable_sharding, before any traffic.
   const auto n = static_cast<std::size_t>(graph_->node_count());
   listeners_.resize(n, nullptr);
   arrivals_.resize(n);
@@ -52,29 +55,46 @@ Channel::Channel(sim::Simulator& sim,
   arrival_max_end_.resize(n, 0.0);
 }
 
-void Channel::enable_sharding(const std::int32_t* shard_of,
-                              std::int32_t my_shard,
-                              std::int32_t shard_count, BoundaryEmit emit) {
-  BCP_REQUIRE(shard_of != nullptr && emit != nullptr);
-  BCP_REQUIRE(my_shard >= 0 && my_shard < shard_count);
-  shard_of_ = shard_of;
-  my_shard_ = my_shard;
-  boundary_emit_ = std::move(emit);
-  remote_seen_.assign(static_cast<std::size_t>(shard_count), 0);
+void Channel::enable_sharding(ShardingSpec spec) {
+  BCP_REQUIRE(spec.shard_of != nullptr && spec.local_of != nullptr &&
+              spec.emit != nullptr);
+  BCP_REQUIRE(spec.my_shard >= 0 && spec.my_shard < spec.shard_count);
+  BCP_REQUIRE(spec.owned_count > 0 &&
+              spec.owned_count <= graph().node_count());
+  BCP_REQUIRE_MSG(stats_.frames == 0 && stats_.rx_starts == 0,
+                  "enable_sharding must precede any traffic");
+  shard_of_ = spec.shard_of;
+  local_of_ = spec.local_of;
+  my_shard_ = spec.my_shard;
+  boundary_emit_ = std::move(spec.emit);
+  // Stripe-local sizing: the constructor sized these for the global
+  // population; swap them down to the owned stripe (swap, not resize —
+  // resize would keep the O(n) capacity this refactor exists to shed).
+  // From here on every access translates through li().
+  const auto m = static_cast<std::size_t>(spec.owned_count);
+  std::vector<ChannelListener*>(m, nullptr).swap(listeners_);
+  std::vector<std::vector<Arrival>>(m).swap(arrivals_);
+  std::vector<double>(m, 0.0).swap(arrival_power_mw_);
+  std::vector<std::uint64_t>(m, 0).swap(transmitting_);
+  std::vector<util::Seconds>(m, 0.0).swap(own_tx_end_);
+  std::vector<util::Seconds>(m, 0.0).swap(own_tx_start_);
+  std::vector<util::Seconds>(m, 0.0).swap(arrival_max_end_);
+  remote_seen_.assign(static_cast<std::size_t>(spec.shard_count), 0);
   remote_dsts_.clear();
-  remote_dsts_.reserve(static_cast<std::size_t>(shard_count));
+  remote_dsts_.reserve(static_cast<std::size_t>(spec.shard_count));
 }
 
 void Channel::attach(net::NodeId node, ChannelListener* listener) {
   BCP_REQUIRE(node >= 0 && node < graph().node_count());
+  BCP_REQUIRE_MSG(owned(node), "listener node not owned by this shard");
   BCP_REQUIRE(listener != nullptr);
-  BCP_REQUIRE_MSG(listeners_[static_cast<std::size_t>(node)] == nullptr,
+  BCP_REQUIRE_MSG(listeners_[li(node)] == nullptr,
                   "listener already attached");
-  listeners_[static_cast<std::size_t>(node)] = listener;
+  listeners_[li(node)] = listener;
 }
 
 std::vector<Channel::Arrival>& Channel::arrivals(net::NodeId node) {
-  return arrivals_[static_cast<std::size_t>(node)];
+  return arrivals_[li(node)];
 }
 
 std::uint32_t Channel::acquire_tx_slot() {
@@ -93,9 +113,9 @@ std::uint32_t Channel::acquire_tx_slot() {
 void Channel::start_tx(net::NodeId src, const Frame& frame,
                        util::Seconds duration) {
   BCP_REQUIRE(src >= 0 && src < graph().node_count());
+  BCP_REQUIRE_MSG(owned(src), "transmitter not owned by this shard");
   BCP_REQUIRE(duration > 0);
-  BCP_REQUIRE_MSG(transmitting_[static_cast<std::size_t>(src)] == 0,
-                  "node already transmitting");
+  BCP_REQUIRE_MSG(transmitting_[li(src)] == 0, "node already transmitting");
   BCP_REQUIRE(frame.rx_node != src);
 
   const std::uint32_t slot = acquire_tx_slot();
@@ -105,9 +125,9 @@ void Channel::start_tx(net::NodeId src, const Frame& frame,
       (static_cast<std::uint64_t>(tx_slots_[slot].gen) << 32) | slot;
   // Copying the frame shares its pooled message payload — no deep copy.
   tx_slots_[slot].tx = Transmission{src, frame, end, now, false};
-  transmitting_[static_cast<std::size_t>(src)] = tx_id;
-  own_tx_end_[static_cast<std::size_t>(src)] = end;
-  own_tx_start_[static_cast<std::size_t>(src)] = now;
+  transmitting_[li(src)] = tx_id;
+  own_tx_end_[li(src)] = end;
+  own_tx_start_[li(src)] = now;
   ++stats_.frames;
 
   // Half-duplex: whatever the transmitter was hearing is lost to it.
@@ -137,8 +157,7 @@ void Channel::start_tx(net::NodeId src, const Frame& frame,
     double interference_mw = 0.0;
     if (!capture_) {
       // Overlap at r corrupts both the new frame and everything in flight.
-      const bool overlap = !at_r.empty() ||
-                           transmitting_[static_cast<std::size_t>(r)] != 0;
+      const bool overlap = !at_r.empty() || transmitting_[li(r)] != 0;
       for (auto& a : at_r) a.clean = false;
       clean = !overlap && !rng_.chance(loss);
     } else {
@@ -151,20 +170,19 @@ void Channel::start_tx(net::NodeId src, const Frame& frame,
       // different, denser RNG consumption than the golden-pinned default
       // path.)
       rx_mw = uniform_loss_ ? unit_rx_mw_ : model_->rx_power_mw(src, i, r);
-      double& power_sum = arrival_power_mw_[static_cast<std::size_t>(r)];
+      double& power_sum = arrival_power_mw_[li(r)];
       for (auto& a : at_r)
         a.peak_interference_mw = std::max(
             a.peak_interference_mw, power_sum - a.rx_power_mw + rx_mw);
       interference_mw = power_sum;
       power_sum += rx_mw;
-      clean = transmitting_[static_cast<std::size_t>(r)] == 0 &&
-              !rng_.chance(loss);
+      clean = transmitting_[li(r)] == 0 && !rng_.chance(loss);
     }
     at_r.push_back(Arrival{tx_id, clean, end, rx_mw, interference_mw, now});
-    auto& max_end = arrival_max_end_[static_cast<std::size_t>(r)];
+    auto& max_end = arrival_max_end_[li(r)];
     max_end = std::max(max_end, end);
     ++stats_.rx_starts;
-    if (auto* l = listeners_[static_cast<std::size_t>(r)]; l != nullptr)
+    if (auto* l = listeners_[li(r)]; l != nullptr)
       l->on_rx_start(tx_id, frame, duration);
   }
 
@@ -247,8 +265,7 @@ void Channel::begin_remote(std::uint64_t tx_id) {
     // Half-duplex over the true interval: the hearer's own transmission
     // collides only if it actually shared air time with [s, e).
     const bool tx_overlap =
-        transmitting_[static_cast<std::size_t>(r)] != 0 &&
-        own_tx_start_[static_cast<std::size_t>(r)] < e;
+        transmitting_[li(r)] != 0 && own_tx_start_[li(r)] < e;
     bool clean;
     double rx_mw = 0.0;
     double interference_mw = 0.0;
@@ -263,7 +280,7 @@ void Channel::begin_remote(std::uint64_t tx_id) {
       clean = !overlap && !rng_.chance(loss);
     } else {
       rx_mw = uniform_loss_ ? unit_rx_mw_ : model_->rx_power_mw(src, i, r);
-      double& power_sum = arrival_power_mw_[static_cast<std::size_t>(r)];
+      double& power_sum = arrival_power_mw_[li(r)];
       for (auto& a : at_r) {
         if (a.start < e && s < a.end) {
           a.peak_interference_mw = std::max(
@@ -275,10 +292,10 @@ void Channel::begin_remote(std::uint64_t tx_id) {
       clean = !tx_overlap && !rng_.chance(loss);
     }
     at_r.push_back(Arrival{tx_id, clean, e, rx_mw, interference_mw, s});
-    auto& max_end = arrival_max_end_[static_cast<std::size_t>(r)];
+    auto& max_end = arrival_max_end_[li(r)];
     max_end = std::max(max_end, e);
     ++stats_.rx_starts;
-    if (auto* l = listeners_[static_cast<std::size_t>(r)]; l != nullptr)
+    if (auto* l = listeners_[li(r)]; l != nullptr)
       l->on_rx_start(tx_id, frame, remaining);
   }
 
@@ -304,8 +321,8 @@ void Channel::finish_tx(std::uint64_t tx_id) {
   // completion before finishing early, so whoever reaches here is still
   // the transmission's owner. Remote frames never owned the mask.
   if (!tx.remote) {
-    BCP_ENSURE(transmitting_[static_cast<std::size_t>(tx.src)] == tx_id);
-    transmitting_[static_cast<std::size_t>(tx.src)] = 0;
+    BCP_ENSURE(transmitting_[li(tx.src)] == tx_id);
+    transmitting_[li(tx.src)] = 0;
   }
 
   for (const net::NodeId r : graph().neighbors(tx.src)) {
@@ -337,7 +354,7 @@ void Channel::finish_tx(std::uint64_t tx_id) {
               (a.peak_interference_mw <= 0.0 ||
                a.rx_power_mw >=
                    min_sinr_ * (noise_mw_ + a.peak_interference_mw));
-      double& power_sum = arrival_power_mw_[static_cast<std::size_t>(r)];
+      double& power_sum = arrival_power_mw_[li(r)];
       power_sum -= a.rx_power_mw;
       if (at_r.size() == 1) power_sum = 0.0;  // busy period over: drop residue
     }
@@ -347,7 +364,7 @@ void Channel::finish_tx(std::uint64_t tx_id) {
       ++stats_.deliveries_clean;
     else
       ++stats_.deliveries_corrupt;
-    if (auto* l = listeners_[static_cast<std::size_t>(r)]; l != nullptr)
+    if (auto* l = listeners_[li(r)]; l != nullptr)
       l->on_rx_end(tx_id, tx.frame, clean);
   }
 }
@@ -361,12 +378,16 @@ std::int64_t Channel::live_arrivals() const {
 
 void Channel::abort_tx_of(net::NodeId src) {
   BCP_REQUIRE(src >= 0 && src < graph().node_count());
-  const std::uint64_t tx_id = transmitting_[static_cast<std::size_t>(src)];
+  BCP_REQUIRE_MSG(owned(src), "abort of a node another shard owns");
+  const std::uint64_t tx_id = transmitting_[li(src)];
   if (tx_id == 0) return;
-  // Truncation corrupts the frame for every hearer…
-  for (const net::NodeId r : graph().neighbors(src))
+  // Truncation corrupts the frame for every hearer this shard feeds
+  // (remote hearers got their own copy of the frame in their shard)…
+  for (const net::NodeId r : graph().neighbors(src)) {
+    if (shard_of_ != nullptr && !owned(r)) continue;
     for (auto& a : arrivals(r))
       if (a.tx_id == tx_id) a.clean = false;
+  }
   // …and the carrier dies with the node: finish the transmission NOW so
   // its interference contribution and medium occupancy end at the abort
   // time, not at the originally scheduled rx_end. finish_tx delivers the
@@ -381,13 +402,15 @@ void Channel::abort_tx_of(net::NodeId src) {
 
 bool Channel::busy_at(net::NodeId node) const {
   BCP_REQUIRE(node >= 0 && node < graph().node_count());
-  const auto i = static_cast<std::size_t>(node);
+  BCP_REQUIRE_MSG(owned(node), "carrier sense at a node another shard owns");
+  const std::size_t i = li(node);
   return transmitting_[i] != 0 || !arrivals_[i].empty();
 }
 
 util::Seconds Channel::clear_at(net::NodeId node) const {
   BCP_REQUIRE(node >= 0 && node < graph().node_count());
-  const auto i = static_cast<std::size_t>(node);
+  BCP_REQUIRE_MSG(owned(node), "carrier sense at a node another shard owns");
+  const std::size_t i = li(node);
   util::Seconds t = sim_.now();
   if (transmitting_[i] != 0) t = std::max(t, own_tx_end_[i]);
   // Every arrival already removed ended at or before now, so the running

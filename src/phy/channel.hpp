@@ -140,6 +140,13 @@ class Channel {
   const net::ConnectivityGraph& graph() const { return *graph_; }
 
   int node_count() const { return graph().node_count(); }
+
+  /// Dense per-node slots actually allocated: node_count() for an
+  /// unsharded channel, the owned stripe's population after
+  /// enable_sharding — the white-box memory-model assertion the sharded
+  /// tests pin.
+  std::size_t node_slots() const { return listeners_.size(); }
+
   const Stats& stats() const { return stats_; }
 
   /// Arrivals currently on the air (rx_start delivered, rx_end pending)
@@ -185,15 +192,30 @@ class Channel {
   using BoundaryEmit =
       std::function<void(std::int32_t dst_shard, RemoteFrame&& rf)>;
 
-  /// Marks this channel as shard `my_shard` of a partitioned medium:
-  /// local deliveries are restricted to nodes with shard_of[id] ==
-  /// my_shard, and every transmission heard by other shards is handed to
-  /// `emit` (once per destination shard). `shard_of` is not owned and
-  /// must outlive the channel. Composes with set_link_state: attach the
-  /// shard's own LinkState replica and both the local hearer loop and
-  /// remote-frame replay consult it.
-  void enable_sharding(const std::int32_t* shard_of, std::int32_t my_shard,
-                       std::int32_t shard_count, BoundaryEmit emit);
+  /// How a partition maps the global id space onto its own state — see
+  /// enable_sharding. `shard_of`/`local_of` are shared per-node arrays
+  /// (phy::ShardMap's), not owned, and must outlive the channel.
+  struct ShardingSpec {
+    const std::int32_t* shard_of = nullptr;  ///< global id → owning shard
+    const std::int32_t* local_of = nullptr;  ///< global id → stripe-local id
+    std::int32_t my_shard = 0;
+    std::int32_t shard_count = 0;
+    std::int32_t owned_count = 0;  ///< population of my_shard's stripe
+    BoundaryEmit emit;
+  };
+
+  /// Marks this channel as one shard of a partitioned medium: local
+  /// deliveries are restricted to nodes with shard_of[id] == my_shard,
+  /// and every transmission heard by other shards is handed to `emit`
+  /// (once per destination shard). The per-node vectors are re-sized from
+  /// the global population down to `owned_count` — every access to them
+  /// translates global → stripe-local through `local_of`, so a partition's
+  /// node-indexed memory is O(n/shards), not O(n) (the shared read-only
+  /// graph stays global). Must be called before any attach or traffic.
+  /// Composes with set_link_state: attach the shard's own LinkState
+  /// replica and both the local hearer loop and remote-frame replay
+  /// consult it.
+  void enable_sharding(ShardingSpec spec);
 
   /// Re-enacts a frame exported by a neighboring shard. A frame whose
   /// start is still in this shard's future is replayed with its exact
@@ -272,6 +294,16 @@ class Channel {
   bool owned(net::NodeId node) const {
     return shard_of_ == nullptr || shard_of_[node] == my_shard_;
   }
+  /// Index of `node` into the per-node vectors: the global id unsharded,
+  /// its stripe-local id after enable_sharding. Only valid for owned ids —
+  /// a remote id's local_of entry indexes a *different* shard's stripe, so
+  /// every caller sits behind an owned() check.
+  std::size_t li(net::NodeId node) const {
+    return local_of_ == nullptr
+               ? static_cast<std::size_t>(node)
+               : static_cast<std::size_t>(
+                     local_of_[static_cast<std::size_t>(node)]);
+  }
   /// Begins a remote frame's reception in this shard: records arrivals at
   /// owned hearers over the true [start, end) interval and schedules (or,
   /// for already-ended frames, performs) the finish.
@@ -313,6 +345,7 @@ class Channel {
 
   // Sharded operation (null/empty when off).
   const std::int32_t* shard_of_ = nullptr;
+  const std::int32_t* local_of_ = nullptr;
   std::int32_t my_shard_ = 0;
   BoundaryEmit boundary_emit_;
   std::int64_t boundary_exports_ = 0;

@@ -17,33 +17,81 @@ ShardMap ShardMap::stripes(const std::vector<net::Position>& positions,
   ShardMap map;
   map.count = std::min<int>(shards, static_cast<int>(n));
   map.shard_of.assign(n, 0);
-  if (map.count == 1) return map;
-  std::vector<std::int32_t> order(n);
-  std::iota(order.begin(), order.end(), 0);
-  std::sort(order.begin(), order.end(), [&](std::int32_t a, std::int32_t b) {
-    const auto ai = static_cast<std::size_t>(a);
-    const auto bi = static_cast<std::size_t>(b);
-    if (positions[ai].x != positions[bi].x)
-      return positions[ai].x < positions[bi].x;
-    return a < b;
-  });
-  for (int s = 0; s < map.count; ++s) {
-    const auto lo = n * static_cast<std::size_t>(s) /
-                    static_cast<std::size_t>(map.count);
-    const auto hi = n * (static_cast<std::size_t>(s) + 1) /
-                    static_cast<std::size_t>(map.count);
-    for (std::size_t i = lo; i < hi; ++i)
-      map.shard_of[static_cast<std::size_t>(order[i])] =
-          static_cast<std::int32_t>(s);
+  if (map.count > 1) {
+    std::vector<std::int32_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](std::int32_t a, std::int32_t b) {
+      const auto ai = static_cast<std::size_t>(a);
+      const auto bi = static_cast<std::size_t>(b);
+      if (positions[ai].x != positions[bi].x)
+        return positions[ai].x < positions[bi].x;
+      return a < b;
+    });
+    for (int s = 0; s < map.count; ++s) {
+      const auto lo = n * static_cast<std::size_t>(s) /
+                      static_cast<std::size_t>(map.count);
+      const auto hi = n * (static_cast<std::size_t>(s) + 1) /
+                      static_cast<std::size_t>(map.count);
+      for (std::size_t i = lo; i < hi; ++i)
+        map.shard_of[static_cast<std::size_t>(order[i])] =
+            static_cast<std::int32_t>(s);
+    }
+  }
+  // Stripe-local ids: one ascending-global-id pass, so within a stripe
+  // local order matches global order and owned[s] is the exact inverse.
+  map.local_of.assign(n, 0);
+  map.owned.resize(static_cast<std::size_t>(map.count));
+  for (auto& ids : map.owned)
+    ids.reserve(n / static_cast<std::size_t>(map.count) + 1);
+  for (std::size_t id = 0; id < n; ++id) {
+    auto& ids = map.owned[static_cast<std::size_t>(map.shard_of[id])];
+    map.local_of[id] = static_cast<std::int32_t>(ids.size());
+    ids.push_back(static_cast<net::NodeId>(id));
   }
   return map;
 }
 
-int ShardMap::owned_count(int shard) const {
-  int total = 0;
-  for (const std::int32_t s : shard_of)
-    if (s == shard) ++total;
-  return total;
+std::vector<std::vector<net::NodeId>> ShardMap::halos(
+    const std::vector<const net::ConnectivityGraph*>& graphs) const {
+  const auto n = shard_of.size();
+  std::vector<std::vector<net::NodeId>> halo(
+      static_cast<std::size_t>(count));
+  for (const net::ConnectivityGraph* g : graphs) {
+    BCP_REQUIRE(g != nullptr &&
+                g->node_count() == static_cast<int>(n));
+    for (std::size_t o = 0; o < n; ++o) {
+      const std::int32_t s = shard_of[o];
+      for (const net::NodeId r : g->neighbors(static_cast<net::NodeId>(o)))
+        if (shard_of[static_cast<std::size_t>(r)] != s)
+          halo[static_cast<std::size_t>(s)].push_back(r);
+    }
+  }
+  for (auto& h : halo) {
+    std::sort(h.begin(), h.end());
+    h.erase(std::unique(h.begin(), h.end()), h.end());
+    h.shrink_to_fit();
+  }
+  return halo;
+}
+
+std::shared_ptr<const net::StripeDomain> ShardMap::domain(
+    int shard, const std::vector<net::NodeId>& halo) const {
+  BCP_REQUIRE(shard >= 0 && shard < count);
+  auto d = std::make_shared<net::StripeDomain>();
+  d->node_count = static_cast<int>(shard_of.size());
+  d->shard = static_cast<std::int32_t>(shard);
+  d->owned = static_cast<std::int32_t>(owned_count(shard));
+  d->shard_of = shard_of.data();
+  d->local_of = local_of.data();
+  d->halo_slot.reserve(halo.size());
+  std::int32_t slot = d->owned;
+  for (const net::NodeId g : halo) {
+    BCP_REQUIRE(g >= 0 && g < d->node_count);
+    BCP_REQUIRE_MSG(shard_of[static_cast<std::size_t>(g)] != shard,
+                    "halo id owned by the stripe itself");
+    d->halo_slot.emplace(g, slot++);
+  }
+  return d;
 }
 
 ShardedMedium::ShardedMedium(
@@ -62,18 +110,41 @@ ShardedMedium::ShardedMedium(
     auto channel = std::make_unique<Channel>(
         engine.shard(s), graph, params,
         util::substream(seed, static_cast<std::uint64_t>(s), 0x53484152u));
-    channel->enable_sharding(
-        map_.shard_of.data(), s, count_,
-        [this, s](std::int32_t dst, Channel::RemoteFrame&& rf) {
-          // Double-buffered by the parity of the window being executed;
-          // only shard s's pinned thread writes (src, dst) buffers.
-          const auto parity =
-              static_cast<std::size_t>(engine_.current_window() & 1);
-          mail(s, dst).buf[parity].push_back(std::move(rf));
-        });
+    Channel::ShardingSpec spec;
+    spec.shard_of = map_.shard_of.data();
+    spec.local_of = map_.local_of.data();
+    spec.my_shard = s;
+    spec.shard_count = count_;
+    spec.owned_count = map_.owned_count(s);
+    spec.emit = [this, s](std::int32_t dst, Channel::RemoteFrame&& rf) {
+      // Double-buffered by the parity of the window being executed;
+      // only shard s's pinned thread writes (src, dst) buffers.
+      const auto parity =
+          static_cast<std::size_t>(engine_.current_window() & 1);
+      mail(s, dst).buf[parity].push_back(std::move(rf));
+    };
+    channel->enable_sharding(std::move(spec));
     channels_[static_cast<std::size_t>(s)] = std::move(channel);
   }
 }
+
+namespace {
+
+// Releases a just-drained buffer's slack. Boundary traffic is bursty: one
+// loaded window used to pin its high-water capacity in every mailbox and
+// scratch vector for the rest of the run. Keeping at most 2x the size the
+// buffer actually serviced (with a small floor) frees the spike while a
+// steady load never reallocates.
+template <typename T>
+void shrink_slack(std::vector<T>& v, std::size_t used) {
+  constexpr std::size_t kKeepFloor = 16;
+  if (v.capacity() <= std::max(kKeepFloor, 2 * used)) return;
+  std::vector<T> fresh;
+  fresh.reserve(used);
+  v.swap(fresh);
+}
+
+}  // namespace
 
 void ShardedMedium::drain(int s, std::int64_t window) {
   auto& scratch = scratch_[static_cast<std::size_t>(s)];
@@ -93,10 +164,17 @@ void ShardedMedium::drain(int s, std::int64_t window) {
     const std::int64_t w =
         (src % 2 == 0 && s % 2 == 1) ? window : window - 1;
     auto& buf = mail(src, s).buf[static_cast<std::size_t>(w & 1)];
+    const std::size_t used = buf.size();
     for (auto& rf : buf) scratch.push_back(Tagged{std::move(rf), src});
     buf.clear();
+    // Reader-side shrink is safe: this buffer's writer does not touch it
+    // again until the next window's opposite phase.
+    shrink_slack(buf, used);
   }
-  if (scratch.empty()) return;
+  if (scratch.empty()) {
+    shrink_slack(scratch, 0);
+    return;
+  }
   // Canonical merge order: frames from one source shard are already in
   // emission (time) order; a stable sort by (start, source shard) makes
   // the injection sequence independent of mailbox iteration details.
@@ -107,8 +185,10 @@ void ShardedMedium::drain(int s, std::int64_t window) {
                      return a.src_shard < b.src_shard;
                    });
   Channel& channel = shard(s);
+  const std::size_t used = scratch.size();
   for (auto& t : scratch) channel.inject_remote(std::move(t.rf));
   scratch.clear();
+  shrink_slack(scratch, used);
 }
 
 void ShardedMedium::reset_shard(int s) {

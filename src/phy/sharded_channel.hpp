@@ -21,23 +21,54 @@
 #include <memory>
 #include <vector>
 
+#include "net/link_state.hpp"
 #include "net/topology.hpp"
 #include "phy/channel.hpp"
 #include "sim/sharded_simulator.hpp"
 
 namespace bcp::phy {
 
-/// Node → shard assignment as contiguous equal-count x-stripes.
+/// Node → shard assignment as contiguous equal-count x-stripes, plus the
+/// global↔local id mapping that lets each partition size its node-indexed
+/// state by its own population instead of the global one. Local ids are
+/// contiguous per stripe, assigned in ascending global-id order, so a
+/// partition's per-node vectors of length owned_count(s) are dense and
+/// the translation is one shared O(n) array (like shard_of itself), not
+/// per-shard state.
 struct ShardMap {
   int count = 1;
-  std::vector<std::int32_t> shard_of;  ///< per node id
+  std::vector<std::int32_t> shard_of;  ///< per node id: owning stripe
+  std::vector<std::int32_t> local_of;  ///< per node id: stripe-local id
+  /// Per stripe: owned global ids, ascending (the inverse of local_of —
+  /// owned[s][local_of[g]] == g for every g with shard_of[g] == s).
+  std::vector<std::vector<net::NodeId>> owned;
 
   /// Splits `positions` into min(shards, n) stripes of (near-)equal
   /// population, sorted by (x, id). Deterministic.
   static ShardMap stripes(const std::vector<net::Position>& positions,
                           int shards);
 
-  int owned_count(int shard) const;
+  int owned_count(int shard) const {
+    return static_cast<int>(owned[static_cast<std::size_t>(shard)].size());
+  }
+  const std::vector<net::NodeId>& owned_nodes(int shard) const {
+    return owned[static_cast<std::size_t>(shard)];
+  }
+
+  /// Per stripe: the halo — remote global ids adjacent to an owned node in
+  /// any of `graphs` (union over radio classes), sorted ascending. These
+  /// are exactly the ids a partition can name in a membership query whose
+  /// answer must be epoch-exact, so they get dense slots in the stripe's
+  /// LinkState replicas.
+  std::vector<std::vector<net::NodeId>> halos(
+      const std::vector<const net::ConnectivityGraph*>& graphs) const;
+
+  /// The stripe-local id domain net::LinkState builds its replica over:
+  /// dense slots [0, owned) via local_of, then one slot per halo id in the
+  /// given order. The domain aliases this map's arrays — the ShardMap must
+  /// outlive every replica built on it.
+  std::shared_ptr<const net::StripeDomain> domain(
+      int shard, const std::vector<net::NodeId>& halo) const;
 };
 
 class ShardedMedium {

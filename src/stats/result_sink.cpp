@@ -6,6 +6,7 @@
 
 #include "util/assert.hpp"
 #include "util/log.hpp"
+#include "util/sysinfo.hpp"
 
 namespace bcp::stats {
 
@@ -174,6 +175,8 @@ std::string ResultSink::to_json(const std::string& bench_name) const {
   if (!meta_.empty()) {
     out += ",\n  \"meta\": {";
     bool first = true;
+    bool sharded = false;
+    bool has_rss = false;
     for (const auto& e : meta_) {
       if (!first) out += ", ";
       first = false;
@@ -183,6 +186,19 @@ std::string ResultSink::to_json(const std::string& bench_name) const {
         append_quoted(out, e.value);
       else
         out += e.value;
+      sharded |= e.key == "shards" || e.key == "headline_shards" ||
+                 e.key == "compare_shards";
+      has_rss |= e.key == "peak_rss_mib";
+    }
+    // Sharded runs carry the process peak RSS in their meta automatically:
+    // the O(n/shards + halo) partition memory model is only auditable if
+    // every sharded BENCH_*.json records it. Sampled at export (after the
+    // runs); unsharded exports stay byte-identical to the historical
+    // format, so the figure/table goldens are untouched.
+    if (sharded && !has_rss) {
+      out += ", ";
+      append_quoted(out, "peak_rss_mib");
+      out += ": " + json_number(util::peak_rss_mib());
     }
     out += "}";
   }

@@ -1,0 +1,11 @@
+// Process resource introspection.
+#pragma once
+
+namespace bcp::util {
+
+/// Peak resident set size of this process in MiB, from getrusage
+/// (0.0 on platforms where it is unavailable). Monotone over the process
+/// lifetime — sample it after the work being measured.
+double peak_rss_mib();
+
+}  // namespace bcp::util

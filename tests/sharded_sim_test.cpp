@@ -684,6 +684,243 @@ TEST(ShardedScenario, IdleOnlyBatteryDeathMatchesSingleQueueExactly) {
             single.delivered_bits_until_partition);
 }
 
+// ---- Stripe-local node state (the id-mapping memory model) -----------------
+
+TEST(ShardMap, LocalIdsAreContiguousAscendingAndInvertOwned) {
+  // Positions deliberately scrambled relative to ids so stripes interleave.
+  std::vector<net::Position> positions;
+  for (int i = 0; i < 23; ++i)
+    positions.push_back({static_cast<double>((i * 7) % 23) * 5.0, 0.0});
+  const phy::ShardMap map = phy::ShardMap::stripes(positions, 5);
+  ASSERT_EQ(map.count, 5);
+  ASSERT_EQ(map.local_of.size(), 23u);
+  int total = 0;
+  for (int s = 0; s < map.count; ++s) {
+    const std::vector<net::NodeId>& ids = map.owned_nodes(s);
+    ASSERT_EQ(static_cast<int>(ids.size()), map.owned_count(s));
+    total += map.owned_count(s);
+    for (std::size_t l = 0; l < ids.size(); ++l) {
+      const auto g = static_cast<std::size_t>(ids[l]);
+      EXPECT_EQ(map.shard_of[g], s);
+      // owned[s][local_of[g]] == g: local ids are the dense inverse.
+      EXPECT_EQ(map.local_of[g], static_cast<std::int32_t>(l));
+      if (l > 0) {
+        EXPECT_LT(ids[l - 1], ids[l]);  // ascending global order
+      }
+    }
+  }
+  EXPECT_EQ(total, 23);  // every node owned by exactly one stripe
+}
+
+TEST(ShardMap, HalosAreTheRemoteNeighborsOfOwnedNodes) {
+  const ChainFixture fx;  // 0—1—2—3; two stripes cut between 1 and 2
+  const phy::ShardMap map = phy::ShardMap::stripes(fx.positions, 2);
+  const net::ConnectivityGraph graph(fx.positions, fx.range);
+  const auto halos = map.halos({&graph});
+  ASSERT_EQ(halos.size(), 2u);
+  // Stripe 0 owns {0,1}; its only cross-boundary edge is 1—2, so the halo
+  // is exactly {2} (and symmetrically {1} for stripe 1). Nodes 0 and 3
+  // never appear: no owned node of the other stripe can hear them.
+  EXPECT_EQ(halos[0], (std::vector<net::NodeId>{2}));
+  EXPECT_EQ(halos[1], (std::vector<net::NodeId>{1}));
+}
+
+TEST(ShardMap, DomainAssignsOwnedSlotsDenseThenHalo) {
+  const ChainFixture fx;
+  const phy::ShardMap map = phy::ShardMap::stripes(fx.positions, 2);
+  const net::ConnectivityGraph graph(fx.positions, fx.range);
+  const auto halos = map.halos({&graph});
+  const auto domain = map.domain(0, halos[0]);
+  ASSERT_NE(domain, nullptr);
+  EXPECT_EQ(domain->shard, 0);
+  EXPECT_EQ(domain->owned, 2);
+  EXPECT_EQ(domain->dense_count(), 3);  // owned {0,1} + halo {2}
+  EXPECT_EQ(domain->dense_slot(0), 0);
+  EXPECT_EQ(domain->dense_slot(1), 1);
+  EXPECT_EQ(domain->dense_slot(2), 2);   // first halo slot
+  EXPECT_EQ(domain->dense_slot(3), -1);  // outside owned + halo
+}
+
+TEST(ShardedChannel, PartitionVectorsAreStripeLocal) {
+  const ChainFixture fx;
+  sim::ShardedSimulator::Params params;
+  params.shards = 2;
+  params.threads = 1;
+  params.window = 0.02;
+  sim::ShardedSimulator engine(params);
+  const phy::ShardMap map = phy::ShardMap::stripes(fx.positions, 2);
+  auto graph =
+      std::make_shared<net::ConnectivityGraph>(fx.positions, fx.range);
+  phy::ShardedMedium medium(engine, graph, map, phy::Channel::Params{}, 99);
+  // Every partition's per-node channel arrays are sized by its stripe's
+  // population, not the global one — the O(n/shards) memory claim.
+  for (int s = 0; s < 2; ++s)
+    EXPECT_EQ(medium.shard(s).node_slots(),
+              static_cast<std::size_t>(map.owned_count(s)))
+        << "shard " << s;
+}
+
+TEST(LinkStateReplica, StripeLocalDenseSizeIsOwnedPlusHalo) {
+  const ChainFixture fx;
+  const phy::ShardMap map = phy::ShardMap::stripes(fx.positions, 2);
+  const net::ConnectivityGraph graph(fx.positions, fx.range);
+  const auto halos = map.halos({&graph});
+  const net::LinkState replica(map.domain(0, halos[0]));
+  EXPECT_TRUE(replica.stripe_local());
+  EXPECT_EQ(replica.dense_size(), 3u);  // 2 owned + 1 halo, not n = 4
+  EXPECT_EQ(replica.node_count(), 4);   // queries still span the world
+  const net::LinkState dense(4);
+  EXPECT_FALSE(dense.stripe_local());
+  EXPECT_EQ(dense.dense_size(), 4u);
+}
+
+TEST(LinkStateReplica, StripeLocalAnswersMatchDenseUnderChurn) {
+  const ChainFixture fx;
+  const phy::ShardMap map = phy::ShardMap::stripes(fx.positions, 2);
+  const net::ConnectivityGraph graph(fx.positions, fx.range);
+  const auto halos = map.halos({&graph});
+  net::LinkState stripe(map.domain(0, halos[0]));
+  net::LinkState dense(4);
+  // Mutation sequence spanning owned (0,1), halo (2) and out-of-domain (3)
+  // ids, with idempotent repeats: every answer and every revision bump
+  // must match the dense layout exactly.
+  const auto check = [&] {
+    EXPECT_EQ(stripe.all_up(), dense.all_up());
+    EXPECT_EQ(stripe.down_node_count(), dense.down_node_count());
+    EXPECT_EQ(stripe.revision(), dense.revision());
+    for (net::NodeId v = 0; v < 4; ++v)
+      EXPECT_EQ(stripe.node_up(v), dense.node_up(v)) << "node " << v;
+    for (net::NodeId a = 0; a < 4; ++a)
+      for (net::NodeId b = 0; b < 4; ++b)
+        if (a != b) {
+          EXPECT_EQ(stripe.link_up(a, b), dense.link_up(a, b))
+              << a << "-" << b;
+        }
+  };
+  const std::vector<std::pair<net::NodeId, bool>> flips{
+      {1, false}, {1, false},  // repeat: no revision bump in either
+      {3, false},              // out-of-domain → sparse down-set
+      {2, false},              // halo slot
+      {1, true},  {3, true},  {2, true}, {0, false}, {0, true}};
+  check();
+  for (const auto& [node, up] : flips) {
+    stripe.set_node_up(node, up);
+    dense.set_node_up(node, up);
+    check();
+  }
+  stripe.set_link_up(1, 2, false);
+  dense.set_link_up(1, 2, false);
+  check();
+  stripe.set_link_up(1, 2, true);
+  dense.set_link_up(1, 2, true);
+  check();
+}
+
+TEST(ShardedScenario, ShardCountAboveNodeCountIsRejected) {
+  app::ScenarioConfig config = app::ScenarioConfig::single_hop(
+      app::EvalModel::kSensor, 3, 100);
+  config.shards = config.topology.node_count() + 1;
+  try {
+    app::run_scenario(config);
+    FAIL() << "shards > nodes must be rejected";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find(
+                  "shard count must not exceed the node count"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+// ---- Differential goldens across the id-mapping refactor -------------------
+//
+// These values were captured on the globally-sized (pre stripe-local)
+// partitions; the stripe-local refactor must reproduce every one of them
+// bit for bit. A mismatch means the id translation changed behavior, not
+// just layout.
+
+app::ScenarioConfig golden_grid_config(int nodes, int shards, double duration,
+                                       int senders) {
+  app::ScenarioConfig cfg = app::ScenarioConfig::single_hop(
+      app::EvalModel::kDualRadio, senders, /*burst_packets=*/10);
+  net::TopologySpec spec;
+  spec.kind = net::TopologyKind::kGrid;
+  spec.nodes = nodes;
+  spec.seed = 1;
+  int side = 1;
+  while (side * side < nodes) ++side;
+  spec.grid_side = side;
+  spec.area = 40.0 * (side - 1);
+  cfg.topology = spec;
+  cfg.rate_bps = 2000.0;
+  cfg.duration = duration;
+  cfg.seed = 1;
+  cfg.shards = shards;
+  cfg.sim_threads = 1;
+  return cfg;
+}
+
+TEST(ShardedGolden, Grid900Nodes4ShardsIsBytePinned) {
+  const app::RunMetrics m =
+      app::run_scenario(golden_grid_config(900, 4, 20.0, 10));
+  EXPECT_EQ(m.generated, 1564);
+  EXPECT_EQ(m.delivered, 432);
+  EXPECT_EQ(m.events_processed, 117125u);
+  EXPECT_EQ(m.boundary_frames, 7118);
+  EXPECT_EQ(m.goodput, 0.27621483375959077);
+  EXPECT_EQ(m.mean_delay, 5.3365775142110161);
+  EXPECT_EQ(m.normalized_energy, 1.097699034764013);
+  EXPECT_EQ(m.sensor_energy.tx, 3.7665600872727643);
+  EXPECT_EQ(m.wifi_energy.full(), 116.40174674995447);
+}
+
+TEST(ShardedGolden, Grid10000Nodes8ShardsIsBytePinned) {
+  const app::RunMetrics m =
+      app::run_scenario(golden_grid_config(10000, 8, 12.0, 10));
+  EXPECT_EQ(m.generated, 938);
+  EXPECT_EQ(m.delivered, 70);
+  EXPECT_EQ(m.events_processed, 136855u);
+  EXPECT_EQ(m.boundary_frames, 6358);
+  EXPECT_EQ(m.goodput, 0.074626865671641784);
+  EXPECT_EQ(m.mean_delay, 5.666617315016957);
+  EXPECT_EQ(m.normalized_energy, 6.8851241550321571);
+  EXPECT_EQ(m.sensor_energy.tx, 4.7077937394711435);
+  EXPECT_EQ(m.wifi_energy.full(), 117.02122515845767);
+}
+
+TEST(ShardedGolden, Churn900Nodes4ShardsWithBatteriesIsBytePinned) {
+  app::ScenarioConfig cfg = app::ScenarioConfig::multi_hop(
+      app::EvalModel::kDualRadio, 10, /*burst_packets=*/10);
+  net::TopologySpec spec;
+  spec.kind = net::TopologyKind::kGrid;
+  spec.nodes = 900;
+  spec.seed = 1;
+  spec.grid_side = 30;
+  spec.area = 40.0 * 29;
+  cfg.topology = spec;
+  cfg.rate_bps = 2000.0;
+  cfg.duration = 60.0;
+  cfg.seed = 1;
+  cfg.shards = 4;
+  cfg.sim_threads = 1;
+  cfg.faults.node_crashes = 6;
+  cfg.faults.seed = 7;
+  cfg.battery.enabled = true;
+  cfg.battery.sensor_initial_j = 2.0;
+  cfg.battery.wifi_initial_j = 2.0;
+  const app::RunMetrics m = app::run_scenario(cfg);
+  EXPECT_EQ(m.generated, 4689);
+  EXPECT_EQ(m.delivered, 130);
+  EXPECT_EQ(m.events_processed, 42143u);
+  EXPECT_EQ(m.boundary_frames, 2411);
+  EXPECT_EQ(m.fault_node_crashes, 6);
+  EXPECT_EQ(m.fault_node_recoveries, 6);
+  EXPECT_EQ(m.battery_deaths, 9);
+  EXPECT_EQ(m.time_to_first_death, 7.3244032790697666);
+  EXPECT_EQ(m.route_rebuilds, 119);
+  EXPECT_EQ(m.goodput, 0.027724461505651526);
+  EXPECT_EQ(m.normalized_energy, 1.2236367146638714);
+}
+
 TEST(ShardedScenario, TdmaIsRejected) {
   app::ScenarioConfig config = app::ScenarioConfig::single_hop(
       app::EvalModel::kSensor, 6, 100);

@@ -269,6 +269,33 @@ TEST(ResultSinkMeta, EmittedInJsonWhenSet) {
             std::string::npos);
 }
 
+TEST(ResultSinkMeta, ShardedExportsCarryPeakRss) {
+  // Any sharded meta key triggers the automatic peak-RSS sample — the
+  // memory-model audit trail every sharded BENCH_*.json must carry.
+  for (const char* key : {"shards", "headline_shards", "compare_shards"}) {
+    stats::ResultSink sink;
+    sink.add(0, {{"x", 1}}, {{"m", 2.0}});
+    sink.set_meta(key, 4.0);
+    const std::string json = sink.to_json("demo");
+    EXPECT_NE(json.find("\"peak_rss_mib\": "), std::string::npos)
+        << key << ": " << json;
+  }
+  // An explicitly set value wins over the automatic sample.
+  stats::ResultSink sink;
+  sink.add(0, {{"x", 1}}, {{"m", 2.0}});
+  sink.set_meta("shards", 4.0);
+  sink.set_meta("peak_rss_mib", 123.5);
+  const std::string json = sink.to_json("demo");
+  EXPECT_NE(json.find("\"peak_rss_mib\": 123.5"), std::string::npos) << json;
+  EXPECT_EQ(json.find("\"peak_rss_mib\": 123.5"),
+            json.rfind("\"peak_rss_mib\""));
+  // Unsharded meta exports exactly the entries that were set.
+  stats::ResultSink plain;
+  plain.add(0, {{"x", 1}}, {{"m", 2.0}});
+  plain.set_meta("seed", 1.0);
+  EXPECT_EQ(plain.to_json("demo").find("peak_rss_mib"), std::string::npos);
+}
+
 TEST(ScenarioRegistry, BuildersReadPointParams) {
   const ScenarioRegistry& r = ScenarioRegistry::builtin();
   const SweepPoint p(0, {{"senders", 15},

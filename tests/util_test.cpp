@@ -9,6 +9,7 @@
 #include "util/log.hpp"
 #include "util/options.hpp"
 #include "util/rng.hpp"
+#include "util/sysinfo.hpp"
 #include "util/units.hpp"
 
 namespace bcp::util {
@@ -214,6 +215,13 @@ TEST(Log, LevelFilters) {
   EXPECT_EQ(log_level(), LogLevel::kError);
   log_info("should be dropped silently");
   set_log_level(LogLevel::kWarn);
+}
+
+TEST(Sysinfo, PeakRssIsPositiveAndMonotone) {
+  const double first = peak_rss_mib();
+  EXPECT_GT(first, 0.0);  // a running test binary has resident pages
+  // ru_maxrss is a high-water mark: it can only grow.
+  EXPECT_GE(peak_rss_mib(), first);
 }
 
 }  // namespace
